@@ -1,0 +1,179 @@
+//! DBSCAN — density-based clustering (Ester et al., KDD'96).
+//!
+//! Used twice in the paper: clustering payload byte-representations to group
+//! scan tools (§5.4), and grouping per-prefix session counts for the
+//! network-selection taxonomy (§5.2). The implementation is generic over a
+//! point type and a distance function, deterministic (iteration order is
+//! input order), and O(n²) — fine at our cluster sizes (hundreds of payload
+//! shapes, dozens of prefixes).
+
+/// Cluster assignment of one point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Assignment {
+    /// Noise: not density-reachable from any core point.
+    Noise,
+    /// Member of the cluster with this id (0-based).
+    Cluster(usize),
+}
+
+impl Assignment {
+    /// The cluster id, if clustered.
+    pub fn cluster(self) -> Option<usize> {
+        match self {
+            Assignment::Cluster(c) => Some(c),
+            Assignment::Noise => None,
+        }
+    }
+}
+
+/// Runs DBSCAN over `points` with neighborhood radius `eps` and core-point
+/// threshold `min_pts` (the point itself counts toward `min_pts`, matching
+/// the original formulation).
+///
+/// Returns one [`Assignment`] per input point.
+pub fn dbscan<P>(points: &[P], eps: f64, min_pts: usize, dist: impl Fn(&P, &P) -> f64) -> Vec<Assignment> {
+    const UNVISITED: usize = usize::MAX;
+    const NOISE: usize = usize::MAX - 1;
+    let n = points.len();
+    let mut labels = vec![UNVISITED; n];
+    let neighbors = |i: usize| -> Vec<usize> {
+        (0..n)
+            .filter(|&j| dist(&points[i], &points[j]) <= eps)
+            .collect()
+    };
+    let mut next_cluster = 0usize;
+    for i in 0..n {
+        if labels[i] != UNVISITED {
+            continue;
+        }
+        let nbrs = neighbors(i);
+        if nbrs.len() < min_pts {
+            labels[i] = NOISE;
+            continue;
+        }
+        let cluster = next_cluster;
+        next_cluster += 1;
+        labels[i] = cluster;
+        // Expand the cluster via a worklist.
+        let mut queue: Vec<usize> = nbrs;
+        let mut qi = 0;
+        while qi < queue.len() {
+            let j = queue[qi];
+            qi += 1;
+            if labels[j] == NOISE {
+                labels[j] = cluster; // border point
+            }
+            if labels[j] != UNVISITED {
+                continue;
+            }
+            labels[j] = cluster;
+            let jn = neighbors(j);
+            if jn.len() >= min_pts {
+                queue.extend(jn);
+            }
+        }
+    }
+    labels
+        .into_iter()
+        .map(|l| {
+            if l == NOISE || l == UNVISITED {
+                Assignment::Noise
+            } else {
+                Assignment::Cluster(l)
+            }
+        })
+        .collect()
+}
+
+/// Number of clusters in an assignment vector.
+pub fn cluster_count(assignments: &[Assignment]) -> usize {
+    assignments
+        .iter()
+        .filter_map(|a| a.cluster())
+        .max()
+        .map_or(0, |m| m + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d1(a: &f64, b: &f64) -> f64 {
+        (a - b).abs()
+    }
+
+    #[test]
+    fn two_well_separated_blobs() {
+        let points = [0.0, 0.1, 0.2, 10.0, 10.1, 10.2];
+        let out = dbscan(&points, 0.5, 2, d1);
+        assert_eq!(cluster_count(&out), 2);
+        assert_eq!(out[0], out[1]);
+        assert_eq!(out[1], out[2]);
+        assert_eq!(out[3], out[4]);
+        assert_ne!(out[0], out[3]);
+    }
+
+    #[test]
+    fn isolated_point_is_noise() {
+        let points = [0.0, 0.1, 5.0];
+        let out = dbscan(&points, 0.5, 2, d1);
+        assert_eq!(out[2], Assignment::Noise);
+        assert!(out[0].cluster().is_some());
+    }
+
+    #[test]
+    fn chain_connectivity_merges() {
+        // Points spaced 0.4 apart chain into a single cluster at eps 0.5.
+        let points: Vec<f64> = (0..10).map(|i| i as f64 * 0.4).collect();
+        let out = dbscan(&points, 0.5, 2, d1);
+        assert_eq!(cluster_count(&out), 1);
+        assert!(out.iter().all(|a| a.cluster() == Some(0)));
+    }
+
+    #[test]
+    fn min_pts_one_clusters_everything() {
+        let points = [0.0, 100.0, 200.0];
+        let out = dbscan(&points, 0.5, 1, d1);
+        assert_eq!(cluster_count(&out), 3);
+        assert!(out.iter().all(|a| a.cluster().is_some()));
+    }
+
+    #[test]
+    fn empty_input() {
+        let points: [f64; 0] = [];
+        assert!(dbscan(&points, 1.0, 2, d1).is_empty());
+    }
+
+    #[test]
+    fn border_point_joins_cluster() {
+        // 0.0 and 0.4 are core (each has 3 neighbors incl. self at eps 0.5
+        // with min_pts 3 via 0.0,0.4,0.8 chain); 0.9 is border.
+        let points = [0.0, 0.4, 0.8, 1.2];
+        let out = dbscan(&points, 0.5, 3, d1);
+        // All should end in the same cluster (1.2 as border of 0.8).
+        assert_eq!(cluster_count(&out), 1);
+        assert!(out.iter().all(|a| a.cluster() == Some(0)));
+    }
+
+    #[test]
+    fn determinism() {
+        let points = [0.0, 0.1, 0.2, 10.0, 10.1, 3.0];
+        let a = dbscan(&points, 0.5, 2, d1);
+        let b = dbscan(&points, 0.5, 2, d1);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn works_with_vector_points() {
+        let points = vec![vec![0.0, 0.0], vec![0.0, 0.1], vec![5.0, 5.0], vec![5.0, 5.1]];
+        let dist = |a: &Vec<f64>, b: &Vec<f64>| -> f64 {
+            a.iter()
+                .zip(b)
+                .map(|(x, y)| (x - y) * (x - y))
+                .sum::<f64>()
+                .sqrt()
+        };
+        let out = dbscan(&points, 0.5, 2, dist);
+        assert_eq!(cluster_count(&out), 2);
+    }
+}

@@ -1,0 +1,171 @@
+//! Per-nibble entropy profiling of target sets — the Entropy/IP idea
+//! (Foremski et al., §2 of the paper): the Shannon entropy of each of the
+//! 32 hex digits across a set of addresses reveals where a scanner's
+//! generator is structured (entropy ≈ 0), enumerated (low entropy) or
+//! random (entropy ≈ 4 bits).
+//!
+//! This complements the session-level NIST tests: NIST asks "is the bit
+//! stream random?", the entropy profile asks "*which address segments* are
+//! random?" — the distinction behind Fig. 12(b), where nibbles 11–12 are
+//! structured while the last 80 bits are random.
+
+use sixscope_types::nibble;
+
+/// Per-nibble Shannon entropy in bits (`0.0..=4.0`), nibble 0 = the most
+/// significant hex digit.
+pub fn nibble_entropy(targets: &[u128]) -> [f64; 32] {
+    let mut out = [0.0f64; 32];
+    if targets.is_empty() {
+        return out;
+    }
+    let n = targets.len() as f64;
+    for (i, slot) in out.iter_mut().enumerate() {
+        let mut counts = [0u64; 16];
+        for &t in targets {
+            counts[nibble(t, i) as usize] += 1;
+        }
+        let h: f64 = counts
+            .iter()
+            .filter(|&&c| c > 0)
+            .map(|&c| {
+                let p = c as f64 / n;
+                -p * p.log2()
+            })
+            .sum();
+        *slot = h;
+    }
+    out
+}
+
+/// A contiguous run of nibbles with homogeneous randomness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Segment {
+    /// First nibble index (inclusive).
+    pub start: usize,
+    /// Last nibble index (inclusive).
+    pub end: usize,
+    /// Whether the run is high-entropy (random-looking).
+    pub random: bool,
+}
+
+impl Segment {
+    /// Number of nibbles in the segment.
+    pub fn len(&self) -> usize {
+        self.end - self.start + 1
+    }
+
+    /// Always false (segments are at least one nibble); the idiomatic pair
+    /// to [`Segment::len`].
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// Splits an entropy profile into alternating structured/random segments.
+///
+/// A nibble counts as random when its entropy is at least `threshold` bits
+/// (2.0 is a good default: at least 4 effective values).
+pub fn segments(profile: &[f64; 32], threshold: f64) -> Vec<Segment> {
+    let mut out: Vec<Segment> = Vec::new();
+    for (i, &h) in profile.iter().enumerate() {
+        let random = h >= threshold;
+        match out.last_mut() {
+            Some(seg) if seg.random == random => seg.end = i,
+            _ => out.push(Segment {
+                start: i,
+                end: i,
+                random,
+            }),
+        }
+    }
+    out
+}
+
+/// Convenience: the entropy profile of the *interface identifier* only
+/// (nibbles 16..32), averaged — a quick scalar "how random are the IIDs".
+pub fn mean_iid_entropy(targets: &[u128]) -> f64 {
+    let profile = nibble_entropy(targets);
+    profile[16..].iter().sum::<f64>() / 16.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sixscope_types::Xoshiro256pp;
+
+    #[test]
+    fn constant_targets_have_zero_entropy() {
+        let targets = vec![0x2001_0db8_u128 << 96 | 1; 50];
+        let profile = nibble_entropy(&targets);
+        assert!(profile.iter().all(|&h| h == 0.0));
+        assert_eq!(mean_iid_entropy(&targets), 0.0);
+    }
+
+    #[test]
+    fn random_iids_have_high_iid_entropy_and_zero_prefix_entropy() {
+        let mut rng = Xoshiro256pp::seed_from_u64(3);
+        let base = 0x2001_0db8_u128 << 96;
+        let targets: Vec<u128> = (0..500).map(|_| base | rng.next_u64() as u128).collect();
+        let profile = nibble_entropy(&targets);
+        // Prefix nibbles fixed.
+        assert!(profile[..8].iter().all(|&h| h == 0.0));
+        // IID nibbles near 4 bits.
+        assert!(profile[16..].iter().all(|&h| h > 3.5), "{profile:?}");
+        assert!(mean_iid_entropy(&targets) > 3.5);
+    }
+
+    #[test]
+    fn low_byte_enumeration_is_low_entropy_except_the_tail() {
+        // ::1 .. ::256 — only the last two nibbles vary.
+        let base = 0x2001_0db8_u128 << 96;
+        let targets: Vec<u128> = (1..=256u128).map(|i| base | i).collect();
+        let profile = nibble_entropy(&targets);
+        assert!(profile[..29].iter().all(|&h| h < 1.0));
+        assert!(profile[30] > 3.0, "second-to-last nibble cycles fully");
+        assert!(profile[31] > 3.0, "last nibble cycles fully");
+    }
+
+    #[test]
+    fn segments_detect_the_fig12b_shape() {
+        // Structured subnet nibbles (11-12 iterate a few values), random
+        // last 80 bits — the AS53667 session of Fig. 12(b).
+        let mut rng = Xoshiro256pp::seed_from_u64(9);
+        let base = 0x2001_0db8_u128 << 96;
+        let targets: Vec<u128> = (0..400)
+            .map(|i| {
+                let subnet = (i % 4) as u128; // nibble 11-12 iterate
+                let random80 = rng.next_u128() & ((1u128 << 80) - 1);
+                base | (subnet << 80) | random80
+            })
+            .collect();
+        let profile = nibble_entropy(&targets);
+        let segs = segments(&profile, 2.0);
+        // The leading fixed+iterated part is structured, the tail random.
+        assert!(!segs.is_empty());
+        assert!(!segs[0].random, "prefix segment must be structured");
+        let last = segs.last().unwrap();
+        assert!(last.random, "tail segment must be random");
+        assert!(last.len() >= 18, "the last ~20 nibbles are random, got {}", last.len());
+        // Segments tile the 32 nibbles exactly.
+        assert_eq!(segs.iter().map(Segment::len).sum::<usize>(), 32);
+        assert_eq!(segs[0].start, 0);
+        assert_eq!(segs.last().unwrap().end, 31);
+    }
+
+    #[test]
+    fn empty_input_is_all_zero() {
+        let profile = nibble_entropy(&[]);
+        assert!(profile.iter().all(|&h| h == 0.0));
+    }
+
+    #[test]
+    fn segment_alternation_invariant() {
+        let mut profile = [0.0f64; 32];
+        for i in (0..32).step_by(2) {
+            profile[i] = 4.0;
+        }
+        let segs = segments(&profile, 2.0);
+        assert_eq!(segs.len(), 32, "strict alternation: 32 one-nibble segments");
+        assert!(segs.windows(2).all(|w| w[0].random != w[1].random));
+    }
+}

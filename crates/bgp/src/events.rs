@@ -1,0 +1,65 @@
+//! The timestamped route-event feed observed at the collector.
+//!
+//! This models what a scanner operator sees when watching RIPE RIS /
+//! RouteViews style collectors: a stream of announce/withdraw events with
+//! origin-AS context. BGP-reactive scanners (§7.2 of the paper finds 18
+//! sources reacting within 30 minutes) subscribe to this feed.
+
+use serde::{Deserialize, Serialize};
+use sixscope_types::{Asn, Ipv6Prefix, SimTime};
+
+/// Kind of route event.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RouteEventKind {
+    /// The prefix became (or changed how it is) reachable.
+    Announce {
+        /// Origin AS (last hop of the AS path).
+        origin_as: Asn,
+        /// Full AS path as seen by the collector.
+        as_path: Vec<Asn>,
+    },
+    /// The prefix became unreachable.
+    Withdraw,
+}
+
+/// One event in the collector feed.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RouteEvent {
+    /// When the collector processed the update.
+    pub ts: SimTime,
+    /// The affected prefix.
+    pub prefix: Ipv6Prefix,
+    /// What happened.
+    pub kind: RouteEventKind,
+}
+
+impl RouteEvent {
+    /// True for announce events.
+    pub fn is_announce(&self) -> bool {
+        matches!(self.kind, RouteEventKind::Announce { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_kind_predicates() {
+        let a = RouteEvent {
+            ts: SimTime::EPOCH,
+            prefix: "2001:db8::/32".parse().unwrap(),
+            kind: RouteEventKind::Announce {
+                origin_as: Asn(64500),
+                as_path: vec![Asn(3320), Asn(64500)],
+            },
+        };
+        let w = RouteEvent {
+            ts: SimTime::EPOCH,
+            prefix: "2001:db8::/32".parse().unwrap(),
+            kind: RouteEventKind::Withdraw,
+        };
+        assert!(a.is_announce());
+        assert!(!w.is_announce());
+    }
+}

@@ -1,0 +1,318 @@
+//! The BGP session finite state machine (RFC 4271 §8, condensed).
+//!
+//! Our transport is an in-memory reliable byte stream, so the TCP-level
+//! Connect/Active dance collapses: [`SessionFsm::start`] goes straight to
+//! OpenSent and emits the OPEN. From there the FSM follows the standard
+//! path — OpenSent → OpenConfirm on a valid OPEN, OpenConfirm → Established
+//! on a KEEPALIVE — with negotiated hold timers, periodic keepalives
+//! (hold/3), hold-timer expiry and NOTIFICATION handling.
+
+use crate::error::BgpError;
+use crate::message::{BgpMessage, NotificationMessage, OpenMessage};
+use sixscope_types::{SimDuration, SimTime};
+
+/// FSM states (Connect/Active are merged into the instantaneous transport).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum State {
+    /// Session not started.
+    Idle,
+    /// OPEN sent, waiting for the peer's OPEN.
+    OpenSent,
+    /// OPENs exchanged, waiting for the first KEEPALIVE.
+    OpenConfirm,
+    /// Session up; UPDATEs flow.
+    Established,
+}
+
+impl State {
+    fn name(self) -> &'static str {
+        match self {
+            State::Idle => "Idle",
+            State::OpenSent => "OpenSent",
+            State::OpenConfirm => "OpenConfirm",
+            State::Established => "Established",
+        }
+    }
+}
+
+/// A BGP session state machine for one peer.
+#[derive(Debug, Clone)]
+pub struct SessionFsm {
+    state: State,
+    local_open: OpenMessage,
+    peer_open: Option<OpenMessage>,
+    /// Negotiated hold time (minimum of both OPENs); zero disables timers.
+    hold_time: SimDuration,
+    last_received: SimTime,
+    last_keepalive_sent: SimTime,
+}
+
+impl SessionFsm {
+    /// Creates an FSM in Idle with the OPEN parameters we will offer.
+    pub fn new(local_open: OpenMessage) -> Self {
+        SessionFsm {
+            state: State::Idle,
+            local_open,
+            peer_open: None,
+            hold_time: SimDuration::ZERO,
+            last_received: SimTime::EPOCH,
+            last_keepalive_sent: SimTime::EPOCH,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> State {
+        self.state
+    }
+
+    /// True once UPDATEs may be exchanged.
+    pub fn is_established(&self) -> bool {
+        self.state == State::Established
+    }
+
+    /// The peer's OPEN, available from OpenConfirm onwards.
+    pub fn peer_open(&self) -> Option<&OpenMessage> {
+        self.peer_open.as_ref()
+    }
+
+    /// Negotiated hold time (zero until OPENs are exchanged or if disabled).
+    pub fn hold_time(&self) -> SimDuration {
+        self.hold_time
+    }
+
+    /// Starts the session: transitions Idle → OpenSent and returns the OPEN
+    /// to transmit. Starting a non-idle session resets it first.
+    pub fn start(&mut self, now: SimTime) -> Vec<BgpMessage> {
+        self.state = State::OpenSent;
+        self.peer_open = None;
+        self.hold_time = SimDuration::ZERO;
+        self.last_received = now;
+        self.last_keepalive_sent = now;
+        vec![BgpMessage::Open(self.local_open.clone())]
+    }
+
+    /// Resets to Idle (administrative stop or after an error).
+    pub fn stop(&mut self) {
+        self.state = State::Idle;
+        self.peer_open = None;
+        self.hold_time = SimDuration::ZERO;
+    }
+
+    /// Processes an incoming message; returns messages to transmit.
+    ///
+    /// UPDATE payloads are *not* interpreted here — the speaker handles
+    /// routing; the FSM only validates that UPDATEs arrive in Established.
+    pub fn handle(
+        &mut self,
+        now: SimTime,
+        msg: &BgpMessage,
+    ) -> Result<Vec<BgpMessage>, BgpError> {
+        self.last_received = now;
+        match (&self.state, msg) {
+            (State::OpenSent, BgpMessage::Open(open)) => {
+                if open.hold_time != 0 && open.hold_time < 3 {
+                    self.state = State::Idle;
+                    return Ok(vec![BgpMessage::Notification(NotificationMessage {
+                        code: 2, // OPEN Message Error
+                        subcode: 6, // Unacceptable Hold Time
+                        data: vec![],
+                    })]);
+                }
+                self.hold_time = SimDuration::secs(
+                    self.local_open.hold_time.min(open.hold_time) as u64,
+                );
+                self.peer_open = Some(open.clone());
+                self.state = State::OpenConfirm;
+                self.last_keepalive_sent = now;
+                Ok(vec![BgpMessage::Keepalive])
+            }
+            (State::OpenConfirm, BgpMessage::Keepalive) => {
+                self.state = State::Established;
+                Ok(vec![])
+            }
+            (State::Established, BgpMessage::Keepalive) => Ok(vec![]),
+            (State::Established, BgpMessage::Update(_)) => Ok(vec![]),
+            (_, BgpMessage::Notification(n)) => {
+                self.state = State::Idle;
+                Err(BgpError::PeerNotification {
+                    code: n.code,
+                    subcode: n.subcode,
+                })
+            }
+            (state, msg) => {
+                let err = BgpError::UnexpectedMessage {
+                    state: state.name(),
+                    message: msg.type_name(),
+                };
+                self.state = State::Idle;
+                Err(err)
+            }
+        }
+    }
+
+    /// Advances timers: emits keepalives every `hold/3` and raises
+    /// [`BgpError::HoldTimerExpired`] when the peer has gone silent.
+    pub fn tick(&mut self, now: SimTime) -> Result<Vec<BgpMessage>, BgpError> {
+        if self.state == State::Idle || self.hold_time == SimDuration::ZERO {
+            return Ok(vec![]);
+        }
+        if now.since(self.last_received) >= self.hold_time {
+            self.state = State::Idle;
+            return Err(BgpError::HoldTimerExpired);
+        }
+        let keepalive_interval = SimDuration::secs((self.hold_time.as_secs() / 3).max(1));
+        if matches!(self.state, State::OpenConfirm | State::Established)
+            && now.since(self.last_keepalive_sent) >= keepalive_interval
+        {
+            self.last_keepalive_sent = now;
+            return Ok(vec![BgpMessage::Keepalive]);
+        }
+        Ok(vec![])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sixscope_types::Asn;
+
+    fn open(asn: u32) -> OpenMessage {
+        OpenMessage::standard(Asn(asn), asn)
+    }
+
+    /// Drives two FSMs against each other until both are established.
+    fn establish(a: &mut SessionFsm, b: &mut SessionFsm, now: SimTime) {
+        let mut to_b = a.start(now);
+        let mut to_a = b.start(now);
+        for _ in 0..4 {
+            let next_to_a: Vec<BgpMessage> = to_b
+                .drain(..)
+                .flat_map(|m| b.handle(now, &m).unwrap())
+                .collect();
+            let next_to_b: Vec<BgpMessage> = to_a
+                .drain(..)
+                .flat_map(|m| a.handle(now, &m).unwrap())
+                .collect();
+            to_a = next_to_a;
+            to_b = next_to_b;
+            if a.is_established() && b.is_established() {
+                return;
+            }
+        }
+        panic!("sessions failed to establish: {:?} / {:?}", a.state(), b.state());
+    }
+
+    #[test]
+    fn two_fsms_establish_via_message_exchange() {
+        let mut a = SessionFsm::new(open(64500));
+        let mut b = SessionFsm::new(open(64501));
+        establish(&mut a, &mut b, SimTime::EPOCH);
+        assert_eq!(a.peer_open().unwrap().asn, Asn(64501));
+        assert_eq!(b.peer_open().unwrap().asn, Asn(64500));
+        assert_eq!(a.hold_time(), SimDuration::secs(90));
+    }
+
+    #[test]
+    fn hold_time_is_negotiated_to_minimum() {
+        let mut short = open(1);
+        short.hold_time = 30;
+        let mut a = SessionFsm::new(short);
+        let mut b = SessionFsm::new(open(2));
+        establish(&mut a, &mut b, SimTime::EPOCH);
+        assert_eq!(a.hold_time(), SimDuration::secs(30));
+        assert_eq!(b.hold_time(), SimDuration::secs(30));
+    }
+
+    #[test]
+    fn unacceptable_hold_time_is_notified() {
+        let mut a = SessionFsm::new(open(1));
+        a.start(SimTime::EPOCH);
+        let mut bad = open(2);
+        bad.hold_time = 2;
+        let out = a.handle(SimTime::EPOCH, &BgpMessage::Open(bad)).unwrap();
+        assert!(matches!(
+            &out[..],
+            [BgpMessage::Notification(n)] if n.code == 2 && n.subcode == 6
+        ));
+        assert_eq!(a.state(), State::Idle);
+    }
+
+    #[test]
+    fn keepalives_are_emitted_periodically() {
+        let mut a = SessionFsm::new(open(1));
+        let mut b = SessionFsm::new(open(2));
+        let t0 = SimTime::EPOCH;
+        establish(&mut a, &mut b, t0);
+        // At hold/3 = 30 s a keepalive is due.
+        assert!(a.tick(t0 + SimDuration::secs(29)).unwrap().is_empty());
+        let out = a.tick(t0 + SimDuration::secs(30)).unwrap();
+        assert_eq!(out, vec![BgpMessage::Keepalive]);
+        // Not again immediately.
+        assert!(a.tick(t0 + SimDuration::secs(31)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn hold_timer_expiry_tears_down() {
+        let mut a = SessionFsm::new(open(1));
+        let mut b = SessionFsm::new(open(2));
+        let t0 = SimTime::EPOCH;
+        establish(&mut a, &mut b, t0);
+        let err = a.tick(t0 + SimDuration::secs(90)).unwrap_err();
+        assert_eq!(err, BgpError::HoldTimerExpired);
+        assert_eq!(a.state(), State::Idle);
+    }
+
+    #[test]
+    fn keepalive_refreshes_hold_timer() {
+        let mut a = SessionFsm::new(open(1));
+        let mut b = SessionFsm::new(open(2));
+        let t0 = SimTime::EPOCH;
+        establish(&mut a, &mut b, t0);
+        a.handle(t0 + SimDuration::secs(60), &BgpMessage::Keepalive)
+            .unwrap();
+        // 90 s after t0 but only 30 s after the keepalive: still up.
+        assert!(a.tick(t0 + SimDuration::secs(90)).is_ok());
+        assert!(a.is_established());
+    }
+
+    #[test]
+    fn update_in_open_sent_is_a_protocol_error() {
+        let mut a = SessionFsm::new(open(1));
+        a.start(SimTime::EPOCH);
+        let err = a
+            .handle(SimTime::EPOCH, &BgpMessage::Update(Default::default()))
+            .unwrap_err();
+        assert!(matches!(err, BgpError::UnexpectedMessage { .. }));
+        assert_eq!(a.state(), State::Idle);
+    }
+
+    #[test]
+    fn notification_tears_down() {
+        let mut a = SessionFsm::new(open(1));
+        let mut b = SessionFsm::new(open(2));
+        establish(&mut a, &mut b, SimTime::EPOCH);
+        let err = a
+            .handle(
+                SimTime::EPOCH,
+                &BgpMessage::Notification(NotificationMessage {
+                    code: 6,
+                    subcode: 4,
+                    data: vec![],
+                }),
+            )
+            .unwrap_err();
+        assert_eq!(err, BgpError::PeerNotification { code: 6, subcode: 4 });
+        assert_eq!(a.state(), State::Idle);
+    }
+
+    #[test]
+    fn restart_after_teardown_works() {
+        let mut a = SessionFsm::new(open(1));
+        let mut b = SessionFsm::new(open(2));
+        establish(&mut a, &mut b, SimTime::EPOCH);
+        a.stop();
+        b.stop();
+        establish(&mut a, &mut b, SimTime::from_secs(1000));
+        assert!(a.is_established());
+    }
+}

@@ -1,0 +1,401 @@
+//! BGP message framing and the four message types (RFC 4271 §4).
+//!
+//! OPEN carries the capabilities a modern IPv6 session needs: multiprotocol
+//! IPv6 unicast (RFC 4760) and 4-byte AS numbers (RFC 6793). UPDATE carries
+//! IPv6 reachability exclusively in MP_REACH/MP_UNREACH attributes — the
+//! legacy IPv4 withdrawn-routes and NLRI fields stay empty, exactly as on a
+//! real v6-only session.
+
+use crate::attrs::PathAttributes;
+use crate::error::BgpError;
+use sixscope_types::Asn;
+
+/// Message header length (16-byte marker + length + type).
+pub const HEADER_LEN: usize = 19;
+/// Maximum BGP message size.
+pub const MAX_MESSAGE_LEN: usize = 4096;
+
+const TYPE_OPEN: u8 = 1;
+const TYPE_UPDATE: u8 = 2;
+const TYPE_NOTIFICATION: u8 = 3;
+const TYPE_KEEPALIVE: u8 = 4;
+
+const CAP_CODE_MP: u8 = 1;
+const CAP_CODE_AS4: u8 = 65;
+const OPT_PARAM_CAPABILITY: u8 = 2;
+
+/// An OPEN message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpenMessage {
+    /// Advertised AS number (AS_TRANS in the 2-byte field when > 65535).
+    pub asn: Asn,
+    /// Proposed hold time in seconds (0 or >= 3).
+    pub hold_time: u16,
+    /// BGP identifier (traditionally the router's IPv4 address; opaque here).
+    pub bgp_id: u32,
+    /// Whether the multiprotocol IPv6-unicast capability is advertised.
+    pub mp_ipv6: bool,
+    /// Whether the 4-byte-AS capability is advertised.
+    pub as4: bool,
+}
+
+impl OpenMessage {
+    /// A standard OPEN for our speakers: MP-IPv6 + AS4, hold time 90 s.
+    pub fn standard(asn: Asn, bgp_id: u32) -> Self {
+        OpenMessage {
+            asn,
+            hold_time: 90,
+            bgp_id,
+            mp_ipv6: true,
+            as4: true,
+        }
+    }
+}
+
+/// An UPDATE message (IPv6 content lives in the path attributes).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct UpdateMessage {
+    /// Path attributes, including MP_REACH / MP_UNREACH.
+    pub attrs: PathAttributes,
+}
+
+/// A NOTIFICATION message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NotificationMessage {
+    /// Error code.
+    pub code: u8,
+    /// Error subcode.
+    pub subcode: u8,
+    /// Diagnostic data.
+    pub data: Vec<u8>,
+}
+
+/// A KEEPALIVE message (no body).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct KeepaliveMessage;
+
+/// Any BGP message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BgpMessage {
+    /// OPEN.
+    Open(OpenMessage),
+    /// UPDATE.
+    Update(UpdateMessage),
+    /// NOTIFICATION.
+    Notification(NotificationMessage),
+    /// KEEPALIVE.
+    Keepalive,
+}
+
+impl BgpMessage {
+    /// Short name for diagnostics.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            BgpMessage::Open(_) => "OPEN",
+            BgpMessage::Update(_) => "UPDATE",
+            BgpMessage::Notification(_) => "NOTIFICATION",
+            BgpMessage::Keepalive => "KEEPALIVE",
+        }
+    }
+
+    /// Encodes the message with marker and length header.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut body = Vec::new();
+        let type_code = match self {
+            BgpMessage::Open(open) => {
+                body.push(4); // version
+                let two_byte = if open.asn.is_two_byte() {
+                    open.asn.get() as u16
+                } else {
+                    Asn::TRANS.get() as u16
+                };
+                body.extend_from_slice(&two_byte.to_be_bytes());
+                body.extend_from_slice(&open.hold_time.to_be_bytes());
+                body.extend_from_slice(&open.bgp_id.to_be_bytes());
+                // Optional parameters: one capability parameter.
+                let mut caps = Vec::new();
+                if open.mp_ipv6 {
+                    caps.extend_from_slice(&[CAP_CODE_MP, 4, 0, 2, 0, 1]); // AFI 2, SAFI 1
+                }
+                if open.as4 {
+                    caps.push(CAP_CODE_AS4);
+                    caps.push(4);
+                    caps.extend_from_slice(&open.asn.get().to_be_bytes());
+                }
+                if caps.is_empty() {
+                    body.push(0);
+                } else {
+                    body.push(caps.len() as u8 + 2);
+                    body.push(OPT_PARAM_CAPABILITY);
+                    body.push(caps.len() as u8);
+                    body.extend_from_slice(&caps);
+                }
+                TYPE_OPEN
+            }
+            BgpMessage::Update(update) => {
+                body.extend_from_slice(&0u16.to_be_bytes()); // withdrawn routes len (IPv4)
+                let mut attr_buf = Vec::new();
+                update.attrs.encode(&mut attr_buf);
+                body.extend_from_slice(&(attr_buf.len() as u16).to_be_bytes());
+                body.extend_from_slice(&attr_buf);
+                TYPE_UPDATE
+            }
+            BgpMessage::Notification(n) => {
+                body.push(n.code);
+                body.push(n.subcode);
+                body.extend_from_slice(&n.data);
+                TYPE_NOTIFICATION
+            }
+            BgpMessage::Keepalive => TYPE_KEEPALIVE,
+        };
+        let mut out = Vec::with_capacity(HEADER_LEN + body.len());
+        out.extend_from_slice(&[0xff; 16]);
+        out.extend_from_slice(&((HEADER_LEN + body.len()) as u16).to_be_bytes());
+        out.push(type_code);
+        out.extend_from_slice(&body);
+        debug_assert!(out.len() <= MAX_MESSAGE_LEN);
+        out
+    }
+
+    /// Decodes one message from the front of `buf`; returns it with the
+    /// remaining bytes (messages may be concatenated on a stream).
+    pub fn decode(buf: &[u8]) -> Result<(BgpMessage, &[u8]), BgpError> {
+        if buf.len() < HEADER_LEN {
+            return Err(BgpError::Truncated("message header"));
+        }
+        if buf[..16] != [0xff; 16] {
+            return Err(BgpError::BadMarker);
+        }
+        let len = u16::from_be_bytes([buf[16], buf[17]]);
+        if (len as usize) < HEADER_LEN || len as usize > MAX_MESSAGE_LEN {
+            return Err(BgpError::BadLength(len));
+        }
+        if buf.len() < len as usize {
+            return Err(BgpError::Truncated("message body"));
+        }
+        let body = &buf[HEADER_LEN..len as usize];
+        let rest = &buf[len as usize..];
+        let msg = match buf[18] {
+            TYPE_OPEN => BgpMessage::Open(decode_open(body)?),
+            TYPE_UPDATE => BgpMessage::Update(decode_update(body)?),
+            TYPE_NOTIFICATION => {
+                if body.len() < 2 {
+                    return Err(BgpError::Truncated("NOTIFICATION body"));
+                }
+                BgpMessage::Notification(NotificationMessage {
+                    code: body[0],
+                    subcode: body[1],
+                    data: body[2..].to_vec(),
+                })
+            }
+            TYPE_KEEPALIVE => {
+                if !body.is_empty() {
+                    return Err(BgpError::BadLength(len));
+                }
+                BgpMessage::Keepalive
+            }
+            t => return Err(BgpError::BadMessageType(t)),
+        };
+        Ok((msg, rest))
+    }
+}
+
+fn decode_open(body: &[u8]) -> Result<OpenMessage, BgpError> {
+    if body.len() < 10 {
+        return Err(BgpError::Truncated("OPEN body"));
+    }
+    if body[0] != 4 {
+        return Err(BgpError::UnsupportedVersion(body[0]));
+    }
+    let two_byte_asn = u16::from_be_bytes([body[1], body[2]]);
+    let hold_time = u16::from_be_bytes([body[3], body[4]]);
+    let bgp_id = u32::from_be_bytes([body[5], body[6], body[7], body[8]]);
+    let opt_len = body[9] as usize;
+    if body.len() < 10 + opt_len {
+        return Err(BgpError::Truncated("OPEN optional parameters"));
+    }
+    let mut asn = Asn(two_byte_asn as u32);
+    let mut mp_ipv6 = false;
+    let mut as4 = false;
+    let mut params = &body[10..10 + opt_len];
+    while params.len() >= 2 {
+        let ptype = params[0];
+        let plen = params[1] as usize;
+        if params.len() < 2 + plen {
+            return Err(BgpError::Truncated("optional parameter"));
+        }
+        if ptype == OPT_PARAM_CAPABILITY {
+            let mut caps = &params[2..2 + plen];
+            while caps.len() >= 2 {
+                let code = caps[0];
+                let clen = caps[1] as usize;
+                if caps.len() < 2 + clen {
+                    return Err(BgpError::Truncated("capability"));
+                }
+                let cbody = &caps[2..2 + clen];
+                match code {
+                    CAP_CODE_MP if clen == 4 => {
+                        let afi = u16::from_be_bytes([cbody[0], cbody[1]]);
+                        let safi = cbody[3];
+                        if afi == 2 && safi == 1 {
+                            mp_ipv6 = true;
+                        }
+                    }
+                    CAP_CODE_AS4 if clen == 4 => {
+                        as4 = true;
+                        asn = Asn(u32::from_be_bytes([cbody[0], cbody[1], cbody[2], cbody[3]]));
+                    }
+                    _ => {}
+                }
+                caps = &caps[2 + clen..];
+            }
+        }
+        params = &params[2 + plen..];
+    }
+    Ok(OpenMessage {
+        asn,
+        hold_time,
+        bgp_id,
+        mp_ipv6,
+        as4,
+    })
+}
+
+fn decode_update(body: &[u8]) -> Result<UpdateMessage, BgpError> {
+    if body.len() < 4 {
+        return Err(BgpError::Truncated("UPDATE body"));
+    }
+    let withdrawn_len = u16::from_be_bytes([body[0], body[1]]) as usize;
+    if body.len() < 2 + withdrawn_len + 2 {
+        return Err(BgpError::Truncated("UPDATE withdrawn routes"));
+    }
+    // IPv4 withdrawn routes are ignored on a v6-only session.
+    let attr_off = 2 + withdrawn_len;
+    let attr_len = u16::from_be_bytes([body[attr_off], body[attr_off + 1]]) as usize;
+    if body.len() < attr_off + 2 + attr_len {
+        return Err(BgpError::Truncated("UPDATE attributes"));
+    }
+    let attrs = PathAttributes::decode(&body[attr_off + 2..attr_off + 2 + attr_len])?;
+    Ok(UpdateMessage { attrs })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attrs::{MpReach, Origin};
+
+    #[test]
+    fn open_round_trip_with_4byte_asn() {
+        let open = OpenMessage::standard(Asn(201701), 0x0a000001);
+        let bytes = BgpMessage::Open(open.clone()).encode();
+        let (msg, rest) = BgpMessage::decode(&bytes).unwrap();
+        assert!(rest.is_empty());
+        assert_eq!(msg, BgpMessage::Open(open));
+    }
+
+    #[test]
+    fn open_as_trans_in_two_byte_field() {
+        let open = OpenMessage::standard(Asn(4_200_000_000), 1);
+        let bytes = BgpMessage::Open(open).encode();
+        // The 2-byte ASN field (bytes 20..22 of the message) must be AS_TRANS.
+        assert_eq!(
+            u16::from_be_bytes([bytes[HEADER_LEN + 1], bytes[HEADER_LEN + 2]]),
+            23456
+        );
+        // But decoding recovers the real ASN from the AS4 capability.
+        let (msg, _) = BgpMessage::decode(&bytes).unwrap();
+        match msg {
+            BgpMessage::Open(o) => assert_eq!(o.asn, Asn(4_200_000_000)),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn update_round_trip() {
+        let update = UpdateMessage {
+            attrs: PathAttributes {
+                origin: Some(Origin::Igp),
+                as_path: vec![Asn(64500)],
+                mp_reach: Some(MpReach {
+                    next_hop: "2001:db8:ffff::1".parse().unwrap(),
+                    prefixes: vec!["2001:db8::/32".parse().unwrap()],
+                }),
+                ..Default::default()
+            },
+        };
+        let bytes = BgpMessage::Update(update.clone()).encode();
+        let (msg, _) = BgpMessage::decode(&bytes).unwrap();
+        assert_eq!(msg, BgpMessage::Update(update));
+    }
+
+    #[test]
+    fn keepalive_is_19_bytes() {
+        let bytes = BgpMessage::Keepalive.encode();
+        assert_eq!(bytes.len(), HEADER_LEN);
+        let (msg, rest) = BgpMessage::decode(&bytes).unwrap();
+        assert_eq!(msg, BgpMessage::Keepalive);
+        assert!(rest.is_empty());
+    }
+
+    #[test]
+    fn notification_round_trip() {
+        let n = NotificationMessage {
+            code: 6,
+            subcode: 2,
+            data: vec![1, 2, 3],
+        };
+        let bytes = BgpMessage::Notification(n.clone()).encode();
+        let (msg, _) = BgpMessage::decode(&bytes).unwrap();
+        assert_eq!(msg, BgpMessage::Notification(n));
+    }
+
+    #[test]
+    fn stream_of_messages_decodes_sequentially() {
+        let mut stream = Vec::new();
+        stream.extend_from_slice(&BgpMessage::Keepalive.encode());
+        stream.extend_from_slice(&BgpMessage::Open(OpenMessage::standard(Asn(1), 9)).encode());
+        stream.extend_from_slice(&BgpMessage::Keepalive.encode());
+        let (m1, rest) = BgpMessage::decode(&stream).unwrap();
+        assert_eq!(m1, BgpMessage::Keepalive);
+        let (m2, rest) = BgpMessage::decode(rest).unwrap();
+        assert!(matches!(m2, BgpMessage::Open(_)));
+        let (m3, rest) = BgpMessage::decode(rest).unwrap();
+        assert_eq!(m3, BgpMessage::Keepalive);
+        assert!(rest.is_empty());
+    }
+
+    #[test]
+    fn bad_marker_rejected() {
+        let mut bytes = BgpMessage::Keepalive.encode();
+        bytes[3] = 0;
+        assert_eq!(BgpMessage::decode(&bytes).unwrap_err(), BgpError::BadMarker);
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut bytes = BgpMessage::Open(OpenMessage::standard(Asn(1), 1)).encode();
+        bytes[HEADER_LEN] = 3; // BGP-3
+        assert_eq!(
+            BgpMessage::decode(&bytes).unwrap_err(),
+            BgpError::UnsupportedVersion(3)
+        );
+    }
+
+    #[test]
+    fn keepalive_with_body_rejected() {
+        let mut bytes = BgpMessage::Keepalive.encode();
+        bytes[17] = (HEADER_LEN + 1) as u8;
+        bytes.push(0);
+        assert!(BgpMessage::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn unknown_type_rejected() {
+        let mut bytes = BgpMessage::Keepalive.encode();
+        bytes[18] = 77;
+        assert_eq!(
+            BgpMessage::decode(&bytes).unwrap_err(),
+            BgpError::BadMessageType(77)
+        );
+    }
+}

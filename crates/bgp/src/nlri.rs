@@ -1,0 +1,98 @@
+//! NLRI encoding for IPv6 prefixes (RFC 4760 §5).
+//!
+//! Each prefix is encoded as one length byte followed by
+//! `ceil(len / 8)` address bytes — the minimal representation.
+
+use crate::error::BgpError;
+use sixscope_types::Ipv6Prefix;
+
+/// Appends the wire form of `prefix` to `out`.
+pub fn encode_prefix(prefix: &Ipv6Prefix, out: &mut Vec<u8>) {
+    out.push(prefix.len());
+    let nbytes = prefix.len().div_ceil(8) as usize;
+    let octets = prefix.network().octets();
+    out.extend_from_slice(&octets[..nbytes]);
+}
+
+/// Decodes one prefix from the front of `buf`; returns it and the remainder.
+pub fn decode_prefix(buf: &[u8]) -> Result<(Ipv6Prefix, &[u8]), BgpError> {
+    let (&len, rest) = buf.split_first().ok_or(BgpError::Truncated("NLRI"))?;
+    if len > 128 {
+        return Err(BgpError::BadPrefixLength(len));
+    }
+    let nbytes = len.div_ceil(8) as usize;
+    if rest.len() < nbytes {
+        return Err(BgpError::Truncated("NLRI prefix bytes"));
+    }
+    let mut octets = [0u8; 16];
+    octets[..nbytes].copy_from_slice(&rest[..nbytes]);
+    let prefix = Ipv6Prefix::new(octets.into(), len).expect("len validated above");
+    Ok((prefix, &rest[nbytes..]))
+}
+
+/// Encodes a list of prefixes back to back.
+pub fn encode_prefixes(prefixes: &[Ipv6Prefix], out: &mut Vec<u8>) {
+    for p in prefixes {
+        encode_prefix(p, out);
+    }
+}
+
+/// Decodes prefixes until `buf` is exhausted.
+pub fn decode_prefixes(mut buf: &[u8]) -> Result<Vec<Ipv6Prefix>, BgpError> {
+    let mut out = Vec::new();
+    while !buf.is_empty() {
+        let (p, rest) = decode_prefix(buf)?;
+        out.push(p);
+        buf = rest;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Ipv6Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn encoding_is_minimal() {
+        let mut out = Vec::new();
+        encode_prefix(&p("2001:db8::/32"), &mut out);
+        assert_eq!(out, vec![32, 0x20, 0x01, 0x0d, 0xb8]);
+        out.clear();
+        encode_prefix(&p("2001:db8:8000::/33"), &mut out);
+        assert_eq!(out, vec![33, 0x20, 0x01, 0x0d, 0xb8, 0x80]);
+        out.clear();
+        encode_prefix(&Ipv6Prefix::default_route(), &mut out);
+        assert_eq!(out, vec![0]);
+    }
+
+    #[test]
+    fn round_trip_multiple() {
+        let list = vec![
+            p("2001:db8::/32"),
+            p("2001:db8:8000::/33"),
+            p("::/0"),
+            p("2001:db8::1/128"),
+        ];
+        let mut out = Vec::new();
+        encode_prefixes(&list, &mut out);
+        assert_eq!(decode_prefixes(&out).unwrap(), list);
+    }
+
+    #[test]
+    fn rejects_oversized_length() {
+        assert_eq!(
+            decode_prefix(&[129, 0, 0]).unwrap_err(),
+            BgpError::BadPrefixLength(129)
+        );
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        assert!(matches!(decode_prefix(&[]), Err(BgpError::Truncated(_))));
+        assert!(matches!(decode_prefix(&[48, 0x20, 0x01]), Err(BgpError::Truncated(_))));
+    }
+}

@@ -1,0 +1,331 @@
+//! Routing information bases and the best-path decision process.
+//!
+//! Each speaker keeps per-peer candidate routes and selects a best path per
+//! prefix following the RFC 4271 §9.1.2 order (the subset our attributes
+//! express): highest LOCAL_PREF, shortest AS_PATH, lowest ORIGIN, lowest
+//! MED, then oldest route, then lowest peer id as the final tie-break. The
+//! set of best routes feeds a [`PrefixTrie`] for data-plane longest-prefix
+//! match — which is exactly what decides whether a scanner's probe can reach
+//! a telescope at a given simulated instant.
+
+use crate::attrs::Origin;
+use sixscope_types::{Asn, Ipv6Prefix, PrefixTrie, SimTime};
+use std::collections::BTreeMap;
+use std::net::Ipv6Addr;
+
+/// Identifier of a peer within one speaker (index into its peer table).
+pub type PeerId = u32;
+
+/// One candidate route for a prefix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Route {
+    /// The destination prefix.
+    pub prefix: Ipv6Prefix,
+    /// BGP next hop.
+    pub next_hop: Ipv6Addr,
+    /// AS path (leftmost = neighbor, rightmost = origin AS).
+    pub as_path: Vec<Asn>,
+    /// ORIGIN attribute.
+    pub origin: Origin,
+    /// MULTI_EXIT_DISC.
+    pub med: u32,
+    /// LOCAL_PREF assigned by import policy.
+    pub local_pref: u32,
+    /// COMMUNITIES carried with the route (RFC 1997).
+    pub communities: Vec<u32>,
+    /// The peer this route was learned from (`LOCAL_PEER` for own routes).
+    pub learned_from: PeerId,
+    /// When the route was installed.
+    pub learned_at: SimTime,
+}
+
+/// Pseudo peer-id for locally originated routes (always preferred: they get
+/// the highest LOCAL_PREF by construction in [`crate::speaker::Speaker`]).
+pub const LOCAL_PEER: PeerId = u32::MAX;
+
+impl Route {
+    /// The AS that originated this route (last AS in the path), or `None`
+    /// for a locally originated route with an empty path.
+    pub fn origin_as(&self) -> Option<Asn> {
+        self.as_path.last().copied()
+    }
+
+    /// RFC 4271 preference order: returns `true` if `self` wins over `other`.
+    pub fn better_than(&self, other: &Route) -> bool {
+        // Highest LOCAL_PREF.
+        if self.local_pref != other.local_pref {
+            return self.local_pref > other.local_pref;
+        }
+        // Shortest AS_PATH.
+        if self.as_path.len() != other.as_path.len() {
+            return self.as_path.len() < other.as_path.len();
+        }
+        // Lowest ORIGIN (IGP < EGP < INCOMPLETE).
+        if self.origin != other.origin {
+            return self.origin < other.origin;
+        }
+        // Lowest MED (we compare across peers for simplicity, as many
+        // deployments do with `always-compare-med`).
+        if self.med != other.med {
+            return self.med < other.med;
+        }
+        // Oldest route wins (stability).
+        if self.learned_at != other.learned_at {
+            return self.learned_at < other.learned_at;
+        }
+        // Lowest peer id.
+        self.learned_from < other.learned_from
+    }
+}
+
+/// The Loc-RIB: per-prefix candidates and the selected best path.
+#[derive(Debug, Clone, Default)]
+pub struct LocRib {
+    candidates: BTreeMap<Ipv6Prefix, Vec<Route>>,
+    best: PrefixTrie<Route>,
+}
+
+/// Result of a RIB change, used to decide what to re-advertise.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RibChange {
+    /// The best path for the prefix changed to this route.
+    NewBest(Route),
+    /// The prefix lost its last candidate and is now unreachable.
+    Withdrawn(Ipv6Prefix),
+    /// The update did not change the selected best path.
+    NoChange,
+}
+
+impl LocRib {
+    /// Creates an empty Loc-RIB.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of prefixes with a selected best path.
+    pub fn len(&self) -> usize {
+        self.best.len()
+    }
+
+    /// True when no prefix is reachable.
+    pub fn is_empty(&self) -> bool {
+        self.best.is_empty()
+    }
+
+    /// Installs or replaces the candidate from `route.learned_from` for
+    /// `route.prefix`, re-runs selection, and reports the outcome.
+    pub fn insert(&mut self, route: Route) -> RibChange {
+        let cands = self.candidates.entry(route.prefix).or_default();
+        cands.retain(|r| r.learned_from != route.learned_from);
+        cands.push(route.clone());
+        self.reselect(route.prefix)
+    }
+
+    /// Removes the candidate learned from `peer` for `prefix`, re-runs
+    /// selection, and reports the outcome.
+    pub fn withdraw(&mut self, prefix: Ipv6Prefix, peer: PeerId) -> RibChange {
+        let Some(cands) = self.candidates.get_mut(&prefix) else {
+            return RibChange::NoChange;
+        };
+        let before = cands.len();
+        cands.retain(|r| r.learned_from != peer);
+        if cands.len() == before {
+            return RibChange::NoChange;
+        }
+        if cands.is_empty() {
+            self.candidates.remove(&prefix);
+        }
+        self.reselect(prefix)
+    }
+
+    /// Drops every candidate learned from `peer` (session teardown); returns
+    /// the resulting changes in prefix order.
+    pub fn drop_peer(&mut self, peer: PeerId) -> Vec<RibChange> {
+        let prefixes: Vec<Ipv6Prefix> = self
+            .candidates
+            .iter()
+            .filter(|(_, cands)| cands.iter().any(|r| r.learned_from == peer))
+            .map(|(p, _)| *p)
+            .collect();
+        prefixes
+            .into_iter()
+            .map(|p| self.withdraw(p, peer))
+            .filter(|c| *c != RibChange::NoChange)
+            .collect()
+    }
+
+    fn reselect(&mut self, prefix: Ipv6Prefix) -> RibChange {
+        let new_best = self
+            .candidates
+            .get(&prefix)
+            .and_then(|cands| {
+                cands.iter().fold(None::<&Route>, |best, r| match best {
+                    Some(b) if b.better_than(r) => Some(b),
+                    _ => Some(r),
+                })
+            })
+            .cloned();
+        let old_best = self.best.get(&prefix).cloned();
+        match (old_best, new_best) {
+            (None, None) => RibChange::NoChange,
+            (Some(_), None) => {
+                self.best.remove(&prefix);
+                RibChange::Withdrawn(prefix)
+            }
+            (old, Some(new)) => {
+                if old.as_ref() == Some(&new) {
+                    RibChange::NoChange
+                } else {
+                    self.best.insert(prefix, new.clone());
+                    RibChange::NewBest(new)
+                }
+            }
+        }
+    }
+
+    /// The selected best route for exactly `prefix`.
+    pub fn best(&self, prefix: &Ipv6Prefix) -> Option<&Route> {
+        self.best.get(prefix)
+    }
+
+    /// Data-plane longest-prefix match.
+    pub fn lookup(&self, addr: Ipv6Addr) -> Option<(&Ipv6Prefix, &Route)> {
+        self.best.lookup(addr)
+    }
+
+    /// All selected best routes, in prefix order.
+    pub fn best_routes(&self) -> Vec<(&Ipv6Prefix, &Route)> {
+        self.best.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Ipv6Prefix {
+        s.parse().unwrap()
+    }
+
+    fn route(prefix: &str, path: &[u32], peer: PeerId) -> Route {
+        Route {
+            prefix: p(prefix),
+            next_hop: "2001:db8:ffff::1".parse().unwrap(),
+            as_path: path.iter().map(|&a| Asn(a)).collect(),
+            origin: Origin::Igp,
+            med: 0,
+            local_pref: 100,
+            communities: vec![],
+            learned_from: peer,
+            learned_at: SimTime::from_secs(0),
+        }
+    }
+
+    #[test]
+    fn single_route_becomes_best() {
+        let mut rib = LocRib::new();
+        let r = route("2001:db8::/32", &[64500], 0);
+        assert_eq!(rib.insert(r.clone()), RibChange::NewBest(r.clone()));
+        assert_eq!(rib.best(&p("2001:db8::/32")), Some(&r));
+        assert_eq!(rib.len(), 1);
+    }
+
+    #[test]
+    fn shorter_as_path_wins() {
+        let mut rib = LocRib::new();
+        rib.insert(route("2001:db8::/32", &[1, 2, 3], 0));
+        let shorter = route("2001:db8::/32", &[7, 8], 1);
+        assert_eq!(rib.insert(shorter.clone()), RibChange::NewBest(shorter.clone()));
+        // A longer path from another peer does not displace it.
+        assert_eq!(
+            rib.insert(route("2001:db8::/32", &[4, 5, 6, 7], 2)),
+            RibChange::NoChange
+        );
+        assert_eq!(rib.best(&p("2001:db8::/32")), Some(&shorter));
+    }
+
+    #[test]
+    fn local_pref_beats_path_length() {
+        let mut rib = LocRib::new();
+        let mut long_but_preferred = route("2001:db8::/32", &[1, 2, 3, 4], 0);
+        long_but_preferred.local_pref = 200;
+        rib.insert(route("2001:db8::/32", &[9], 1));
+        assert_eq!(
+            rib.insert(long_but_preferred.clone()),
+            RibChange::NewBest(long_but_preferred)
+        );
+    }
+
+    #[test]
+    fn origin_and_med_tie_breaks() {
+        let a = route("2001:db8::/32", &[1], 0);
+        let mut b = route("2001:db8::/32", &[2], 1);
+        b.origin = Origin::Incomplete;
+        assert!(a.better_than(&b));
+        let mut c = route("2001:db8::/32", &[3], 2);
+        c.med = 10;
+        assert!(a.better_than(&c) && b.better_than(&c) == false || a.better_than(&c));
+        // Oldest wins among full ties.
+        let mut d = route("2001:db8::/32", &[4], 3);
+        d.learned_at = SimTime::from_secs(100);
+        assert!(a.better_than(&d));
+    }
+
+    #[test]
+    fn withdraw_falls_back_to_next_candidate() {
+        let mut rib = LocRib::new();
+        let backup = route("2001:db8::/32", &[1, 2, 3], 0);
+        let primary = route("2001:db8::/32", &[9], 1);
+        rib.insert(backup.clone());
+        rib.insert(primary);
+        assert_eq!(
+            rib.withdraw(p("2001:db8::/32"), 1),
+            RibChange::NewBest(backup)
+        );
+        assert_eq!(
+            rib.withdraw(p("2001:db8::/32"), 0),
+            RibChange::Withdrawn(p("2001:db8::/32"))
+        );
+        assert!(rib.is_empty());
+        assert_eq!(rib.withdraw(p("2001:db8::/32"), 0), RibChange::NoChange);
+    }
+
+    #[test]
+    fn replacing_same_peer_route_updates_in_place() {
+        let mut rib = LocRib::new();
+        rib.insert(route("2001:db8::/32", &[1, 2], 0));
+        let replacement = route("2001:db8::/32", &[1, 2, 3], 0);
+        // Same peer sends a longer path: it *replaces* the old candidate, so
+        // it still becomes best (no other candidates exist).
+        assert_eq!(
+            rib.insert(replacement.clone()),
+            RibChange::NewBest(replacement)
+        );
+    }
+
+    #[test]
+    fn lookup_uses_longest_prefix_match() {
+        let mut rib = LocRib::new();
+        rib.insert(route("2001:db8::/32", &[1], 0));
+        rib.insert(route("2001:db8:1234::/48", &[2], 0));
+        let (pre, _) = rib.lookup("2001:db8:1234::1".parse().unwrap()).unwrap();
+        assert_eq!(*pre, p("2001:db8:1234::/48"));
+        let (pre, _) = rib.lookup("2001:db8:9999::1".parse().unwrap()).unwrap();
+        assert_eq!(*pre, p("2001:db8::/32"));
+        assert!(rib.lookup("3fff::1".parse().unwrap()).is_none());
+    }
+
+    #[test]
+    fn drop_peer_withdraws_everything_from_that_peer() {
+        let mut rib = LocRib::new();
+        rib.insert(route("2001:db8::/32", &[1], 0));
+        rib.insert(route("2001:db9::/32", &[1], 0));
+        rib.insert(route("2001:db8::/32", &[2, 3], 1));
+        let changes = rib.drop_peer(0);
+        assert_eq!(changes.len(), 2);
+        // 2001:db8::/32 falls back to peer 1, 2001:db9::/32 disappears.
+        assert!(changes.iter().any(|c| matches!(c, RibChange::NewBest(r) if r.learned_from == 1)));
+        assert!(changes.contains(&RibChange::Withdrawn(p("2001:db9::/32"))));
+        assert_eq!(rib.len(), 1);
+    }
+}

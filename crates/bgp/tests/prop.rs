@@ -1,0 +1,170 @@
+//! Property tests: BGP codec round-trips over arbitrary structured inputs,
+//! decoder robustness on arbitrary bytes, and RIB invariants.
+
+use proptest::prelude::*;
+use sixscope_bgp::attrs::{MpReach, Origin, PathAttributes};
+use sixscope_bgp::message::{BgpMessage, NotificationMessage, OpenMessage, UpdateMessage};
+use sixscope_bgp::rib::{LocRib, Route};
+use sixscope_types::{Asn, Ipv6Prefix, SimTime};
+use std::net::Ipv6Addr;
+
+fn arb_prefix() -> impl Strategy<Value = Ipv6Prefix> {
+    (any::<u128>(), 0u8..=128).prop_map(|(bits, len)| Ipv6Prefix::from_bits(bits, len).unwrap())
+}
+
+fn arb_origin() -> impl Strategy<Value = Origin> {
+    prop_oneof![
+        Just(Origin::Igp),
+        Just(Origin::Egp),
+        Just(Origin::Incomplete)
+    ]
+}
+
+fn arb_attrs() -> impl Strategy<Value = PathAttributes> {
+    (
+        proptest::option::of(arb_origin()),
+        proptest::collection::vec(any::<u32>(), 0..12),
+        proptest::option::of(any::<u32>()),
+        proptest::option::of(any::<u32>()),
+        proptest::option::of((any::<u128>(), proptest::collection::vec(arb_prefix(), 0..8))),
+        proptest::collection::vec(arb_prefix(), 0..8),
+        proptest::collection::vec(any::<u32>(), 0..6),
+    )
+        .prop_map(|(origin, path, med, local_pref, reach, unreach, communities)| {
+            // An empty AS_PATH only round-trips when the ORIGIN forces the
+            // attribute block to exist; normalize to the encodable subset.
+            let origin = if path.is_empty() && origin.is_none() && reach.is_none() {
+                Some(Origin::Igp)
+            } else {
+                origin
+            };
+            PathAttributes {
+                origin,
+                as_path: path.into_iter().map(Asn).collect(),
+                med,
+                local_pref,
+                communities,
+                mp_reach: reach.map(|(nh, prefixes)| MpReach {
+                    next_hop: Ipv6Addr::from(nh),
+                    prefixes,
+                }),
+                mp_unreach: unreach,
+            }
+        })
+}
+
+proptest! {
+    #[test]
+    fn attrs_round_trip(attrs in arb_attrs()) {
+        let mut buf = Vec::new();
+        attrs.encode(&mut buf);
+        let back = PathAttributes::decode(&buf).unwrap();
+        // AS_PATH of length zero encodes as an empty attribute; everything
+        // else must survive exactly.
+        prop_assert_eq!(back.as_path, attrs.as_path);
+        prop_assert_eq!(back.med, attrs.med);
+        prop_assert_eq!(back.local_pref, attrs.local_pref);
+        prop_assert_eq!(back.communities, attrs.communities);
+        prop_assert_eq!(back.mp_reach, attrs.mp_reach);
+        prop_assert_eq!(back.mp_unreach, attrs.mp_unreach);
+        if attrs.origin.is_some() {
+            prop_assert_eq!(back.origin, attrs.origin);
+        }
+    }
+
+    #[test]
+    fn update_message_round_trip(attrs in arb_attrs()) {
+        let msg = BgpMessage::Update(UpdateMessage { attrs });
+        let bytes = msg.encode();
+        let (back, rest) = BgpMessage::decode(&bytes).unwrap();
+        prop_assert!(rest.is_empty());
+        prop_assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn open_message_round_trip(asn in any::<u32>(), hold in 3u16.., id in any::<u32>()) {
+        let mut open = OpenMessage::standard(Asn(asn), id);
+        open.hold_time = hold;
+        let bytes = BgpMessage::Open(open.clone()).encode();
+        let (back, _) = BgpMessage::decode(&bytes).unwrap();
+        prop_assert_eq!(back, BgpMessage::Open(open));
+    }
+
+    #[test]
+    fn notification_round_trip(code in any::<u8>(), sub in any::<u8>(), data in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let msg = BgpMessage::Notification(NotificationMessage { code, subcode: sub, data });
+        let (back, _) = BgpMessage::decode(&msg.encode()).unwrap();
+        prop_assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn decoder_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = BgpMessage::decode(&bytes);
+        let _ = PathAttributes::decode(&bytes);
+    }
+
+    #[test]
+    fn rib_best_is_always_a_candidate(
+        routes in proptest::collection::vec(
+            ((any::<u128>(), 0u8..=64), 0u32..4, 1u32..4, 0u64..100),
+            1..30,
+        )
+    ) {
+        let mut rib = LocRib::new();
+        let mut inserted: Vec<Route> = Vec::new();
+        for ((bits, len), peer, pathlen, ts) in routes {
+            let prefix = Ipv6Prefix::from_bits(bits, len).unwrap();
+            let route = Route {
+                prefix,
+                next_hop: "2001:db8:f::1".parse().unwrap(),
+                as_path: (0..pathlen).map(|i| Asn(100 + i)).collect(),
+                origin: Origin::Igp,
+                med: 0,
+                local_pref: 100,
+                communities: vec![],
+                learned_from: peer,
+                learned_at: SimTime::from_secs(ts),
+            };
+            // Mirror the RIB's replace semantics in the model.
+            inserted.retain(|r| !(r.prefix == prefix && r.learned_from == peer));
+            inserted.push(route.clone());
+            rib.insert(route);
+        }
+        for (prefix, best) in rib.best_routes() {
+            // The selected best is one of the live candidates...
+            prop_assert!(inserted.iter().any(|r| &r.prefix == prefix
+                && r.learned_from == best.learned_from));
+            // ...and no candidate strictly beats it.
+            for r in inserted.iter().filter(|r| &r.prefix == prefix) {
+                prop_assert!(!r.better_than(best) || r == best);
+            }
+        }
+    }
+
+    #[test]
+    fn rib_withdraw_all_empties(
+        entries in proptest::collection::vec(((any::<u128>(), 0u8..=48), 0u32..3), 1..20)
+    ) {
+        let mut rib = LocRib::new();
+        let mut keys = Vec::new();
+        for ((bits, len), peer) in entries {
+            let prefix = Ipv6Prefix::from_bits(bits, len).unwrap();
+            rib.insert(Route {
+                prefix,
+                next_hop: "::1".parse().unwrap(),
+                as_path: vec![Asn(1)],
+                origin: Origin::Igp,
+                med: 0,
+                local_pref: 100,
+                communities: vec![],
+                learned_from: peer,
+                learned_at: SimTime::EPOCH,
+            });
+            keys.push((prefix, peer));
+        }
+        for (prefix, peer) in keys {
+            rib.withdraw(prefix, peer);
+        }
+        prop_assert!(rib.is_empty());
+    }
+}

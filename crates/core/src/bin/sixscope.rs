@@ -1,0 +1,262 @@
+//! `sixscope` — command-line front end to the toolkit.
+//!
+//! ```text
+//! sixscope run [--seed N] [--scale F] [--out DIR]   run the full experiment
+//! sixscope analyze <telescope-prefix> <file.pcap>…  analyze real captures
+//! sixscope schedule <covering/32>                   print the Fig.-2 split plan
+//! sixscope classify <addr>…                         RFC 7707 address typing
+//! ```
+//!
+//! The argument parser is hand-rolled (no CLI dependency): flags are
+//! `--name value` pairs, everything else is positional.
+
+use sixscope::{render, tables, Experiment};
+use sixscope_analysis::addrtype;
+use sixscope_analysis::classify::{addr_selection, profile_scanners};
+use sixscope_telescope::{
+    AggLevel, Capture, Sessionizer, SplitSchedule, TelescopeConfig, TelescopeId,
+};
+use sixscope_types::{Ipv6Prefix, SimTime};
+use std::net::Ipv6Addr;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let result = match command.as_str() {
+        "run" => cmd_run(rest),
+        "analyze" => cmd_analyze(rest),
+        "schedule" => cmd_schedule(rest),
+        "classify" => cmd_classify(rest),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("sixscope: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+sixscope — IPv6 network-telescope measurement toolkit
+
+USAGE:
+    sixscope run [--seed N] [--scale F] [--pcap-dir DIR] [--json true]
+        Run the full 11-month experiment and print all tables
+        (--json true prints one machine-readable JSON document instead).
+        --pcap-dir also writes one pcap per telescope.
+
+    sixscope analyze <telescope-prefix> <capture.pcap> [more.pcap…]
+        Analyze real pcap captures (LINKTYPE_RAW) of a telescope:
+        sessions, temporal classes, address selection, tools.
+
+    sixscope schedule <covering-prefix/32> [--weeks-baseline N]
+        Print the bi-weekly asymmetric split plan (paper Fig. 2).
+
+    sixscope classify <ipv6-addr> [more…]
+        Classify addresses into RFC 7707 target classes.";
+
+/// Parsed `--name value` flag pairs.
+type Flags = Vec<(String, String)>;
+
+/// Extracts `--name value` flags; returns remaining positionals.
+fn parse_flags(args: &[String]) -> Result<(Flags, Vec<String>), String> {
+    let mut flags = Vec::new();
+    let mut positional = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if let Some(name) = a.strip_prefix("--") {
+            let value = it
+                .next()
+                .ok_or_else(|| format!("flag --{name} needs a value"))?;
+            flags.push((name.to_string(), value.clone()));
+        } else {
+            positional.push(a.clone());
+        }
+    }
+    Ok((flags, positional))
+}
+
+fn flag<'a>(flags: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    flags
+        .iter()
+        .find(|(n, _)| n == name)
+        .map(|(_, v)| v.as_str())
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let (flags, _) = parse_flags(args)?;
+    let seed: u64 = flag(&flags, "seed")
+        .map(|v| v.parse().map_err(|_| "invalid --seed"))
+        .transpose()?
+        .unwrap_or(20230824);
+    let scale: f64 = flag(&flags, "scale")
+        .map(|v| v.parse().map_err(|_| "invalid --scale"))
+        .transpose()?
+        .unwrap_or(0.01);
+    eprintln!("running experiment seed={seed} scale={scale}…");
+    let analyzed = Experiment::new(seed, scale).run();
+    if flag(&flags, "json").is_some_and(|v| v == "true" || v == "1") {
+        println!("{}", sixscope::json::tables_json(&analyzed).render());
+        return Ok(());
+    }
+    if let Some(dir) = flag(&flags, "pcap-dir") {
+        std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+        for id in TelescopeId::ALL {
+            // Re-encode the summarized capture to a pcap for inspection.
+            let path = format!("{dir}/{id}.pcap");
+            write_capture_pcap(analyzed.capture(id), &path)?;
+            eprintln!("wrote {path}");
+        }
+    }
+    println!("{}", render::render_table2(&tables::table2(&analyzed)));
+    println!("{}", render::render_table3(&tables::table3(&analyzed)));
+    println!("{}", render::render_table4(&tables::table4(&analyzed)));
+    println!("{}", render::render_table5(&tables::table5(&analyzed)));
+    println!("{}", render::render_table6(&tables::table6(&analyzed)));
+    println!("{}", render::render_table7(&tables::table7(&analyzed)));
+    println!("{}", render::render_table8(&tables::table8(&analyzed)));
+    println!("{}", render::render_headline(&tables::headline(&analyzed)));
+    Ok(())
+}
+
+/// Rebuilds raw packets from capture summaries and writes a pcap.
+fn write_capture_pcap(capture: &Capture, path: &str) -> Result<(), String> {
+    use sixscope_packet::{PacketBuilder, PcapRecord, PcapWriter};
+    use sixscope_telescope::Protocol;
+    let file = std::fs::File::create(path).map_err(|e| e.to_string())?;
+    let mut writer = PcapWriter::new(file).map_err(|e| e.to_string())?;
+    for p in capture.packets() {
+        let builder = PacketBuilder::new(p.src, p.dst);
+        let bytes = match p.protocol {
+            Protocol::Icmpv6 => builder.icmpv6_echo_request(0, 0, &p.payload),
+            Protocol::Tcp => builder.tcp_syn(
+                p.src_port.unwrap_or(0),
+                p.dst_port.unwrap_or(0),
+                0,
+                &p.payload,
+            ),
+            Protocol::Udp | Protocol::Other => builder.udp(
+                p.src_port.unwrap_or(0),
+                p.dst_port.unwrap_or(0),
+                &p.payload,
+            ),
+        };
+        writer
+            .write_record(&PcapRecord {
+                ts: p.ts,
+                ts_micros: 0,
+                data: bytes,
+            })
+            .map_err(|e| e.to_string())?;
+    }
+    writer.into_inner().map_err(|e| e.to_string())?;
+    Ok(())
+}
+
+fn cmd_analyze(args: &[String]) -> Result<(), String> {
+    let (_, positional) = parse_flags(args)?;
+    let [prefix, files @ ..] = positional.as_slice() else {
+        return Err("usage: sixscope analyze <telescope-prefix> <capture.pcap>…".into());
+    };
+    if files.is_empty() {
+        return Err("no pcap files given".into());
+    }
+    let prefix: Ipv6Prefix = prefix
+        .parse()
+        .map_err(|e| format!("bad telescope prefix: {e}"))?;
+    // Use a T3-style passive config shaped to the given prefix length.
+    let config = TelescopeConfig {
+        id: TelescopeId::T1,
+        kind: sixscope_telescope::TelescopeKind::Passive,
+        prefix,
+        separately_announced: true,
+        dns_exposed: None,
+        productive_subnet: None,
+    };
+    let mut capture = Capture::new(config);
+    for f in files {
+        let reader = std::fs::File::open(f).map_err(|e| format!("{f}: {e}"))?;
+        let n = capture
+            .ingest_pcap(reader)
+            .map_err(|e| format!("{f}: {e}"))?;
+        eprintln!("{f}: {n} packets in prefix (filtered {}, malformed {})",
+            capture.filtered(), capture.malformed());
+    }
+    println!("total packets: {}", capture.len());
+    let sessions = Sessionizer::paper(AggLevel::Addr128).sessionize(&capture);
+    let profiles = profile_scanners(&sessions);
+    println!("sessions (/128): {}, scanners: {}\n", sessions.len(), profiles.len());
+    println!(
+        "{:<42} {:>6} {:>8}  {:<13} addr-selection (first session)",
+        "source", "sess", "packets", "temporal"
+    );
+    for profile in &profiles {
+        let first = &sessions[profile.session_indices[0]];
+        let selection = addr_selection(first, &capture, prefix.len());
+        println!(
+            "{:<42} {:>6} {:>8}  {:<13} {}",
+            profile.source.to_string(),
+            profile.session_indices.len(),
+            profile.packets,
+            profile.temporal.to_string(),
+            selection
+        );
+    }
+    Ok(())
+}
+
+fn cmd_schedule(args: &[String]) -> Result<(), String> {
+    let (flags, positional) = parse_flags(args)?;
+    let [covering] = positional.as_slice() else {
+        return Err("usage: sixscope schedule <covering-prefix/32>".into());
+    };
+    let covering: Ipv6Prefix = covering.parse().map_err(|e| format!("bad prefix: {e}"))?;
+    if covering.len() != 32 {
+        return Err("the paper's schedule splits a /32".into());
+    }
+    let mut schedule = SplitSchedule::paper(covering, SimTime::EPOCH);
+    if let Some(weeks) = flag(&flags, "weeks-baseline") {
+        let weeks: u64 = weeks.parse().map_err(|_| "invalid --weeks-baseline")?;
+        schedule.baseline = sixscope_types::SimDuration::weeks(weeks);
+    }
+    println!(
+        "baseline: {} with {} announced",
+        schedule.baseline, covering
+    );
+    for cycle in 1..=schedule.cycles {
+        let set = schedule.announced_set(cycle);
+        let (lo, hi) = schedule.new_prefixes(cycle);
+        println!(
+            "cycle {cycle:>2} @ {}: withdraw all; +1d announce {} prefixes (new: {lo}, {hi})",
+            schedule.cycle_start(cycle),
+            set.len(),
+        );
+    }
+    println!("\nfinal set:");
+    for p in schedule.announced_set(schedule.cycles) {
+        println!("  {p}");
+    }
+    Ok(())
+}
+
+fn cmd_classify(args: &[String]) -> Result<(), String> {
+    let (_, positional) = parse_flags(args)?;
+    if positional.is_empty() {
+        return Err("usage: sixscope classify <ipv6-addr>…".into());
+    }
+    for s in &positional {
+        let addr: Ipv6Addr = s.parse().map_err(|e| format!("{s}: {e}"))?;
+        println!("{s:<42} {}", addrtype::classify(addr));
+    }
+    Ok(())
+}

@@ -1,0 +1,226 @@
+//! The analyzed corpus: experiment output plus pre-computed sessions and
+//! metadata join helpers.
+
+use sixscope_analysis::classify::{profile_scanners, ScannerProfile};
+use sixscope_sim::{ExperimentResult, Scenario, ScenarioConfig};
+use sixscope_telescope::{AggLevel, Capture, ScanSession, Sessionizer, SourceKey, TelescopeId};
+use sixscope_types::{AsInfo, Asn, PrefixTrie, SimTime};
+use std::collections::BTreeMap;
+use std::net::Ipv6Addr;
+
+/// The entry point: configures and runs the full study.
+pub struct Experiment {
+    config: ScenarioConfig,
+}
+
+impl Experiment {
+    /// Creates an experiment with the default address plan.
+    ///
+    /// `scale` is relative to the paper's population (1.0 ≈ 36k sources /
+    /// 51M packets; the default reproduction runs use 0.02–0.05).
+    pub fn new(seed: u64, scale: f64) -> Self {
+        Experiment {
+            config: ScenarioConfig::new(seed, scale),
+        }
+    }
+
+    /// Access to the underlying configuration.
+    pub fn config(&self) -> &ScenarioConfig {
+        &self.config
+    }
+
+    /// Runs the experiment and builds the analyzed corpus.
+    pub fn run(&self) -> Analyzed {
+        let result = Scenario::new(self.config.clone()).run();
+        Analyzed::from_result(result)
+    }
+}
+
+/// Experiment output with sessions, scanner profiles and metadata joins.
+pub struct Analyzed {
+    /// The raw experiment result (captures, events, visibility, world).
+    pub result: ExperimentResult,
+    /// Scan sessions at /128 aggregation, per telescope.
+    pub sessions128: BTreeMap<TelescopeId, Vec<ScanSession>>,
+    /// Scan sessions at /64 aggregation, per telescope.
+    pub sessions64: BTreeMap<TelescopeId, Vec<ScanSession>>,
+    /// Source /64-subnet → origin AS (the IP-to-AS join of the study).
+    asn_by_subnet: PrefixTrie<Asn>,
+}
+
+impl Analyzed {
+    /// Builds the corpus from a finished experiment.
+    pub fn from_result(result: ExperimentResult) -> Analyzed {
+        let mut sessions128 = BTreeMap::new();
+        let mut sessions64 = BTreeMap::new();
+        for id in TelescopeId::ALL {
+            let capture = &result.captures[&id];
+            sessions128.insert(id, Sessionizer::paper(AggLevel::Addr128).sessionize(capture));
+            sessions64.insert(id, Sessionizer::paper(AggLevel::Subnet64).sessionize(capture));
+        }
+        let mut asn_by_subnet = PrefixTrie::new();
+        for scanner in &result.population.scanners {
+            asn_by_subnet.insert(scanner.source.subnet(), scanner.asn);
+        }
+        Analyzed {
+            result,
+            sessions128,
+            sessions64,
+            asn_by_subnet,
+        }
+    }
+
+    /// One telescope's capture.
+    pub fn capture(&self, id: TelescopeId) -> &Capture {
+        &self.result.captures[&id]
+    }
+
+    /// Sessions at /128 for one telescope.
+    pub fn sessions128(&self, id: TelescopeId) -> &[ScanSession] {
+        &self.sessions128[&id]
+    }
+
+    /// Sessions at /64 for one telescope.
+    pub fn sessions64(&self, id: TelescopeId) -> &[ScanSession] {
+        &self.sessions64[&id]
+    }
+
+    /// All /128 sessions across all telescopes.
+    pub fn all_sessions128(&self) -> impl Iterator<Item = &ScanSession> {
+        TelescopeId::ALL
+            .into_iter()
+            .flat_map(|id| self.sessions128[&id].iter())
+    }
+
+    /// Origin AS of a source address (routing-data join).
+    pub fn asn_of(&self, src: Ipv6Addr) -> Option<Asn> {
+        self.asn_by_subnet.lookup(src).map(|(_, asn)| *asn)
+    }
+
+    /// AS metadata of a source address.
+    pub fn as_info_of(&self, src: Ipv6Addr) -> Option<&AsInfo> {
+        self.asn_of(src)
+            .and_then(|asn| self.result.population.as_info(asn))
+    }
+
+    /// Reverse DNS of a source address, if registered.
+    pub fn rdns_of(&self, src: Ipv6Addr) -> Option<&str> {
+        self.result.population.rdns.get(&src).map(String::as_str)
+    }
+
+    /// The boundary between the initial observation period and the split
+    /// period (start of cycle 1).
+    pub fn split_start(&self) -> SimTime {
+        self.result.schedule.cycle_start(1)
+    }
+
+    /// Sessions at one telescope restricted to the initial 12 weeks.
+    pub fn initial_sessions128(&self, id: TelescopeId) -> Vec<&ScanSession> {
+        let boundary = self.split_start();
+        self.sessions128[&id]
+            .iter()
+            .filter(|s| s.start < boundary)
+            .collect()
+    }
+
+    /// T1 sessions during the split period (/128).
+    pub fn t1_split_sessions(&self) -> Vec<&ScanSession> {
+        let boundary = self.split_start();
+        self.sessions128[&TelescopeId::T1]
+            .iter()
+            .filter(|s| s.start >= boundary)
+            .collect()
+    }
+
+    /// Temporal scanner profiles of the T1 split period (owned clone of
+    /// the relevant sessions, indices referencing the returned vector).
+    pub fn t1_split_profiles(&self) -> (Vec<ScanSession>, Vec<ScannerProfile>) {
+        let sessions: Vec<ScanSession> =
+            self.t1_split_sessions().into_iter().cloned().collect();
+        let profiles = profile_scanners(&sessions);
+        (sessions, profiles)
+    }
+
+    /// Distinct /128 sources at one telescope over a time range.
+    pub fn sources128(
+        &self,
+        id: TelescopeId,
+        from: SimTime,
+        until: SimTime,
+    ) -> Vec<SourceKey> {
+        let mut out: Vec<SourceKey> = self.result.captures[&id]
+            .packets()
+            .iter()
+            .filter(|p| p.ts >= from && p.ts < until)
+            .map(|p| SourceKey::new(p.src, AggLevel::Addr128))
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn analyzed() -> Analyzed {
+        Experiment::new(7, 0.004).run()
+    }
+
+    #[test]
+    fn corpus_builds_sessions_for_every_telescope() {
+        let a = analyzed();
+        for id in TelescopeId::ALL {
+            // /64 aggregation can only merge sessions, never create more.
+            assert!(a.sessions64(id).len() <= a.sessions128(id).len());
+        }
+        assert!(!a.sessions128(TelescopeId::T1).is_empty());
+    }
+
+    #[test]
+    fn asn_join_resolves_all_captured_sources() {
+        let a = analyzed();
+        for id in TelescopeId::ALL {
+            for p in a.capture(id).packets() {
+                assert!(
+                    a.asn_of(p.src).is_some(),
+                    "source {} has no AS mapping",
+                    p.src
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rdns_join_finds_atlas_probes() {
+        let a = analyzed();
+        let atlas_sources = a
+            .capture(TelescopeId::T1)
+            .packets()
+            .iter()
+            .filter(|p| {
+                a.rdns_of(p.src)
+                    .is_some_and(|n| n.ends_with(".probes.atlas.ripe.net"))
+            })
+            .count();
+        assert!(atlas_sources > 0, "no Atlas sources observed at T1");
+    }
+
+    #[test]
+    fn split_period_partitions_sessions() {
+        let a = analyzed();
+        let initial = a.initial_sessions128(TelescopeId::T1).len();
+        let split = a.t1_split_sessions().len();
+        assert_eq!(initial + split, a.sessions128(TelescopeId::T1).len());
+        assert!(split > initial, "the split period is 32 of 44 weeks");
+    }
+
+    #[test]
+    fn t1_split_profiles_cover_all_sources() {
+        let a = analyzed();
+        let (sessions, profiles) = a.t1_split_profiles();
+        let total_sessions: usize = profiles.iter().map(|p| p.session_indices.len()).sum();
+        assert_eq!(total_sessions, sessions.len());
+    }
+}

@@ -1,0 +1,155 @@
+//! High-level packet construction.
+//!
+//! [`PacketBuilder`] assembles complete IPv6 packets (header + transport +
+//! payload) as `Vec<u8>`; the scanner models call these and hand the bytes to
+//! the simulated network, exactly as a real scanning host would hand them to
+//! a raw socket.
+
+use crate::icmpv6::Icmpv6Header;
+use crate::ipv6::{Ipv6Header, NextHeader, IPV6_HEADER_LEN};
+use crate::tcp::{TcpHeader, TCP_HEADER_LEN};
+use crate::udp::{UdpHeader, UDP_HEADER_LEN};
+use std::net::Ipv6Addr;
+
+/// Builder for complete IPv6 packets.
+#[derive(Debug, Clone)]
+pub struct PacketBuilder {
+    src: Ipv6Addr,
+    dst: Ipv6Addr,
+    hop_limit: u8,
+    flow_label: u32,
+}
+
+impl PacketBuilder {
+    /// Starts a packet from `src` to `dst` with default hop limit 64.
+    pub fn new(src: Ipv6Addr, dst: Ipv6Addr) -> Self {
+        PacketBuilder {
+            src,
+            dst,
+            hop_limit: 64,
+            flow_label: 0,
+        }
+    }
+
+    /// Overrides the hop limit (traceroute-type tools ramp this up).
+    pub fn hop_limit(mut self, hl: u8) -> Self {
+        self.hop_limit = hl;
+        self
+    }
+
+    /// Overrides the flow label.
+    pub fn flow_label(mut self, fl: u32) -> Self {
+        self.flow_label = fl;
+        self
+    }
+
+    fn finish(&self, next: NextHeader, upper: Vec<u8>) -> Vec<u8> {
+        let mut hdr = Ipv6Header::new(self.src, self.dst, next, upper.len() as u16);
+        hdr.hop_limit = self.hop_limit;
+        hdr.flow_label = self.flow_label;
+        let mut out = Vec::with_capacity(IPV6_HEADER_LEN + upper.len());
+        hdr.encode(&mut out);
+        out.extend_from_slice(&upper);
+        out
+    }
+
+    /// Builds an ICMPv6 Echo Request with the given payload.
+    pub fn icmpv6_echo_request(&self, identifier: u16, sequence: u16, payload: &[u8]) -> Vec<u8> {
+        let mut upper = Vec::with_capacity(8 + payload.len());
+        Icmpv6Header::echo_request(identifier, sequence).encode(
+            self.src, self.dst, payload, &mut upper,
+        );
+        self.finish(NextHeader::Icmpv6, upper)
+    }
+
+    /// Builds an arbitrary ICMPv6 message.
+    pub fn icmpv6(&self, header: Icmpv6Header, payload: &[u8]) -> Vec<u8> {
+        let mut upper = Vec::with_capacity(8 + payload.len());
+        header.encode(self.src, self.dst, payload, &mut upper);
+        self.finish(NextHeader::Icmpv6, upper)
+    }
+
+    /// Builds a TCP SYN probe (optionally with a payload, which some scan
+    /// tools use to carry a fingerprint).
+    pub fn tcp_syn(&self, src_port: u16, dst_port: u16, seq: u32, payload: &[u8]) -> Vec<u8> {
+        let mut upper = Vec::with_capacity(TCP_HEADER_LEN + payload.len());
+        TcpHeader::syn(src_port, dst_port, seq).encode(self.src, self.dst, payload, &mut upper);
+        self.finish(NextHeader::Tcp, upper)
+    }
+
+    /// Builds an arbitrary TCP segment.
+    pub fn tcp(&self, header: TcpHeader, payload: &[u8]) -> Vec<u8> {
+        let mut upper = Vec::with_capacity(TCP_HEADER_LEN + payload.len());
+        header.encode(self.src, self.dst, payload, &mut upper);
+        self.finish(NextHeader::Tcp, upper)
+    }
+
+    /// Builds a UDP datagram.
+    pub fn udp(&self, src_port: u16, dst_port: u16, payload: &[u8]) -> Vec<u8> {
+        let mut upper = Vec::with_capacity(UDP_HEADER_LEN + payload.len());
+        UdpHeader::new(src_port, dst_port, payload.len()).encode(
+            self.src, self.dst, payload, &mut upper,
+        );
+        self.finish(NextHeader::Udp, upper)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::{ParsedPacket, Transport};
+
+    fn builder() -> PacketBuilder {
+        PacketBuilder::new(
+            "2001:db8::1".parse().unwrap(),
+            "2001:db8:8000::99".parse().unwrap(),
+        )
+    }
+
+    #[test]
+    fn echo_request_parses_back() {
+        let bytes = builder().icmpv6_echo_request(7, 3, b"ping");
+        let p = ParsedPacket::parse(&bytes).unwrap();
+        assert_eq!(p.header.next_header, NextHeader::Icmpv6);
+        match &p.transport {
+            Transport::Icmpv6(h) => {
+                assert_eq!(h.identifier, 7);
+                assert_eq!(h.sequence, 3);
+            }
+            other => panic!("wrong transport {other:?}"),
+        }
+        assert_eq!(&p.payload[..], b"ping");
+    }
+
+    #[test]
+    fn tcp_syn_parses_back() {
+        let bytes = builder().tcp_syn(55555, 443, 1, &[]);
+        let p = ParsedPacket::parse(&bytes).unwrap();
+        assert_eq!(p.dst_port(), Some(443));
+        assert_eq!(p.src_port(), Some(55555));
+        assert!(p.payload.is_empty());
+    }
+
+    #[test]
+    fn udp_parses_back_with_payload() {
+        let bytes = builder().udp(40000, 33434, b"traceroute!");
+        let p = ParsedPacket::parse(&bytes).unwrap();
+        assert_eq!(p.dst_port(), Some(33434));
+        assert_eq!(&p.payload[..], b"traceroute!");
+    }
+
+    #[test]
+    fn hop_limit_and_flow_label_pass_through() {
+        let bytes = builder().hop_limit(3).flow_label(0x1234).udp(1, 2, &[]);
+        let p = ParsedPacket::parse(&bytes).unwrap();
+        assert_eq!(p.header.hop_limit, 3);
+        assert_eq!(p.header.flow_label, 0x1234);
+    }
+
+    #[test]
+    fn payload_len_field_is_exact() {
+        let bytes = builder().icmpv6_echo_request(1, 1, &[0u8; 100]);
+        let p = ParsedPacket::parse(&bytes).unwrap();
+        assert_eq!(p.header.payload_len as usize, bytes.len() - IPV6_HEADER_LEN);
+    }
+}

@@ -1,0 +1,73 @@
+//! Errors for packet encoding, decoding and pcap I/O.
+
+use std::fmt;
+
+/// Errors produced while encoding or decoding packets and pcap files.
+#[derive(Debug)]
+pub enum PacketError {
+    /// The buffer is shorter than the fixed header being decoded.
+    Truncated {
+        /// Which header was being decoded.
+        what: &'static str,
+        /// Bytes required.
+        need: usize,
+        /// Bytes available.
+        have: usize,
+    },
+    /// The IPv6 version field was not 6.
+    BadVersion(u8),
+    /// A declared length field disagrees with the actual buffer.
+    LengthMismatch {
+        /// Which length field.
+        what: &'static str,
+        /// Declared value.
+        declared: usize,
+        /// Actual available bytes.
+        actual: usize,
+    },
+    /// A checksum did not verify.
+    BadChecksum(&'static str),
+    /// The pcap magic number was unrecognized.
+    BadPcapMagic(u32),
+    /// The pcap link type is not LINKTYPE_RAW (101).
+    UnsupportedLinkType(u32),
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for PacketError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PacketError::Truncated { what, need, have } => {
+                write!(f, "truncated {what}: need {need} bytes, have {have}")
+            }
+            PacketError::BadVersion(v) => write!(f, "IP version {v} is not 6"),
+            PacketError::LengthMismatch {
+                what,
+                declared,
+                actual,
+            } => write!(f, "{what} declares {declared} bytes but {actual} are available"),
+            PacketError::BadChecksum(what) => write!(f, "{what} checksum verification failed"),
+            PacketError::BadPcapMagic(m) => write!(f, "unrecognized pcap magic {m:#010x}"),
+            PacketError::UnsupportedLinkType(l) => {
+                write!(f, "unsupported pcap link type {l} (expected 101 = RAW)")
+            }
+            PacketError::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PacketError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PacketError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for PacketError {
+    fn from(e: std::io::Error) -> Self {
+        PacketError::Io(e)
+    }
+}

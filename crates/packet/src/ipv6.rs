@@ -1,0 +1,199 @@
+//! The IPv6 fixed header (RFC 8200 §3).
+//!
+//! ```text
+//! 0                   1                   2                   3
+//! |Version| Traffic Class |           Flow Label                  |
+//! |         Payload Length        |  Next Header  |   Hop Limit   |
+//! |                         Source Address                        |
+//! |                      Destination Address                      |
+//! ```
+
+use crate::error::PacketError;
+use std::net::Ipv6Addr;
+
+/// Length of the fixed IPv6 header in bytes.
+pub const IPV6_HEADER_LEN: usize = 40;
+
+/// IPv6 next-header (protocol) values used by the telescope.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NextHeader {
+    /// TCP (6).
+    Tcp,
+    /// UDP (17).
+    Udp,
+    /// ICMPv6 (58).
+    Icmpv6,
+    /// Anything else, kept verbatim.
+    Other(u8),
+}
+
+impl NextHeader {
+    /// The wire value.
+    pub fn value(self) -> u8 {
+        match self {
+            NextHeader::Tcp => 6,
+            NextHeader::Udp => 17,
+            NextHeader::Icmpv6 => 58,
+            NextHeader::Other(v) => v,
+        }
+    }
+
+    /// Classifies a wire value.
+    pub fn from_value(v: u8) -> NextHeader {
+        match v {
+            6 => NextHeader::Tcp,
+            17 => NextHeader::Udp,
+            58 => NextHeader::Icmpv6,
+            other => NextHeader::Other(other),
+        }
+    }
+}
+
+/// A decoded IPv6 fixed header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ipv6Header {
+    /// Traffic class (DSCP + ECN).
+    pub traffic_class: u8,
+    /// 20-bit flow label.
+    pub flow_label: u32,
+    /// Length of everything after the fixed header.
+    pub payload_len: u16,
+    /// Upper-layer protocol.
+    pub next_header: NextHeader,
+    /// Hop limit.
+    pub hop_limit: u8,
+    /// Source address.
+    pub src: Ipv6Addr,
+    /// Destination address.
+    pub dst: Ipv6Addr,
+}
+
+impl Ipv6Header {
+    /// Creates a header with common defaults (class 0, label 0, hop limit 64).
+    pub fn new(src: Ipv6Addr, dst: Ipv6Addr, next_header: NextHeader, payload_len: u16) -> Self {
+        Ipv6Header {
+            traffic_class: 0,
+            flow_label: 0,
+            payload_len,
+            next_header,
+            hop_limit: 64,
+            src,
+            dst,
+        }
+    }
+
+    /// Appends the 40 header bytes to `out`.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        let vtf: u32 =
+            (6u32 << 28) | ((self.traffic_class as u32) << 20) | (self.flow_label & 0xf_ffff);
+        out.extend_from_slice(&vtf.to_be_bytes());
+        out.extend_from_slice(&self.payload_len.to_be_bytes());
+        out.push(self.next_header.value());
+        out.push(self.hop_limit);
+        out.extend_from_slice(&self.src.octets());
+        out.extend_from_slice(&self.dst.octets());
+    }
+
+    /// Decodes the fixed header from the front of `buf`.
+    pub fn decode(buf: &[u8]) -> Result<Ipv6Header, PacketError> {
+        if buf.len() < IPV6_HEADER_LEN {
+            return Err(PacketError::Truncated {
+                what: "IPv6 header",
+                need: IPV6_HEADER_LEN,
+                have: buf.len(),
+            });
+        }
+        let vtf = u32::from_be_bytes([buf[0], buf[1], buf[2], buf[3]]);
+        let version = (vtf >> 28) as u8;
+        if version != 6 {
+            return Err(PacketError::BadVersion(version));
+        }
+        let mut src = [0u8; 16];
+        src.copy_from_slice(&buf[8..24]);
+        let mut dst = [0u8; 16];
+        dst.copy_from_slice(&buf[24..40]);
+        Ok(Ipv6Header {
+            traffic_class: ((vtf >> 20) & 0xff) as u8,
+            flow_label: vtf & 0xf_ffff,
+            payload_len: u16::from_be_bytes([buf[4], buf[5]]),
+            next_header: NextHeader::from_value(buf[6]),
+            hop_limit: buf[7],
+            src: Ipv6Addr::from(src),
+            dst: Ipv6Addr::from(dst),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Ipv6Header {
+        Ipv6Header {
+            traffic_class: 0xa5,
+            flow_label: 0xbeef,
+            payload_len: 1234,
+            next_header: NextHeader::Icmpv6,
+            hop_limit: 57,
+            src: "2001:db8::1".parse().unwrap(),
+            dst: "2001:db8:8000::42".parse().unwrap(),
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let hdr = sample();
+        let mut buf = Vec::new();
+        hdr.encode(&mut buf);
+        assert_eq!(buf.len(), IPV6_HEADER_LEN);
+        assert_eq!(Ipv6Header::decode(&buf).unwrap(), hdr);
+    }
+
+    #[test]
+    fn version_nibble_is_six() {
+        let mut buf = Vec::new();
+        sample().encode(&mut buf);
+        assert_eq!(buf[0] >> 4, 6);
+    }
+
+    #[test]
+    fn decode_rejects_wrong_version() {
+        let mut buf = Vec::new();
+        sample().encode(&mut buf);
+        buf[0] = 0x45; // IPv4 version nibble
+        assert!(matches!(
+            Ipv6Header::decode(&buf),
+            Err(PacketError::BadVersion(4))
+        ));
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let mut buf = Vec::new();
+        sample().encode(&mut buf);
+        assert!(matches!(
+            Ipv6Header::decode(&buf[..39]),
+            Err(PacketError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn next_header_mapping() {
+        assert_eq!(NextHeader::from_value(6), NextHeader::Tcp);
+        assert_eq!(NextHeader::from_value(17), NextHeader::Udp);
+        assert_eq!(NextHeader::from_value(58), NextHeader::Icmpv6);
+        assert_eq!(NextHeader::from_value(44), NextHeader::Other(44));
+        assert_eq!(NextHeader::Other(44).value(), 44);
+    }
+
+    #[test]
+    fn flow_label_masked_to_20_bits() {
+        let mut hdr = sample();
+        hdr.flow_label = 0xfff_ffff; // 28 bits; top must be dropped
+        let mut buf = Vec::new();
+        hdr.encode(&mut buf);
+        let decoded = Ipv6Header::decode(&buf).unwrap();
+        assert_eq!(decoded.flow_label, 0xf_ffff);
+        assert_eq!(buf[0] >> 4, 6, "version survives an oversized label");
+    }
+}

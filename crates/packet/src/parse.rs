@@ -1,0 +1,166 @@
+//! Whole-packet parsing — the telescope's first processing step.
+//!
+//! [`ParsedPacket`] decodes the IPv6 header and the transport header and
+//! keeps the upper-layer payload as a cheaply-cloneable [`bytes::Bytes`];
+//! payload bytes feed the tool-fingerprint clustering of §5.4.
+
+use crate::error::PacketError;
+use crate::icmpv6::Icmpv6Header;
+use crate::ipv6::{Ipv6Header, NextHeader, IPV6_HEADER_LEN};
+use crate::tcp::TcpHeader;
+use crate::udp::UdpHeader;
+use bytes::Bytes;
+
+/// The decoded transport header of a captured packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Transport {
+    /// ICMPv6 message.
+    Icmpv6(Icmpv6Header),
+    /// TCP segment.
+    Tcp(TcpHeader),
+    /// UDP datagram.
+    Udp(UdpHeader),
+    /// An upper-layer protocol the telescope does not decode.
+    Other(u8),
+}
+
+impl Transport {
+    /// Short protocol label used in reports ("ICMPv6" / "TCP" / "UDP").
+    pub fn protocol_name(&self) -> &'static str {
+        match self {
+            Transport::Icmpv6(_) => "ICMPv6",
+            Transport::Tcp(_) => "TCP",
+            Transport::Udp(_) => "UDP",
+            Transport::Other(_) => "Other",
+        }
+    }
+}
+
+/// A fully parsed IPv6 packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsedPacket {
+    /// The IPv6 fixed header.
+    pub header: Ipv6Header,
+    /// The decoded transport header.
+    pub transport: Transport,
+    /// Upper-layer payload (after the transport header).
+    pub payload: Bytes,
+}
+
+impl ParsedPacket {
+    /// Parses raw IPv6 packet bytes.
+    ///
+    /// The declared IPv6 payload length must fit in the buffer; extra
+    /// trailing bytes (link padding) are ignored. Transport checksums are
+    /// *not* enforced here — telescopes record damaged probes too — use the
+    /// per-protocol `verify_checksum` helpers when validity matters.
+    pub fn parse(buf: &[u8]) -> Result<ParsedPacket, PacketError> {
+        let header = Ipv6Header::decode(buf)?;
+        let declared = header.payload_len as usize;
+        let rest = &buf[IPV6_HEADER_LEN..];
+        if declared > rest.len() {
+            return Err(PacketError::LengthMismatch {
+                what: "IPv6 payload length",
+                declared,
+                actual: rest.len(),
+            });
+        }
+        let upper = &rest[..declared];
+        let (transport, payload) = match header.next_header {
+            NextHeader::Icmpv6 => {
+                let (h, p) = Icmpv6Header::decode(upper)?;
+                (Transport::Icmpv6(h), p)
+            }
+            NextHeader::Tcp => {
+                let (h, p) = TcpHeader::decode(upper)?;
+                (Transport::Tcp(h), p)
+            }
+            NextHeader::Udp => {
+                let (h, p) = UdpHeader::decode(upper)?;
+                (Transport::Udp(h), p)
+            }
+            NextHeader::Other(v) => (Transport::Other(v), upper),
+        };
+        Ok(ParsedPacket {
+            header,
+            transport,
+            payload: Bytes::copy_from_slice(payload),
+        })
+    }
+
+    /// Destination port, if the transport has ports.
+    pub fn dst_port(&self) -> Option<u16> {
+        match &self.transport {
+            Transport::Tcp(h) => Some(h.dst_port),
+            Transport::Udp(h) => Some(h.dst_port),
+            _ => None,
+        }
+    }
+
+    /// Source port, if the transport has ports.
+    pub fn src_port(&self) -> Option<u16> {
+        match &self.transport {
+            Transport::Tcp(h) => Some(h.src_port),
+            Transport::Udp(h) => Some(h.src_port),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::PacketBuilder;
+    use std::net::Ipv6Addr;
+
+    fn b() -> PacketBuilder {
+        PacketBuilder::new(
+            "2001:db8::1".parse::<Ipv6Addr>().unwrap(),
+            "2001:db8::2".parse::<Ipv6Addr>().unwrap(),
+        )
+    }
+
+    #[test]
+    fn parse_rejects_overdeclared_payload() {
+        let mut bytes = b().udp(1, 2, b"hello");
+        // Claim 200 bytes of payload.
+        bytes[4..6].copy_from_slice(&200u16.to_be_bytes());
+        assert!(matches!(
+            ParsedPacket::parse(&bytes),
+            Err(PacketError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn parse_ignores_link_padding() {
+        let mut bytes = b().udp(1, 2, b"hi");
+        bytes.extend_from_slice(&[0u8; 6]); // Ethernet-style padding
+        let p = ParsedPacket::parse(&bytes).unwrap();
+        assert_eq!(&p.payload[..], b"hi");
+    }
+
+    #[test]
+    fn other_protocol_is_preserved() {
+        let src: Ipv6Addr = "2001:db8::1".parse().unwrap();
+        let dst: Ipv6Addr = "2001:db8::2".parse().unwrap();
+        let mut hdr = crate::ipv6::Ipv6Header::new(src, dst, NextHeader::Other(132), 4);
+        let mut bytes = Vec::new();
+        hdr.payload_len = 4;
+        hdr.encode(&mut bytes);
+        bytes.extend_from_slice(&[1, 2, 3, 4]);
+        let p = ParsedPacket::parse(&bytes).unwrap();
+        assert_eq!(p.transport, Transport::Other(132));
+        assert_eq!(&p.payload[..], &[1, 2, 3, 4]);
+        assert_eq!(p.dst_port(), None);
+    }
+
+    #[test]
+    fn protocol_names() {
+        let p = ParsedPacket::parse(&b().icmpv6_echo_request(1, 1, &[])).unwrap();
+        assert_eq!(p.transport.protocol_name(), "ICMPv6");
+        let p = ParsedPacket::parse(&b().tcp_syn(1, 2, 3, &[])).unwrap();
+        assert_eq!(p.transport.protocol_name(), "TCP");
+        let p = ParsedPacket::parse(&b().udp(1, 2, &[])).unwrap();
+        assert_eq!(p.transport.protocol_name(), "UDP");
+    }
+}

@@ -1,0 +1,275 @@
+//! Classic pcap file I/O (the `.pcap` format of libpcap/tcpdump).
+//!
+//! Captures are written with LINKTYPE_RAW (101): each record is a bare IP
+//! packet, which is exactly what our telescopes receive. Files produced here
+//! open in Wireshark; files produced by `tcpdump -w -y RAW` feed straight
+//! into the analysis pipeline, so the pipeline works on real captures too.
+//!
+//! The writer emits the standard microsecond-resolution little-endian
+//! format; the reader additionally accepts big-endian and
+//! nanosecond-resolution magic values.
+
+use crate::error::PacketError;
+use sixscope_types::SimTime;
+use std::io::{Read, Write};
+
+const MAGIC_LE_US: u32 = 0xa1b2c3d4;
+const MAGIC_LE_NS: u32 = 0xa1b23c4d;
+const LINKTYPE_RAW: u32 = 101;
+
+/// One captured packet record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PcapRecord {
+    /// Capture timestamp.
+    pub ts: SimTime,
+    /// Sub-second microseconds.
+    pub ts_micros: u32,
+    /// Raw packet bytes (an IPv6 packet under LINKTYPE_RAW).
+    pub data: Vec<u8>,
+}
+
+/// Streaming pcap writer.
+pub struct PcapWriter<W: Write> {
+    out: W,
+}
+
+impl<W: Write> PcapWriter<W> {
+    /// Writes the global header and returns the writer.
+    pub fn new(mut out: W) -> Result<Self, PacketError> {
+        out.write_all(&MAGIC_LE_US.to_le_bytes())?;
+        out.write_all(&2u16.to_le_bytes())?; // version major
+        out.write_all(&4u16.to_le_bytes())?; // version minor
+        out.write_all(&0i32.to_le_bytes())?; // thiszone
+        out.write_all(&0u32.to_le_bytes())?; // sigfigs
+        out.write_all(&65_535u32.to_le_bytes())?; // snaplen
+        out.write_all(&LINKTYPE_RAW.to_le_bytes())?;
+        Ok(PcapWriter { out })
+    }
+
+    /// Appends one packet record.
+    pub fn write_record(&mut self, rec: &PcapRecord) -> Result<(), PacketError> {
+        self.out.write_all(&(rec.ts.as_secs() as u32).to_le_bytes())?;
+        self.out.write_all(&rec.ts_micros.to_le_bytes())?;
+        let len = rec.data.len() as u32;
+        self.out.write_all(&len.to_le_bytes())?; // incl_len
+        self.out.write_all(&len.to_le_bytes())?; // orig_len
+        self.out.write_all(&rec.data)?;
+        Ok(())
+    }
+
+    /// Flushes and returns the underlying writer.
+    pub fn into_inner(mut self) -> Result<W, PacketError> {
+        self.out.flush()?;
+        Ok(self.out)
+    }
+}
+
+/// Streaming pcap reader.
+pub struct PcapReader<R: Read> {
+    input: R,
+    swapped: bool,
+    nanos: bool,
+}
+
+impl<R: Read> PcapReader<R> {
+    /// Reads and validates the global header.
+    pub fn new(mut input: R) -> Result<Self, PacketError> {
+        let mut hdr = [0u8; 24];
+        input.read_exact(&mut hdr)?;
+        let magic = u32::from_le_bytes([hdr[0], hdr[1], hdr[2], hdr[3]]);
+        let (swapped, nanos) = match magic {
+            MAGIC_LE_US => (false, false),
+            MAGIC_LE_NS => (false, true),
+            m if m.swap_bytes() == MAGIC_LE_US => (true, false),
+            m if m.swap_bytes() == MAGIC_LE_NS => (true, true),
+            m => return Err(PacketError::BadPcapMagic(m)),
+        };
+        let read_u32 = |b: &[u8]| {
+            let v = u32::from_le_bytes([b[0], b[1], b[2], b[3]]);
+            if swapped {
+                v.swap_bytes()
+            } else {
+                v
+            }
+        };
+        let linktype = read_u32(&hdr[20..24]);
+        if linktype != LINKTYPE_RAW {
+            return Err(PacketError::UnsupportedLinkType(linktype));
+        }
+        Ok(PcapReader {
+            input,
+            swapped,
+            nanos,
+        })
+    }
+
+    fn read_u32(&mut self) -> Result<Option<u32>, PacketError> {
+        let mut b = [0u8; 4];
+        match self.input.read_exact(&mut b) {
+            Ok(()) => {
+                let v = u32::from_le_bytes(b);
+                Ok(Some(if self.swapped { v.swap_bytes() } else { v }))
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => Ok(None),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Reads the next record, or `None` at end of file.
+    pub fn read_record(&mut self) -> Result<Option<PcapRecord>, PacketError> {
+        let Some(ts_sec) = self.read_u32()? else {
+            return Ok(None);
+        };
+        let ts_frac = self.read_u32()?.ok_or_else(eof)?;
+        let incl_len = self.read_u32()?.ok_or_else(eof)? as usize;
+        let _orig_len = self.read_u32()?.ok_or_else(eof)?;
+        let mut data = vec![0u8; incl_len];
+        self.input.read_exact(&mut data)?;
+        let ts_micros = if self.nanos { ts_frac / 1000 } else { ts_frac };
+        Ok(Some(PcapRecord {
+            ts: SimTime::from_secs(ts_sec as u64),
+            ts_micros,
+            data,
+        }))
+    }
+}
+
+fn eof() -> PacketError {
+    PacketError::Io(std::io::Error::new(
+        std::io::ErrorKind::UnexpectedEof,
+        "truncated pcap record header",
+    ))
+}
+
+impl<R: Read> Iterator for PcapReader<R> {
+    type Item = Result<PcapRecord, PacketError>;
+    fn next(&mut self) -> Option<Self::Item> {
+        self.read_record().transpose()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::PacketBuilder;
+
+    fn sample_records() -> Vec<PcapRecord> {
+        let b = PacketBuilder::new(
+            "2001:db8::1".parse().unwrap(),
+            "2001:db8::2".parse().unwrap(),
+        );
+        vec![
+            PcapRecord {
+                ts: SimTime::from_secs(10),
+                ts_micros: 500,
+                data: b.icmpv6_echo_request(1, 1, b"probe"),
+            },
+            PcapRecord {
+                ts: SimTime::from_secs(11),
+                ts_micros: 0,
+                data: b.tcp_syn(40000, 80, 7, &[]),
+            },
+            PcapRecord {
+                ts: SimTime::from_secs(3600),
+                ts_micros: 999_999,
+                data: b.udp(40001, 33434, b"trace"),
+            },
+        ]
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let records = sample_records();
+        let mut w = PcapWriter::new(Vec::new()).unwrap();
+        for r in &records {
+            w.write_record(r).unwrap();
+        }
+        let bytes = w.into_inner().unwrap();
+        let reader = PcapReader::new(&bytes[..]).unwrap();
+        let back: Vec<PcapRecord> = reader.map(Result::unwrap).collect();
+        assert_eq!(back, records);
+    }
+
+    #[test]
+    fn global_header_is_24_bytes_with_raw_linktype() {
+        let w = PcapWriter::new(Vec::new()).unwrap();
+        let bytes = w.into_inner().unwrap();
+        assert_eq!(bytes.len(), 24);
+        assert_eq!(u32::from_le_bytes(bytes[0..4].try_into().unwrap()), MAGIC_LE_US);
+        assert_eq!(u32::from_le_bytes(bytes[20..24].try_into().unwrap()), LINKTYPE_RAW);
+    }
+
+    #[test]
+    fn reader_rejects_bad_magic() {
+        let bytes = [0u8; 24];
+        assert!(matches!(
+            PcapReader::new(&bytes[..]),
+            Err(PacketError::BadPcapMagic(0))
+        ));
+    }
+
+    #[test]
+    fn reader_rejects_wrong_linktype() {
+        let mut w = PcapWriter::new(Vec::new()).unwrap();
+        w.write_record(&sample_records()[0]).unwrap();
+        let mut bytes = w.into_inner().unwrap();
+        bytes[20..24].copy_from_slice(&1u32.to_le_bytes()); // LINKTYPE_ETHERNET
+        assert!(matches!(
+            PcapReader::new(&bytes[..]),
+            Err(PacketError::UnsupportedLinkType(1))
+        ));
+    }
+
+    #[test]
+    fn reader_accepts_big_endian_files() {
+        // Hand-build a big-endian header + one record.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC_LE_US.to_be_bytes());
+        bytes.extend_from_slice(&2u16.to_be_bytes());
+        bytes.extend_from_slice(&4u16.to_be_bytes());
+        bytes.extend_from_slice(&0i32.to_be_bytes());
+        bytes.extend_from_slice(&0u32.to_be_bytes());
+        bytes.extend_from_slice(&65_535u32.to_be_bytes());
+        bytes.extend_from_slice(&LINKTYPE_RAW.to_be_bytes());
+        bytes.extend_from_slice(&42u32.to_be_bytes()); // ts_sec
+        bytes.extend_from_slice(&7u32.to_be_bytes()); // ts_usec
+        bytes.extend_from_slice(&3u32.to_be_bytes()); // incl
+        bytes.extend_from_slice(&3u32.to_be_bytes()); // orig
+        bytes.extend_from_slice(&[0xaa, 0xbb, 0xcc]);
+        let mut r = PcapReader::new(&bytes[..]).unwrap();
+        let rec = r.read_record().unwrap().unwrap();
+        assert_eq!(rec.ts.as_secs(), 42);
+        assert_eq!(rec.ts_micros, 7);
+        assert_eq!(rec.data, vec![0xaa, 0xbb, 0xcc]);
+        assert!(r.read_record().unwrap().is_none());
+    }
+
+    #[test]
+    fn nanosecond_magic_scales_to_micros() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC_LE_NS.to_le_bytes());
+        bytes.extend_from_slice(&2u16.to_le_bytes());
+        bytes.extend_from_slice(&4u16.to_le_bytes());
+        bytes.extend_from_slice(&0i32.to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        bytes.extend_from_slice(&65_535u32.to_le_bytes());
+        bytes.extend_from_slice(&LINKTYPE_RAW.to_le_bytes());
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.extend_from_slice(&5_000_000u32.to_le_bytes()); // 5 ms in ns
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.push(0x60);
+        let mut r = PcapReader::new(&bytes[..]).unwrap();
+        let rec = r.read_record().unwrap().unwrap();
+        assert_eq!(rec.ts_micros, 5000);
+    }
+
+    #[test]
+    fn truncated_record_is_an_error_not_a_panic() {
+        let mut w = PcapWriter::new(Vec::new()).unwrap();
+        w.write_record(&sample_records()[0]).unwrap();
+        let bytes = w.into_inner().unwrap();
+        let mut r = PcapReader::new(&bytes[..bytes.len() - 4]).unwrap();
+        assert!(r.read_record().is_err());
+    }
+}

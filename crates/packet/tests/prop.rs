@@ -1,0 +1,108 @@
+//! Property tests: every packet the builder can produce must parse back to
+//! the same fields with a valid checksum, and pcap round-trips are lossless.
+
+use proptest::prelude::*;
+use sixscope_packet::{
+    PacketBuilder, ParsedPacket, PcapReader, PcapRecord, PcapWriter, Transport,
+};
+use sixscope_types::SimTime;
+use std::net::Ipv6Addr;
+
+fn arb_addr() -> impl Strategy<Value = Ipv6Addr> {
+    any::<u128>().prop_map(Ipv6Addr::from)
+}
+
+fn arb_payload() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(any::<u8>(), 0..256)
+}
+
+proptest! {
+    #[test]
+    fn icmpv6_build_parse_round_trip(
+        src in arb_addr(), dst in arb_addr(),
+        id in any::<u16>(), seq in any::<u16>(),
+        payload in arb_payload(),
+        hop in any::<u8>(),
+    ) {
+        let bytes = PacketBuilder::new(src, dst)
+            .hop_limit(hop)
+            .icmpv6_echo_request(id, seq, &payload);
+        let p = ParsedPacket::parse(&bytes).unwrap();
+        prop_assert_eq!(p.header.src, src);
+        prop_assert_eq!(p.header.dst, dst);
+        prop_assert_eq!(p.header.hop_limit, hop);
+        match p.transport {
+            Transport::Icmpv6(h) => {
+                prop_assert_eq!(h.identifier, id);
+                prop_assert_eq!(h.sequence, seq);
+            }
+            ref other => prop_assert!(false, "wrong transport {:?}", other),
+        }
+        prop_assert_eq!(&p.payload[..], &payload[..]);
+        // Checksums must verify.
+        let upper = &bytes[40..];
+        prop_assert!(sixscope_packet::icmpv6::Icmpv6Header::verify_checksum(src, dst, upper));
+    }
+
+    #[test]
+    fn tcp_build_parse_round_trip(
+        src in arb_addr(), dst in arb_addr(),
+        sp in any::<u16>(), dp in any::<u16>(), seq in any::<u32>(),
+        payload in arb_payload(),
+    ) {
+        let bytes = PacketBuilder::new(src, dst).tcp_syn(sp, dp, seq, &payload);
+        let p = ParsedPacket::parse(&bytes).unwrap();
+        prop_assert_eq!(p.src_port(), Some(sp));
+        prop_assert_eq!(p.dst_port(), Some(dp));
+        prop_assert_eq!(&p.payload[..], &payload[..]);
+        let upper = &bytes[40..];
+        prop_assert!(sixscope_packet::tcp::TcpHeader::verify_checksum(src, dst, upper));
+    }
+
+    #[test]
+    fn udp_build_parse_round_trip(
+        src in arb_addr(), dst in arb_addr(),
+        sp in any::<u16>(), dp in any::<u16>(),
+        payload in arb_payload(),
+    ) {
+        let bytes = PacketBuilder::new(src, dst).udp(sp, dp, &payload);
+        let p = ParsedPacket::parse(&bytes).unwrap();
+        prop_assert_eq!(p.src_port(), Some(sp));
+        prop_assert_eq!(p.dst_port(), Some(dp));
+        prop_assert_eq!(&p.payload[..], &payload[..]);
+        let upper = &bytes[40..];
+        prop_assert!(sixscope_packet::udp::UdpHeader::verify_checksum(src, dst, upper));
+    }
+
+    #[test]
+    fn parse_never_panics_on_arbitrary_bytes(bytes in proptest::collection::vec(any::<u8>(), 0..200)) {
+        let _ = ParsedPacket::parse(&bytes);
+    }
+
+    #[test]
+    fn pcap_round_trip(
+        records in proptest::collection::vec(
+            (any::<u32>(), 0u32..1_000_000, proptest::collection::vec(any::<u8>(), 0..128)),
+            0..20,
+        )
+    ) {
+        let records: Vec<PcapRecord> = records
+            .into_iter()
+            .map(|(ts, us, data)| PcapRecord {
+                ts: SimTime::from_secs(ts as u64),
+                ts_micros: us,
+                data,
+            })
+            .collect();
+        let mut w = PcapWriter::new(Vec::new()).unwrap();
+        for r in &records {
+            w.write_record(r).unwrap();
+        }
+        let bytes = w.into_inner().unwrap();
+        let back: Vec<PcapRecord> = PcapReader::new(&bytes[..])
+            .unwrap()
+            .map(Result::unwrap)
+            .collect();
+        prop_assert_eq!(back, records);
+    }
+}

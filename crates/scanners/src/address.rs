@@ -1,0 +1,358 @@
+//! Target-address selection strategies (the generator side of §5.3 and
+//! Table 3).
+//!
+//! Each strategy turns `(prefix, count, rng)` into a list of target
+//! addresses inside the prefix. The classes mirror what the paper's
+//! classifier detects: structured selections produce RFC 7707 pattern
+//! addresses or sorted traversals; random selections produce uniform IIDs
+//! that pass the NIST frequency test.
+
+use sixscope_types::{Ipv6Prefix, Xoshiro256pp};
+use std::net::Ipv6Addr;
+
+/// A target-address generation strategy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AddressStrategy {
+    /// `::1`, `::2`, … of the prefix and (for wide prefixes) of a few of
+    /// its /48 and /64 subnets — the single most popular strategy (90% of
+    /// scanners probe at least one low-byte address).
+    LowByte {
+        /// How many low-byte targets per prefix.
+        max: u64,
+    },
+    /// Only the `::1` of the prefix (RIPE Atlas behavior).
+    LowByteOne,
+    /// The Subnet-Router anycast (`::`) of the prefix and a few subnets.
+    SubnetAnycast,
+    /// Service-port IIDs: `::80`, `::443`, … (hex spellings included).
+    ServicePorts,
+    /// IPv4 addresses embedded in the IID.
+    EmbeddedIpv4 {
+        /// Base IPv4 address (host byte order) to iterate from.
+        base: u32,
+    },
+    /// EUI-64 addresses derived from one vendor OUI.
+    Eui64 {
+        /// The 3-byte vendor OUI.
+        oui: [u8; 3],
+    },
+    /// Wordy / repeated-byte pattern IIDs (`::cafe:cafe`, `::aaaa:aaaa`).
+    PatternWords,
+    /// Uniformly random IID below a structured subnet choice.
+    RandomIid,
+    /// Fully random addresses in the prefix (subnet bits random too).
+    RandomFull,
+    /// An ordered sweep: iterate subnets of the prefix at `stride_bits`
+    /// more-specific, taking the low-byte address of each — produces the
+    /// lexicographically sorted traversals of Fig. 13.
+    SortedTraversal {
+        /// How many bits below the prefix to iterate.
+        stride_bits: u8,
+    },
+    /// A dense sequential sweep of the *first* `count` subnets of the given
+    /// length, probing each subnet's `::1` — how silent /48s inside a large
+    /// covering announcement (T3) receive their trickle of structured
+    /// probes.
+    SequentialSubnets {
+        /// The subnet length to enumerate (e.g. 48).
+        sub_len: u8,
+    },
+    /// Draw targets from an external hitlist (filtered to the prefix).
+    Hitlist,
+}
+
+/// Hex words used by the pattern generator (kept in sync with the analysis
+/// classifier's dictionary on purpose: these are the words humans use).
+const WORDS: [u16; 6] = [0xcafe, 0xbabe, 0xdead, 0xbeef, 0xf00d, 0xfeed];
+
+impl AddressStrategy {
+    /// Generates `count` targets inside `prefix`.
+    ///
+    /// `hitlist` is consulted only by [`AddressStrategy::Hitlist`]. The
+    /// result may contain fewer than `count` addresses when the strategy's
+    /// target space inside the prefix is smaller.
+    pub fn generate(
+        &self,
+        prefix: Ipv6Prefix,
+        count: u64,
+        rng: &mut Xoshiro256pp,
+        hitlist: &[Ipv6Addr],
+    ) -> Vec<Ipv6Addr> {
+        match self {
+            AddressStrategy::LowByte { max } => {
+                let per = count.min(*max).max(1);
+                let mut out = Vec::with_capacity(per as usize);
+                // Low-bytes of the prefix itself...
+                for i in 1..=per.min(count) {
+                    out.push(prefix.nth_address(i as u128));
+                }
+                // ...and of a few deeper subnets if the budget allows.
+                let mut subnet_len = prefix.len().clamp(48, 64);
+                if subnet_len <= prefix.len() {
+                    subnet_len = prefix.len();
+                }
+                if out.len() < count as usize && subnet_len > prefix.len() {
+                    let deficit = count as usize - out.len();
+                    for _ in 0..deficit {
+                        let sub_count = 1u64 << (subnet_len - prefix.len()).min(63);
+                        let idx = rng.below(sub_count);
+                        let step = 1u128 << (128 - subnet_len as u32);
+                        let base = prefix.bits() + idx as u128 * step;
+                        out.push(Ipv6Addr::from(base | 1));
+                    }
+                }
+                out.truncate(count as usize);
+                out
+            }
+            AddressStrategy::LowByteOne => vec![prefix.low_byte_address()],
+            AddressStrategy::SubnetAnycast => {
+                let mut out = vec![prefix.subnet_router_anycast()];
+                let sub_len = prefix.len().clamp(56, 64);
+                while (out.len() as u64) < count && sub_len > prefix.len() {
+                    let sub_count = 1u64 << (sub_len - prefix.len()).min(63);
+                    let idx = rng.below(sub_count);
+                    let step = 1u128 << (128 - sub_len as u32);
+                    out.push(Ipv6Addr::from(prefix.bits() + idx as u128 * step));
+                    if out.len() as u64 >= count {
+                        break;
+                    }
+                }
+                out.truncate(count as usize);
+                out
+            }
+            AddressStrategy::ServicePorts => {
+                const PORT_IIDS: [u64; 10] =
+                    [0x80, 0x443, 0x22, 0x53, 0x21, 0x25, 0x8080, 0x50, 0x35, 0x443];
+                (0..count)
+                    .map(|i| {
+                        Ipv6Addr::from(prefix.bits() | PORT_IIDS[(i % 10) as usize] as u128)
+                    })
+                    .collect()
+            }
+            AddressStrategy::EmbeddedIpv4 { base } => (0..count)
+                .map(|i| {
+                    let v4 = base.wrapping_add(i as u32);
+                    Ipv6Addr::from(prefix.bits() | v4 as u128)
+                })
+                .collect(),
+            AddressStrategy::Eui64 { oui } => (0..count)
+                .map(|i| {
+                    // EUI-64: OUI | ff:fe | NIC-specific low 24 bits.
+                    let nic = i & 0xff_ffff;
+                    let iid: u64 = ((oui[0] as u64) << 56)
+                        | ((oui[1] as u64) << 48)
+                        | ((oui[2] as u64) << 40)
+                        | (0xff_fe << 24)
+                        | nic;
+                    Ipv6Addr::from(prefix.bits() | iid as u128)
+                })
+                .collect(),
+            AddressStrategy::PatternWords => (0..count)
+                .map(|i| {
+                    let w = WORDS[(i % WORDS.len() as u64) as usize] as u128;
+                    let iid = w << 48 | w << 32 | w << 16 | w;
+                    Ipv6Addr::from(prefix.bits() | iid)
+                })
+                .collect(),
+            AddressStrategy::RandomIid => {
+                // Structured subnet (zero subnet bits), random IID.
+                let base = prefix.bits();
+                (0..count)
+                    .map(|_| Ipv6Addr::from(base | rng.next_u64() as u128))
+                    .collect()
+            }
+            AddressStrategy::RandomFull => (0..count)
+                .map(|_| {
+                    let host_mask = !Ipv6Prefix::mask(prefix.len());
+                    Ipv6Addr::from(prefix.bits() | (rng.next_u128() & host_mask))
+                })
+                .collect(),
+            AddressStrategy::SortedTraversal { stride_bits } => {
+                let sub_len = (prefix.len() + stride_bits).min(128);
+                let sub_count = 1u128 << (sub_len - prefix.len()).min(63);
+                let step = 1u128 << (128 - sub_len as u32);
+                let take = count.min(sub_count as u64);
+                // Evenly spaced, strictly increasing traversal.
+                let stride = (sub_count / take as u128).max(1);
+                (0..take)
+                    .map(|i| Ipv6Addr::from((prefix.bits() + (i as u128 * stride) * step) | 1))
+                    .collect()
+            }
+            AddressStrategy::SequentialSubnets { sub_len } => {
+                let sub_len = (*sub_len).clamp(prefix.len(), 128);
+                let sub_count = 1u128 << (sub_len - prefix.len()).min(63);
+                let step = 1u128 << (128 - sub_len as u32);
+                let take = (count as u128).min(sub_count);
+                (0..take)
+                    .map(|i| Ipv6Addr::from((prefix.bits() + i * step) | 1))
+                    .collect()
+            }
+            AddressStrategy::Hitlist => {
+                let inside: Vec<Ipv6Addr> = hitlist
+                    .iter()
+                    .filter(|&&a| prefix.contains(a))
+                    .copied()
+                    .collect();
+                if inside.is_empty() {
+                    return Vec::new();
+                }
+                (0..count).map(|_| *rng.choose(&inside)).collect()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sixscope_analysis::addrtype::{classify, AddressType};
+
+    fn p(s: &str) -> Ipv6Prefix {
+        s.parse().unwrap()
+    }
+
+    fn rng() -> Xoshiro256pp {
+        Xoshiro256pp::seed_from_u64(99)
+    }
+
+    #[test]
+    fn all_strategies_stay_inside_prefix() {
+        let prefix = p("2001:db8:1234::/48");
+        let hitlist: Vec<Ipv6Addr> = vec!["2001:db8:1234::5".parse().unwrap()];
+        let strategies = [
+            AddressStrategy::LowByte { max: 50 },
+            AddressStrategy::LowByteOne,
+            AddressStrategy::SubnetAnycast,
+            AddressStrategy::ServicePorts,
+            AddressStrategy::EmbeddedIpv4 { base: 0xc0000201 },
+            AddressStrategy::Eui64 { oui: [0x00, 0x11, 0x22] },
+            AddressStrategy::PatternWords,
+            AddressStrategy::RandomIid,
+            AddressStrategy::RandomFull,
+            AddressStrategy::SortedTraversal { stride_bits: 16 },
+            AddressStrategy::Hitlist,
+        ];
+        let mut r = rng();
+        for s in &strategies {
+            let targets = s.generate(prefix, 40, &mut r, &hitlist);
+            assert!(!targets.is_empty(), "{s:?} generated nothing");
+            for t in &targets {
+                assert!(prefix.contains(*t), "{s:?} escaped the prefix with {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn low_byte_targets_classify_as_low_byte() {
+        let targets =
+            AddressStrategy::LowByte { max: 20 }.generate(p("2001:db8::/32"), 20, &mut rng(), &[]);
+        for t in targets {
+            assert_eq!(classify(t), AddressType::LowByte, "{t}");
+        }
+    }
+
+    #[test]
+    fn low_byte_one_is_the_colon_one() {
+        let t = AddressStrategy::LowByteOne.generate(p("2001:db8:8000::/33"), 5, &mut rng(), &[]);
+        assert_eq!(t, vec!["2001:db8:8000::1".parse::<Ipv6Addr>().unwrap()]);
+    }
+
+    #[test]
+    fn service_ports_classify_as_embedded_port() {
+        let targets =
+            AddressStrategy::ServicePorts.generate(p("2001:db8::/32"), 6, &mut rng(), &[]);
+        assert!(targets
+            .iter()
+            .all(|&t| classify(t) == AddressType::EmbeddedPort));
+    }
+
+    #[test]
+    fn eui64_targets_classify_as_ieee_derived() {
+        let targets = AddressStrategy::Eui64 { oui: [0, 0x11, 0x22] }.generate(
+            p("2001:db8::/32"),
+            10,
+            &mut rng(),
+            &[],
+        );
+        assert!(targets
+            .iter()
+            .all(|&t| classify(t) == AddressType::IeeeDerived));
+    }
+
+    #[test]
+    fn pattern_words_classify_as_pattern_bytes() {
+        let targets =
+            AddressStrategy::PatternWords.generate(p("2001:db8::/32"), 6, &mut rng(), &[]);
+        assert!(targets
+            .iter()
+            .all(|&t| classify(t) == AddressType::PatternBytes));
+    }
+
+    #[test]
+    fn random_iid_classifies_as_randomized_mostly() {
+        let targets = AddressStrategy::RandomIid.generate(p("2001:db8::/32"), 200, &mut rng(), &[]);
+        let randomized = targets
+            .iter()
+            .filter(|&&t| classify(t) == AddressType::Randomized)
+            .count();
+        assert!(randomized > 190, "only {randomized}/200 randomized");
+    }
+
+    #[test]
+    fn sorted_traversal_is_strictly_increasing() {
+        let targets = AddressStrategy::SortedTraversal { stride_bits: 16 }.generate(
+            p("2001:db8::/32"),
+            100,
+            &mut rng(),
+            &[],
+        );
+        assert_eq!(targets.len(), 100);
+        assert!(targets.windows(2).all(|w| u128::from(w[0]) < u128::from(w[1])));
+    }
+
+    #[test]
+    fn subnet_anycast_targets_have_zero_iid() {
+        let targets =
+            AddressStrategy::SubnetAnycast.generate(p("2001:db8::/32"), 10, &mut rng(), &[]);
+        assert!(targets.iter().all(|&t| u128::from(t) as u64 == 0));
+    }
+
+    #[test]
+    fn hitlist_strategy_filters_to_prefix() {
+        let hitlist: Vec<Ipv6Addr> = vec![
+            "2001:db8:1::1".parse().unwrap(),
+            "3fff::1".parse().unwrap(), // outside
+        ];
+        let targets =
+            AddressStrategy::Hitlist.generate(p("2001:db8::/32"), 10, &mut rng(), &hitlist);
+        assert_eq!(targets.len(), 10);
+        assert!(targets
+            .iter()
+            .all(|&t| t == "2001:db8:1::1".parse::<Ipv6Addr>().unwrap()));
+        // Empty intersection → empty result.
+        let none = AddressStrategy::Hitlist.generate(p("2001:db9::/32"), 10, &mut rng(), &hitlist);
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn embedded_ipv4_iterates_sequentially() {
+        let targets = AddressStrategy::EmbeddedIpv4 { base: 0xc0000201 }.generate(
+            p("2001:db8::/32"),
+            3,
+            &mut rng(),
+            &[],
+        );
+        assert_eq!(targets[0], "2001:db8::c000:201".parse::<Ipv6Addr>().unwrap());
+        assert_eq!(targets[1], "2001:db8::c000:202".parse::<Ipv6Addr>().unwrap());
+        assert!(targets
+            .iter()
+            .all(|&t| classify(t) == AddressType::EmbeddedIpv4));
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = AddressStrategy::RandomFull.generate(p("2001:db8::/32"), 20, &mut rng(), &[]);
+        let b = AddressStrategy::RandomFull.generate(p("2001:db8::/32"), 20, &mut rng(), &[]);
+        assert_eq!(a, b);
+    }
+}

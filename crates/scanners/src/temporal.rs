@@ -1,0 +1,210 @@
+//! Session scheduling: the generator side of the temporal taxonomy (§5.1).
+//!
+//! One-off scanners run a single session; periodic scanners repeat with a
+//! stable period (hours to months) plus bounded jitter; intermittent
+//! scanners draw irregular gaps from a heavy-tailed distribution so no
+//! period is detectable.
+
+use sixscope_types::{SimDuration, SimTime, Xoshiro256pp};
+
+/// When a scanner's sessions start.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TemporalModel {
+    /// A single session at the given time.
+    OneOff {
+        /// Session start.
+        at: SimTime,
+    },
+    /// Stable period with bounded jitter (jitter < period/6 keeps the
+    /// autocorrelation detector's gap test satisfied).
+    Periodic {
+        /// First session.
+        start: SimTime,
+        /// The period.
+        period: SimDuration,
+        /// Uniform jitter applied to each start (±jitter/2).
+        jitter: SimDuration,
+        /// No sessions at or after this time.
+        until: SimTime,
+    },
+    /// Irregular recurrence: exponential gaps scaled by a heavy-tail
+    /// multiplier, guaranteeing ≥ 2 sessions and no stable period.
+    Intermittent {
+        /// First session.
+        start: SimTime,
+        /// No sessions at or after this time.
+        until: SimTime,
+        /// Mean gap between sessions.
+        mean_gap: SimDuration,
+        /// Hard cap on the number of sessions.
+        max_sessions: u32,
+    },
+}
+
+impl TemporalModel {
+    /// Generates the session start times.
+    pub fn session_starts(&self, rng: &mut Xoshiro256pp) -> Vec<SimTime> {
+        match self {
+            TemporalModel::OneOff { at } => vec![*at],
+            TemporalModel::Periodic {
+                start,
+                period,
+                jitter,
+                until,
+            } => {
+                assert!(period.as_secs() > 0, "period must be positive");
+                let mut out = Vec::new();
+                let mut t = *start;
+                while t < *until {
+                    let j = if jitter.as_secs() > 0 {
+                        rng.below(jitter.as_secs()) as i64 - jitter.as_secs() as i64 / 2
+                    } else {
+                        0
+                    };
+                    let jittered = (t.as_secs() as i64 + j).max(0) as u64;
+                    out.push(SimTime::from_secs(jittered));
+                    t += *period;
+                }
+                out
+            }
+            TemporalModel::Intermittent {
+                start,
+                until,
+                mean_gap,
+                max_sessions,
+            } => {
+                assert!(mean_gap.as_secs() > 0, "mean gap must be positive");
+                let mut out = vec![*start];
+                let mut t = *start;
+                while out.len() < *max_sessions as usize {
+                    // Heavy-tailed gaps: exponential base, occasionally
+                    // stretched 3–10×, so the CV stays far above the
+                    // period detector's threshold.
+                    let mut gap = rng.exponential(1.0 / mean_gap.as_secs() as f64);
+                    if rng.bool(0.25) {
+                        gap *= 3.0 + rng.f64() * 7.0;
+                    }
+                    // Keep a floor above the session timeout so separate
+                    // sessions stay separate.
+                    let gap = gap.max(2.0 * 3600.0) as u64;
+                    t += SimDuration::secs(gap);
+                    if t >= *until {
+                        break;
+                    }
+                    out.push(t);
+                }
+                out
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sixscope_analysis::autocorr::PeriodDetector;
+    use sixscope_analysis::classify::{temporal_class, TemporalClass};
+
+    fn rng() -> Xoshiro256pp {
+        Xoshiro256pp::seed_from_u64(5)
+    }
+
+    #[test]
+    fn one_off_has_exactly_one_session() {
+        let m = TemporalModel::OneOff {
+            at: SimTime::from_secs(1234),
+        };
+        assert_eq!(m.session_starts(&mut rng()), vec![SimTime::from_secs(1234)]);
+    }
+
+    #[test]
+    fn periodic_session_count_matches_span() {
+        let m = TemporalModel::Periodic {
+            start: SimTime::EPOCH,
+            period: SimDuration::days(1),
+            jitter: SimDuration::ZERO,
+            until: SimTime::EPOCH + SimDuration::days(10),
+        };
+        let starts = m.session_starts(&mut rng());
+        assert_eq!(starts.len(), 10);
+        assert!(starts.windows(2).all(|w| w[1] - w[0] == SimDuration::days(1)));
+    }
+
+    #[test]
+    fn generated_periodic_is_classified_periodic() {
+        let m = TemporalModel::Periodic {
+            start: SimTime::EPOCH,
+            period: SimDuration::days(1),
+            jitter: SimDuration::mins(60),
+            until: SimTime::EPOCH + SimDuration::weeks(3),
+        };
+        let starts = m.session_starts(&mut rng());
+        assert_eq!(
+            temporal_class(&starts, &PeriodDetector::default()),
+            TemporalClass::Periodic
+        );
+    }
+
+    #[test]
+    fn generated_intermittent_is_classified_intermittent() {
+        let m = TemporalModel::Intermittent {
+            start: SimTime::EPOCH,
+            until: SimTime::EPOCH + SimDuration::weeks(30),
+            mean_gap: SimDuration::days(4),
+            max_sessions: 20,
+        };
+        // Check several seeds: the class must be robust, not lucky.
+        for seed in 0..10 {
+            let mut r = Xoshiro256pp::seed_from_u64(seed);
+            let starts = m.session_starts(&mut r);
+            assert!(starts.len() >= 2, "seed {seed}: too few sessions");
+            let class = temporal_class(&starts, &PeriodDetector::default());
+            assert_ne!(
+                class,
+                TemporalClass::Periodic,
+                "seed {seed} produced a detectable period"
+            );
+        }
+    }
+
+    #[test]
+    fn intermittent_respects_bounds() {
+        let until = SimTime::EPOCH + SimDuration::weeks(4);
+        let m = TemporalModel::Intermittent {
+            start: SimTime::EPOCH,
+            until,
+            mean_gap: SimDuration::days(2),
+            max_sessions: 5,
+        };
+        let starts = m.session_starts(&mut rng());
+        assert!(starts.len() <= 5);
+        assert!(starts.iter().all(|&t| t < until));
+        // Gaps stay above 2 h (distinct sessions under the 1 h timeout).
+        assert!(starts
+            .windows(2)
+            .all(|w| w[1] - w[0] >= SimDuration::hours(2)));
+    }
+
+    #[test]
+    fn periodic_jitter_never_goes_negative() {
+        let m = TemporalModel::Periodic {
+            start: SimTime::EPOCH,
+            period: SimDuration::days(1),
+            jitter: SimDuration::hours(12),
+            until: SimTime::EPOCH + SimDuration::days(5),
+        };
+        let starts = m.session_starts(&mut rng());
+        assert!(starts.iter().all(|t| t.as_secs() < u64::MAX / 2));
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let m = TemporalModel::Intermittent {
+            start: SimTime::EPOCH,
+            until: SimTime::EPOCH + SimDuration::weeks(10),
+            mean_gap: SimDuration::days(3),
+            max_sessions: 50,
+        };
+        assert_eq!(m.session_starts(&mut rng()), m.session_starts(&mut rng()));
+    }
+}

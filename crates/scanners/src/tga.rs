@@ -1,0 +1,323 @@
+//! A dynamic target-generation algorithm in the 6Tree/6Scan family (§2 of
+//! the paper: "dynamic TGAs adjust their training set by evaluating the
+//! activity of generated addresses immediately through active scanning").
+//!
+//! [`SpaceTree`] maintains a binary partition of a search prefix. Each
+//! round it probes a few addresses per leaf region, feeds back which
+//! targets responded, splits responsive regions to concentrate probes, and
+//! decays the budget of silent ones. Against the reactive telescope T4
+//! (where *every* address answers) the tree drills straight into T4's /48
+//! — the concentration effect the paper's reactive hunters exhibit.
+
+use sixscope_types::{Ipv6Prefix, Xoshiro256pp};
+use std::net::Ipv6Addr;
+
+/// One explored region of the search space.
+#[derive(Debug, Clone)]
+struct Region {
+    prefix: Ipv6Prefix,
+    /// Probes sent into the region so far.
+    probed: u64,
+    /// Responses observed from the region so far.
+    responsive: u64,
+}
+
+impl Region {
+    fn score(&self) -> f64 {
+        if self.probed == 0 {
+            // Unexplored regions get a neutral prior.
+            0.5
+        } else {
+            self.responsive as f64 / self.probed as f64
+        }
+    }
+}
+
+/// A 6Tree-style adaptive space tree.
+#[derive(Debug, Clone)]
+pub struct SpaceTree {
+    regions: Vec<Region>,
+    /// Regions are never split beyond this length.
+    max_depth: u8,
+    /// Score threshold above which a region is split for refinement.
+    split_threshold: f64,
+}
+
+impl SpaceTree {
+    /// Creates a tree over `root` that refines down to `max_depth`.
+    ///
+    /// # Panics
+    /// Panics if `max_depth < root.len()`.
+    pub fn new(root: Ipv6Prefix, max_depth: u8) -> Self {
+        assert!(max_depth >= root.len(), "max_depth above the root length");
+        SpaceTree {
+            regions: vec![Region {
+                prefix: root,
+                probed: 0,
+                responsive: 0,
+            }],
+            max_depth,
+            split_threshold: 0.25,
+        }
+    }
+
+    /// Creates a tree pre-partitioned around hitlist seeds — how real
+    /// dynamic TGAs bootstrap: without a training set, a /29 is an
+    /// unfindable haystack; with one, the tree starts its refinement at
+    /// the seeds' /48 neighborhoods.
+    pub fn with_seeds(root: Ipv6Prefix, max_depth: u8, seeds: &[Ipv6Addr]) -> Self {
+        let mut tree = SpaceTree::new(root, max_depth);
+        let seed_len = max_depth.min(48).max(root.len());
+        for &seed in seeds {
+            if !root.contains(seed) {
+                continue;
+            }
+            let region = Ipv6Prefix::new(seed, seed_len).expect("seed_len valid");
+            if !tree.regions.iter().any(|r| r.prefix == region) {
+                tree.regions.push(Region {
+                    prefix: region,
+                    probed: 0,
+                    responsive: 0,
+                });
+            }
+        }
+        tree
+    }
+
+    /// Number of leaf regions currently tracked.
+    pub fn region_count(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// The current leaf prefixes, most promising first.
+    pub fn regions_by_score(&self) -> Vec<(Ipv6Prefix, f64)> {
+        let mut out: Vec<(Ipv6Prefix, f64)> = self
+            .regions
+            .iter()
+            .map(|r| (r.prefix, r.score()))
+            .collect();
+        out.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("scores are finite"));
+        out
+    }
+
+    /// Generates the next probe wave over the `top` highest-scoring
+    /// regions, splitting a budget of `top × per_region` probes in
+    /// proportion to region score (plus a small exploration floor so silent
+    /// regions are still re-checked occasionally) — the density-driven
+    /// budget allocation at the heart of 6Tree-style scanning.
+    pub fn next_wave(
+        &self,
+        top: usize,
+        per_region: u64,
+        rng: &mut Xoshiro256pp,
+    ) -> Vec<Ipv6Addr> {
+        const EXPLORE_FLOOR: f64 = 0.05;
+        let ranked: Vec<(Ipv6Prefix, f64)> =
+            self.regions_by_score().into_iter().take(top).collect();
+        let budget = (top as u64).saturating_mul(per_region).min(
+            ranked.len() as u64 * per_region,
+        );
+        let total: f64 = ranked.iter().map(|(_, s)| s + EXPLORE_FLOOR).sum();
+        let mut targets = Vec::new();
+        for (prefix, score) in &ranked {
+            let share = (score + EXPLORE_FLOOR) / total;
+            let n = ((budget as f64 * share).round() as u64).max(1);
+            for i in 0..n {
+                // Half low-byte exploration, half random IID below the
+                // region — the mix real dynamic TGAs use to balance
+                // discovery and density estimation.
+                let addr = if i % 2 == 0 {
+                    prefix.nth_address(1 + i as u128 / 2)
+                } else {
+                    Ipv6Addr::from(prefix.bits() | rng.next_u64() as u128)
+                };
+                targets.push(addr);
+            }
+        }
+        targets
+    }
+
+    /// Feeds back one probe outcome.
+    pub fn record(&mut self, target: Ipv6Addr, responded: bool) {
+        // Find the most specific region containing the target.
+        let Some(idx) = self
+            .regions
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.prefix.contains(target))
+            .max_by_key(|(_, r)| r.prefix.len())
+            .map(|(i, _)| i)
+        else {
+            return;
+        };
+        let region = &mut self.regions[idx];
+        region.probed += 1;
+        if responded {
+            region.responsive += 1;
+        }
+    }
+
+    /// Refinement step: splits every sufficiently-probed, sufficiently-
+    /// responsive region into its two halves (resetting their counters so
+    /// the children are measured independently).
+    pub fn refine(&mut self) {
+        let mut next = Vec::with_capacity(self.regions.len());
+        for region in self.regions.drain(..) {
+            let deep_enough = region.prefix.len() >= self.max_depth;
+            let worth_splitting =
+                region.probed >= 4 && region.score() >= self.split_threshold && !deep_enough;
+            if worth_splitting {
+                let (lo, hi) = region.prefix.split().expect("len < 128");
+                next.push(Region {
+                    prefix: lo,
+                    probed: 0,
+                    responsive: 0,
+                });
+                next.push(Region {
+                    prefix: hi,
+                    probed: 0,
+                    responsive: 0,
+                });
+            } else {
+                next.push(region);
+            }
+        }
+        self.regions = next;
+    }
+
+    /// Runs `rounds` of probe → feedback → refine against a responder
+    /// oracle; returns every probed target. This is the full dynamic-TGA
+    /// loop of 6Tree-style scanners.
+    pub fn run(
+        &mut self,
+        rounds: u32,
+        top: usize,
+        per_region: u64,
+        responds: impl Fn(Ipv6Addr) -> bool,
+        rng: &mut Xoshiro256pp,
+    ) -> Vec<Ipv6Addr> {
+        let mut all = Vec::new();
+        for _ in 0..rounds {
+            let wave = self.next_wave(top, per_region, rng);
+            for &t in &wave {
+                self.record(t, responds(t));
+            }
+            all.extend(wave);
+            self.refine();
+        }
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Ipv6Prefix {
+        s.parse().unwrap()
+    }
+
+    fn rng() -> Xoshiro256pp {
+        Xoshiro256pp::seed_from_u64(77)
+    }
+
+    #[test]
+    fn tree_starts_with_one_region() {
+        let tree = SpaceTree::new(p("3fff::/29"), 48);
+        assert_eq!(tree.region_count(), 1);
+    }
+
+    #[test]
+    fn responsive_regions_are_split() {
+        let mut tree = SpaceTree::new(p("3fff::/29"), 32);
+        // Everything responds: the root must split.
+        let mut r = rng();
+        let wave = tree.next_wave(1, 8, &mut r);
+        for t in wave {
+            tree.record(t, true);
+        }
+        tree.refine();
+        assert_eq!(tree.region_count(), 2);
+    }
+
+    #[test]
+    fn silent_regions_stay_coarse() {
+        let mut tree = SpaceTree::new(p("3fff::/29"), 48);
+        let mut r = rng();
+        let wave = tree.next_wave(1, 8, &mut r);
+        for t in wave {
+            tree.record(t, false);
+        }
+        tree.refine();
+        assert_eq!(tree.region_count(), 1, "nothing responded, nothing splits");
+    }
+
+    #[test]
+    fn unseeded_tree_cannot_find_a_needle() {
+        // Without a training set, a lone responsive /48 in a /29 is
+        // statistically invisible — the motivation for hitlist seeding.
+        let responsive = p("3fff:4::/48");
+        let mut tree = SpaceTree::new(p("3fff::/29"), 48);
+        let mut r = rng();
+        let targets = tree.run(8, 4, 16, |a| responsive.contains(a), &mut r);
+        let hits = targets.iter().filter(|a| responsive.contains(**a)).count();
+        assert_eq!(hits, 0);
+        assert_eq!(tree.region_count(), 1, "nothing to refine");
+    }
+
+    #[test]
+    fn tree_concentrates_on_the_reactive_slice() {
+        // T4's situation: only 3fff:4::/48 responds inside 3fff::/29, and
+        // the scanner holds hitlist seeds (one live, one stale).
+        let responsive = p("3fff:4::/48");
+        let seeds: Vec<Ipv6Addr> = vec![
+            "3fff:4::1".parse().unwrap(),   // live
+            "3fff:6::1".parse().unwrap(),   // stale hitlist entry
+        ];
+        let mut tree = SpaceTree::with_seeds(p("3fff::/29"), 48, &seeds);
+        assert_eq!(tree.region_count(), 3);
+        let mut r = rng();
+        let targets = tree.run(24, 4, 16, |a| responsive.contains(a), &mut r);
+        assert!(!targets.is_empty());
+        // Later waves must concentrate: compare the responsive-region hit
+        // share of the first and last quarter of probes.
+        let quarter = targets.len() / 4;
+        let share = |slice: &[Ipv6Addr]| {
+            slice.iter().filter(|a| responsive.contains(**a)).count() as f64
+                / slice.len().max(1) as f64
+        };
+        let early = share(&targets[..quarter]);
+        let late = share(&targets[targets.len() - quarter..]);
+        assert!(
+            late > early,
+            "no concentration: early {early:.3}, late {late:.3}"
+        );
+        // The tree's best region must be inside (or equal to) the /48's
+        // ancestry chain.
+        let (best, score) = tree.regions_by_score()[0];
+        assert!(
+            best.overlaps(&responsive),
+            "best region {best} (score {score}) misses the responsive slice"
+        );
+    }
+
+    #[test]
+    fn max_depth_is_respected() {
+        let mut tree = SpaceTree::new(p("3fff::/29"), 31);
+        let mut r = rng();
+        tree.run(20, 8, 8, |_| true, &mut r);
+        for (prefix, _) in tree.regions_by_score() {
+            assert!(prefix.len() <= 31);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let run = || {
+            let mut tree = SpaceTree::new(p("3fff::/29"), 40);
+            let mut r = rng();
+            tree.run(6, 2, 8, |a| p("3fff:4::/48").contains(a), &mut r)
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,466 @@
+//! The full 11-month experiment (§3): control plane, scanners, captures.
+//!
+//! ```text
+//! SplitSchedule ──► BGP Topology ──► Collector events ──► Visibility
+//!                                                            │
+//! Population ──► per-scanner probe generation (ScanContext) ◄┘
+//!                       │
+//!                       ▼ (time-ordered delivery, LPM-gated)
+//!              Captures T1–T4  +  T4 responses
+//! ```
+//!
+//! Everything is derived from one seed; running the same config twice
+//! yields byte-identical captures.
+
+use crate::visibility::Visibility;
+use crate::world::TumHitlist;
+use sixscope_bgp::irr::Route6Registry;
+use sixscope_bgp::topology::standard_topology;
+use sixscope_bgp::RouteEvent;
+use sixscope_packet::ParsedPacket;
+use sixscope_scanners::population::Population;
+use sixscope_scanners::{ExperimentLayout, PopulationSpec, Probe, ScanContext, ScannerSpec};
+use sixscope_telescope::{
+    respond, Capture, ScheduleActionKind, SplitSchedule, TelescopeConfig, TelescopeId,
+};
+use sixscope_types::{Asn, Ipv6Prefix, SimDuration, SimTime, Xoshiro256pp};
+use std::collections::BTreeMap;
+use std::net::Ipv6Addr;
+
+/// How the upstream treats IRR route6 objects (§3.2).
+///
+/// The paper's upstreams did not filter: omitting the route object for the
+/// /32 "did not impair the visibility of our prefix", and creating one four
+/// months in "has no noticeable effect on scanners". The strict variant is
+/// the counterfactual ablation: a validating upstream only propagates
+/// announcements covered by a registered route6 object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IrrPolicy {
+    /// Upstreams accept everything (the paper's reality).
+    #[default]
+    Open,
+    /// Upstreams drop announcements without a covering route6 object.
+    RequireRoute6,
+}
+
+/// Experiment configuration.
+#[derive(Debug, Clone)]
+pub struct ScenarioConfig {
+    /// Master seed.
+    pub seed: u64,
+    /// Population scale (1.0 = the paper's ~36k sources / ~51M packets).
+    pub scale: f64,
+    /// Address plan.
+    pub layout: ExperimentLayout,
+    /// Upstream IRR filtering policy.
+    pub irr_policy: IrrPolicy,
+}
+
+impl ScenarioConfig {
+    /// The default reproduction config at a given seed and scale.
+    pub fn new(seed: u64, scale: f64) -> Self {
+        let mut layout = ExperimentLayout::default_plan();
+        // Leave one day of lead time before the schedule starts so stable
+        // announcements converge first.
+        layout.start = SimTime::EPOCH + SimDuration::days(1);
+        let schedule = SplitSchedule::paper(layout.t1, layout.start);
+        layout.end = schedule.end();
+        ScenarioConfig {
+            seed,
+            scale,
+            layout,
+            irr_policy: IrrPolicy::Open,
+        }
+    }
+
+    /// The IRR registry as the paper maintained it: T2 and the covering /29
+    /// have long-standing objects; the stable companion /33 got its object
+    /// four months after the first T1 announcement; nothing else of T1 was
+    /// ever registered.
+    pub fn paper_route6_registry(&self) -> Route6Registry {
+        let mut registry = Route6Registry::new();
+        let origin = Asn(64_500);
+        let borrower = Asn(64_510);
+        registry.register(self.layout.t2, origin, SimTime::EPOCH);
+        registry.register(self.layout.covering, borrower, SimTime::EPOCH);
+        let schedule = self.schedule();
+        // "Four months after its first announcements, we created a route
+        // object for the non-split /33 prefix."
+        let four_months = self.layout.start + SimDuration::weeks(17);
+        registry.register(schedule.companion(), origin, four_months);
+        registry
+    }
+
+    /// The T1 announcement schedule implied by the layout.
+    pub fn schedule(&self) -> SplitSchedule {
+        SplitSchedule::paper(self.layout.t1, self.layout.start)
+    }
+}
+
+/// Everything the experiment produced.
+pub struct ExperimentResult {
+    /// The address plan.
+    pub layout: ExperimentLayout,
+    /// The T1 schedule that was executed.
+    pub schedule: SplitSchedule,
+    /// Per-telescope captures.
+    pub captures: BTreeMap<TelescopeId, Capture>,
+    /// Raw collector events.
+    pub events: Vec<RouteEvent>,
+    /// Folded visibility intervals.
+    pub visibility: Visibility,
+    /// The scanner population (for metadata joins — *not* used by the
+    /// classifiers, which only see captures).
+    pub population: Population,
+    /// The hitlist model.
+    pub hitlist: TumHitlist,
+    /// Number of responses T4 sent.
+    pub t4_responses: u64,
+    /// Probes sent toward unrouted space (dropped in the DFZ).
+    pub dropped_unrouted: u64,
+}
+
+impl ExperimentResult {
+    /// Convenience: one capture.
+    pub fn capture(&self, id: TelescopeId) -> &Capture {
+        &self.captures[&id]
+    }
+
+    /// Total packets captured across all telescopes.
+    pub fn total_packets(&self) -> usize {
+        self.captures.values().map(Capture::len).sum()
+    }
+}
+
+/// The experiment driver.
+pub struct Scenario {
+    config: ScenarioConfig,
+}
+
+/// The scanner-facing world view (implements [`ScanContext`]).
+struct WorldView {
+    visibility: Visibility,
+    transitions: Vec<(SimTime, Ipv6Prefix)>,
+    hitlist: TumHitlist,
+    t4: Ipv6Prefix,
+    end: SimTime,
+}
+
+impl ScanContext for WorldView {
+    fn announced_at(&self, t: SimTime) -> Vec<Ipv6Prefix> {
+        self.visibility.announced_at(t)
+    }
+    fn announce_events(&self) -> &[(SimTime, Ipv6Prefix)] {
+        &self.transitions
+    }
+    fn hitlist(&self, t: SimTime) -> Vec<Ipv6Addr> {
+        self.hitlist.at(t)
+    }
+    fn responds(&self, addr: Ipv6Addr) -> bool {
+        self.t4.contains(addr)
+    }
+    fn horizon(&self) -> SimTime {
+        self.end
+    }
+}
+
+impl Scenario {
+    /// Creates a scenario.
+    pub fn new(config: ScenarioConfig) -> Self {
+        Scenario { config }
+    }
+
+    /// Runs the control plane only: executes the schedule against the BGP
+    /// topology and returns the collector's events.
+    ///
+    /// Under [`IrrPolicy::RequireRoute6`] an announcement without a covering
+    /// route6 object at announcement time is rejected at the upstream and
+    /// never propagates (the counterfactual the paper's upstreams did not
+    /// apply).
+    pub fn run_control_plane(&self) -> Vec<RouteEvent> {
+        let layout = &self.config.layout;
+        let origin = Asn(64_500);
+        let borrower = Asn(64_510);
+        let collector = Asn(64_999);
+        let registry = self.config.paper_route6_registry();
+        let accepts = |prefix: &sixscope_types::Ipv6Prefix, asn: Asn, at: SimTime| match self
+            .config
+            .irr_policy
+        {
+            IrrPolicy::Open => true,
+            IrrPolicy::RequireRoute6 => registry.is_registered(prefix, asn, at),
+        };
+        let mut topo = standard_topology(origin, borrower, collector, SimTime::EPOCH);
+        // Stable announcements: T2 (13 years announced) and the covering
+        // /29 that hides T3/T4.
+        let lead = SimTime::EPOCH + SimDuration::hours(1);
+        if accepts(&layout.t2, origin, lead) {
+            topo.announce(origin, layout.t2, lead);
+        }
+        if accepts(&layout.covering, borrower, lead) {
+            topo.announce(borrower, layout.covering, lead);
+        }
+        topo.run_until(lead + SimDuration::mins(10));
+        // The T1 schedule.
+        let schedule = self.config.schedule();
+        for action in schedule.actions() {
+            topo.run_until(action.at);
+            match action.kind {
+                ScheduleActionKind::Announce => {
+                    if accepts(&action.prefix, origin, action.at) {
+                        topo.announce(origin, action.prefix, action.at);
+                    }
+                }
+                ScheduleActionKind::Withdraw => topo.withdraw(origin, action.prefix, action.at),
+            }
+        }
+        topo.run_until(layout.end + SimDuration::hours(1));
+        assert_eq!(topo.in_flight(), 0, "control plane did not converge");
+        topo.collector().events().to_vec()
+    }
+
+    /// Runs the full experiment.
+    pub fn run(&self) -> ExperimentResult {
+        let layout = self.config.layout.clone();
+        let events = self.run_control_plane();
+        let visibility = Visibility::from_events(&events);
+        let hitlist = TumHitlist::build(
+            &[layout.t2_dns_exposed, layout.covering.low_byte_address()],
+            &visibility,
+        );
+
+        // Population.
+        let population = PopulationSpec {
+            seed: self.config.seed,
+            scale: self.config.scale,
+        }
+        .build(&layout);
+
+        let world = WorldView {
+            transitions: visibility.announce_transitions(),
+            visibility,
+            hitlist,
+            t4: layout.t4,
+            end: layout.end,
+        };
+
+        // Generate probes. Each scanner gets its own RNG stream so the
+        // population composition never perturbs individual behavior.
+        let mut master = Xoshiro256pp::seed_from_u64(self.config.seed ^ 0x5ca_0b0e5);
+        let mut probes: Vec<Probe> = Vec::new();
+        for spec in &population.scanners {
+            let mut rng = master.split(&format!("scanner-{}", spec.id));
+            probes.extend(self.bounded_generate(spec, &world, &mut rng));
+        }
+        probes.sort_by_key(|p| p.ts);
+
+        // Deliver.
+        let mut captures = BTreeMap::new();
+        captures.insert(TelescopeId::T1, Capture::new(TelescopeConfig::t1(layout.t1)));
+        captures.insert(TelescopeId::T2, Capture::new(TelescopeConfig::t2(layout.t2)));
+        captures.insert(TelescopeId::T3, Capture::new(TelescopeConfig::t3(layout.t3)));
+        captures.insert(TelescopeId::T4, Capture::new(TelescopeConfig::t4(layout.t4)));
+        let mut t4_responses = 0u64;
+        let mut dropped_unrouted = 0u64;
+        for probe in &probes {
+            // The DFZ test: is the destination covered by a visible prefix
+            // at send time? (Propagation delay for the data path is
+            // negligible at our one-second resolution.)
+            if world.visibility.lpm(probe.dst, probe.ts).is_none() {
+                dropped_unrouted += 1;
+                continue;
+            }
+            let Some(telescope) = self.telescope_for(&layout, probe.dst) else {
+                continue; // routed, but not into observed space
+            };
+            let bytes = probe.to_bytes();
+            let capture = captures.get_mut(&telescope).expect("telescope exists");
+            let recorded = capture.ingest(probe.ts, &bytes);
+            if recorded && telescope == TelescopeId::T4 {
+                if let Ok(parsed) = ParsedPacket::parse(&bytes) {
+                    if respond(&parsed).is_some() {
+                        t4_responses += 1;
+                    }
+                }
+            }
+        }
+
+        ExperimentResult {
+            schedule: self.config.schedule(),
+            captures,
+            events,
+            visibility: world.visibility,
+            population,
+            hitlist: world.hitlist,
+            t4_responses,
+            dropped_unrouted,
+            layout,
+        }
+    }
+
+    /// Which telescope observes `dst`, if any.
+    fn telescope_for(&self, layout: &ExperimentLayout, dst: Ipv6Addr) -> Option<TelescopeId> {
+        if layout.t1.contains(dst) {
+            Some(TelescopeId::T1)
+        } else if layout.t2.contains(dst) {
+            Some(TelescopeId::T2)
+        } else if layout.t3.contains(dst) {
+            Some(TelescopeId::T3)
+        } else if layout.t4.contains(dst) {
+            Some(TelescopeId::T4)
+        } else {
+            None
+        }
+    }
+
+    /// Generates a scanner's probes with a safety cap so a mis-scaled spec
+    /// cannot exhaust memory.
+    fn bounded_generate(
+        &self,
+        spec: &ScannerSpec,
+        world: &WorldView,
+        rng: &mut Xoshiro256pp,
+    ) -> Vec<Probe> {
+        const CAP: usize = 4_000_000;
+        let mut probes = spec.generate(world, rng);
+        if probes.len() > CAP {
+            probes.truncate(CAP);
+        }
+        probes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ExperimentResult {
+        Scenario::new(ScenarioConfig::new(42, 0.004)).run()
+    }
+
+    #[test]
+    fn control_plane_produces_split_schedule_events() {
+        let config = ScenarioConfig::new(1, 0.004);
+        let events = Scenario::new(config.clone()).run_control_plane();
+        assert!(!events.is_empty());
+        let vis = Visibility::from_events(&events);
+        let schedule = config.schedule();
+        // During the baseline the /32 is visible.
+        let mid_baseline = schedule.cycle_start(0) + SimDuration::weeks(5);
+        assert!(vis.visible(&config.layout.t1, mid_baseline));
+        // Mid cycle 1 the two /33s are visible, the /32 is not.
+        let mid_c1 = schedule.cycle_start(1) + SimDuration::days(5);
+        assert!(!vis.visible(&config.layout.t1, mid_c1));
+        for prefix in schedule.announced_set(1) {
+            assert!(vis.visible(&prefix, mid_c1), "{prefix} not visible in cycle 1");
+        }
+        // Mid final cycle all 17 prefixes are visible.
+        let mid_final = schedule.cycle_start(16) + SimDuration::days(5);
+        for prefixix in schedule.announced_set(16) {
+            assert!(vis.visible(&prefixix, mid_final));
+        }
+        // T2 and the covering /29 are visible throughout.
+        assert!(vis.visible(&config.layout.t2, mid_c1));
+        assert!(vis.visible(&config.layout.covering, mid_c1));
+    }
+
+    #[test]
+    fn experiment_runs_and_fills_all_telescopes() {
+        let result = tiny();
+        assert!(result.capture(TelescopeId::T1).len() > 100, "T1 too quiet");
+        assert!(result.capture(TelescopeId::T2).len() > 100, "T2 too quiet");
+        assert!(result.capture(TelescopeId::T4).len() > 0, "T4 saw nothing");
+        // The silent telescope is quiet but not necessarily empty.
+        assert!(
+            result.capture(TelescopeId::T3).len() < result.capture(TelescopeId::T1).len() / 10,
+            "T3 should be orders of magnitude quieter than T1"
+        );
+    }
+
+    #[test]
+    fn withdrawal_day_drops_t1_packets() {
+        let result = tiny();
+        // Count packets during withdrawal gaps: should be zero in T1.
+        let schedule = &result.schedule;
+        let gap_start = schedule.cycle_start(1);
+        let gap_end = gap_start + SimDuration::days(1);
+        let during_gap = result
+            .capture(TelescopeId::T1)
+            .packets()
+            .iter()
+            .filter(|p| p.ts >= gap_start && p.ts < gap_end)
+            .count();
+        assert_eq!(during_gap, 0, "T1 received packets while withdrawn");
+    }
+
+    #[test]
+    fn t4_responds_to_probes() {
+        let result = tiny();
+        assert!(result.t4_responses > 0);
+        assert!(result.t4_responses <= result.capture(TelescopeId::T4).len() as u64);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let a = tiny();
+        let b = tiny();
+        assert_eq!(a.total_packets(), b.total_packets());
+        for id in TelescopeId::ALL {
+            assert_eq!(a.capture(id).packets(), b.capture(id).packets());
+        }
+    }
+
+    #[test]
+    fn route6_registry_matches_paper_timeline() {
+        let config = ScenarioConfig::new(1, 0.004);
+        let registry = config.paper_route6_registry();
+        let companion = config.schedule().companion();
+        let origin = sixscope_types::Asn(64_500);
+        // Not registered during the baseline...
+        assert!(!registry.is_registered(&companion, origin, config.layout.start));
+        // ...registered from four months in.
+        let later = config.layout.start + SimDuration::weeks(18);
+        assert!(registry.is_registered(&companion, origin, later));
+        // T2 and the covering /29 were always registered.
+        assert!(registry.is_registered(&config.layout.t2, origin, SimTime::EPOCH));
+    }
+
+    #[test]
+    fn validating_upstream_filters_unregistered_prefixes() {
+        let mut config = ScenarioConfig::new(2, 0.004);
+        config.irr_policy = IrrPolicy::RequireRoute6;
+        let events = Scenario::new(config.clone()).run_control_plane();
+        let vis = Visibility::from_events(&events);
+        let schedule = config.schedule();
+        // The covering /32 was never registered: invisible all baseline.
+        let mid_baseline = config.layout.start + SimDuration::weeks(5);
+        assert!(!vis.visible(&config.layout.t1, mid_baseline));
+        // T2 and the covering /29 propagate (long-standing objects).
+        assert!(vis.visible(&config.layout.t2, mid_baseline));
+        assert!(vis.visible(&config.layout.covering, mid_baseline));
+        // The companion /33 becomes visible only after its object exists
+        // (first re-announcement after the four-month mark: cycle 3+).
+        let companion = schedule.companion();
+        let mid_c1 = schedule.cycle_start(1) + SimDuration::days(5);
+        assert!(!vis.visible(&companion, mid_c1), "object not yet created");
+        let mid_c16 = schedule.cycle_start(16) + SimDuration::days(5);
+        assert!(vis.visible(&companion, mid_c16), "object exists, must propagate");
+        // The split-side prefixes were never registered: never visible.
+        let split_side = schedule.split_side();
+        assert!(!vis.visible(&split_side, mid_c1));
+    }
+
+    #[test]
+    fn hitlist_contains_t1_after_lag() {
+        let result = tiny();
+        let published = result
+            .hitlist
+            .published_at(result.layout.t1.low_byte_address())
+            .expect("T1 low-byte published");
+        let first = result
+            .visibility
+            .first_seen(&result.layout.t1)
+            .expect("T1 was announced");
+        assert_eq!(published, first + crate::world::PUBLICATION_LAG);
+    }
+}

@@ -1,0 +1,159 @@
+//! World metadata: the TUM-style hitlist with publication lag.
+//!
+//! §3.2/§7.2 of the paper: the T1 /32 appeared on the TUM hitlist five days
+//! after its first announcement; new split prefixes appeared within days;
+//! presence on the list had no measurable effect on traffic. The model
+//! publishes each newly visible prefix's low-byte address after a fixed
+//! lag, plus statically listed entries (T2 and the covering /29 were listed
+//! before the experiment).
+
+use crate::visibility::Visibility;
+use sixscope_types::{Ipv6Prefix, SimDuration, SimTime};
+use std::net::Ipv6Addr;
+
+/// The paper's observed publication lag (≈ 5 days).
+pub const PUBLICATION_LAG: SimDuration = SimDuration(5 * 86_400);
+
+/// A hitlist entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HitlistEntry {
+    /// When the entry became visible on the list.
+    pub published: SimTime,
+    /// The listed address.
+    pub addr: Ipv6Addr,
+}
+
+/// The TUM-style public hitlist.
+#[derive(Debug, Clone, Default)]
+pub struct TumHitlist {
+    entries: Vec<HitlistEntry>,
+}
+
+impl TumHitlist {
+    /// Builds the hitlist: `static_entries` are pre-listed (published at
+    /// epoch); every first-visibility transition adds the prefix's
+    /// low-byte address after [`PUBLICATION_LAG`].
+    pub fn build(static_entries: &[Ipv6Addr], visibility: &Visibility) -> TumHitlist {
+        let mut entries: Vec<HitlistEntry> = static_entries
+            .iter()
+            .map(|&addr| HitlistEntry {
+                published: SimTime::EPOCH,
+                addr,
+            })
+            .collect();
+        let mut seen: Vec<Ipv6Prefix> = Vec::new();
+        for (ts, prefix) in visibility.announce_transitions() {
+            if seen.contains(&prefix) {
+                continue; // re-announcements do not re-publish
+            }
+            seen.push(prefix);
+            entries.push(HitlistEntry {
+                published: ts + PUBLICATION_LAG,
+                addr: prefix.low_byte_address(),
+            });
+        }
+        entries.sort_by_key(|e| e.published);
+        TumHitlist { entries }
+    }
+
+    /// Addresses listed at `t`.
+    pub fn at(&self, t: SimTime) -> Vec<Ipv6Addr> {
+        self.entries
+            .iter()
+            .take_while(|e| e.published <= t)
+            .map(|e| e.addr)
+            .collect()
+    }
+
+    /// When `addr` was first published, if ever.
+    pub fn published_at(&self, addr: Ipv6Addr) -> Option<SimTime> {
+        self.entries
+            .iter()
+            .find(|e| e.addr == addr)
+            .map(|e| e.published)
+    }
+
+    /// Total entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entries exist.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sixscope_bgp::{RouteEvent, RouteEventKind};
+    use sixscope_types::Asn;
+
+    fn vis(events: &[(u64, &str, bool)]) -> Visibility {
+        let evs: Vec<RouteEvent> = events
+            .iter()
+            .map(|(ts, prefix, up)| RouteEvent {
+                ts: SimTime::from_secs(*ts),
+                prefix: prefix.parse().unwrap(),
+                kind: if *up {
+                    RouteEventKind::Announce {
+                        origin_as: Asn(1),
+                        as_path: vec![Asn(1)],
+                    }
+                } else {
+                    RouteEventKind::Withdraw
+                },
+            })
+            .collect();
+        Visibility::from_events(&evs)
+    }
+
+    #[test]
+    fn publication_lag_applies() {
+        let v = vis(&[(1000, "2001:db8::/32", true)]);
+        let list = TumHitlist::build(&[], &v);
+        let addr: Ipv6Addr = "2001:db8::1".parse().unwrap();
+        assert_eq!(
+            list.published_at(addr),
+            Some(SimTime::from_secs(1000) + PUBLICATION_LAG)
+        );
+        assert!(list.at(SimTime::from_secs(1000)).is_empty());
+        assert_eq!(list.at(SimTime::from_secs(1000) + PUBLICATION_LAG), vec![addr]);
+    }
+
+    #[test]
+    fn static_entries_are_listed_from_epoch() {
+        let addr: Ipv6Addr = "3fff:800::1".parse().unwrap();
+        let list = TumHitlist::build(&[addr], &Visibility::default());
+        assert_eq!(list.at(SimTime::EPOCH), vec![addr]);
+        assert_eq!(list.len(), 1);
+    }
+
+    #[test]
+    fn reannouncement_does_not_duplicate() {
+        let v = vis(&[
+            (100, "2001:db8::/32", true),
+            (200, "2001:db8::/32", false),
+            (300, "2001:db8::/32", true),
+        ]);
+        let list = TumHitlist::build(&[], &v);
+        assert_eq!(list.len(), 1);
+        assert_eq!(
+            list.published_at("2001:db8::1".parse().unwrap()),
+            Some(SimTime::from_secs(100) + PUBLICATION_LAG)
+        );
+    }
+
+    #[test]
+    fn entries_appear_in_publication_order() {
+        let v = vis(&[
+            (5000, "2001:db8:8000::/33", true),
+            (100, "2001:db8::/33", true),
+        ]);
+        let list = TumHitlist::build(&[], &v);
+        let at_later = list.at(SimTime::from_secs(5000) + PUBLICATION_LAG);
+        assert_eq!(at_later.len(), 2);
+        assert_eq!(at_later[0], "2001:db8::1".parse::<Ipv6Addr>().unwrap());
+    }
+}

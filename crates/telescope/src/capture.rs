@@ -1,0 +1,303 @@
+//! The per-telescope packet store.
+//!
+//! [`Capture::ingest`] parses raw IPv6 bytes (as received off the simulated
+//! wire or read from a pcap) into compact [`CapturedPacket`] records, with an
+//! optional pcap tee so a capture can be exported for tcpdump/Wireshark.
+//! Analysis works exclusively on these records — the same structures a real
+//! deployment would fill from `tcpdump -y RAW`.
+
+use crate::config::{TelescopeConfig, TelescopeId};
+use bytes::Bytes;
+use sixscope_packet::{ParsedPacket, PcapRecord, PcapWriter, Transport};
+use sixscope_types::SimTime;
+use std::io::Write;
+use std::net::Ipv6Addr;
+
+/// Transport protocol of a captured packet (telescope view).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Protocol {
+    /// ICMPv6.
+    Icmpv6,
+    /// TCP.
+    Tcp,
+    /// UDP.
+    Udp,
+    /// Anything else.
+    Other,
+}
+
+impl Protocol {
+    /// Table-2 row label.
+    pub fn name(self) -> &'static str {
+        match self {
+            Protocol::Icmpv6 => "ICMPv6",
+            Protocol::Tcp => "TCP",
+            Protocol::Udp => "UDP",
+            Protocol::Other => "Other",
+        }
+    }
+
+    /// The three protocols reported in Table 2, in paper order.
+    pub const REPORTED: [Protocol; 3] = [Protocol::Icmpv6, Protocol::Udp, Protocol::Tcp];
+}
+
+/// One captured probe.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CapturedPacket {
+    /// Arrival time.
+    pub ts: SimTime,
+    /// Receiving telescope.
+    pub telescope: TelescopeId,
+    /// Source address.
+    pub src: Ipv6Addr,
+    /// Destination (target) address.
+    pub dst: Ipv6Addr,
+    /// Transport protocol.
+    pub protocol: Protocol,
+    /// Source port (TCP/UDP).
+    pub src_port: Option<u16>,
+    /// Destination port (TCP/UDP).
+    pub dst_port: Option<u16>,
+    /// Upper-layer payload (tool fingerprints live here).
+    pub payload: Bytes,
+}
+
+/// A telescope's capture buffer.
+pub struct Capture {
+    config: TelescopeConfig,
+    packets: Vec<CapturedPacket>,
+    pcap: Option<PcapWriter<Box<dyn Write + Send + Sync>>>,
+    /// Count of packets rejected by the capture filter.
+    filtered: u64,
+    /// Count of packets that failed to parse.
+    malformed: u64,
+}
+
+impl std::fmt::Debug for Capture {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Capture")
+            .field("telescope", &self.config.id)
+            .field("packets", &self.packets.len())
+            .field("filtered", &self.filtered)
+            .field("malformed", &self.malformed)
+            .finish()
+    }
+}
+
+impl Capture {
+    /// Creates an empty capture for a telescope.
+    pub fn new(config: TelescopeConfig) -> Self {
+        Capture {
+            config,
+            packets: Vec::new(),
+            pcap: None,
+            filtered: 0,
+            malformed: 0,
+        }
+    }
+
+    /// Attaches a pcap tee; every ingested packet is also written there.
+    pub fn attach_pcap<W: Write + Send + Sync + 'static>(
+        &mut self,
+        writer: W,
+    ) -> Result<(), sixscope_packet::PacketError> {
+        self.pcap = Some(PcapWriter::new(Box::new(writer) as Box<dyn Write + Send + Sync>)?);
+        Ok(())
+    }
+
+    /// The telescope configuration.
+    pub fn config(&self) -> &TelescopeConfig {
+        &self.config
+    }
+
+    /// Ingests raw IPv6 bytes arriving at `ts`. Returns `true` if the packet
+    /// was recorded (parsed and matching the capture filter).
+    pub fn ingest(&mut self, ts: SimTime, raw: &[u8]) -> bool {
+        let parsed = match ParsedPacket::parse(raw) {
+            Ok(p) => p,
+            Err(_) => {
+                self.malformed += 1;
+                return false;
+            }
+        };
+        if !self.config.captures(parsed.header.dst) {
+            self.filtered += 1;
+            return false;
+        }
+        if let Some(pcap) = &mut self.pcap {
+            let _ = pcap.write_record(&PcapRecord {
+                ts,
+                ts_micros: 0,
+                data: raw.to_vec(),
+            });
+        }
+        let protocol = match &parsed.transport {
+            Transport::Icmpv6(_) => Protocol::Icmpv6,
+            Transport::Tcp(_) => Protocol::Tcp,
+            Transport::Udp(_) => Protocol::Udp,
+            Transport::Other(_) => Protocol::Other,
+        };
+        self.packets.push(CapturedPacket {
+            ts,
+            telescope: self.config.id,
+            src: parsed.header.src,
+            dst: parsed.header.dst,
+            protocol,
+            src_port: parsed.src_port(),
+            dst_port: parsed.dst_port(),
+            payload: parsed.payload,
+        });
+        true
+    }
+
+    /// Directly records an already-decomposed packet (used when replaying
+    /// summarized captures; simulation uses [`Capture::ingest`]).
+    pub fn push(&mut self, packet: CapturedPacket) {
+        self.packets.push(packet);
+    }
+
+    /// All captured packets in arrival order.
+    pub fn packets(&self) -> &[CapturedPacket] {
+        &self.packets
+    }
+
+    /// Number of captured packets.
+    pub fn len(&self) -> usize {
+        self.packets.len()
+    }
+
+    /// True if nothing was captured.
+    pub fn is_empty(&self) -> bool {
+        self.packets.is_empty()
+    }
+
+    /// Packets dropped by the capture filter (outside prefix / productive).
+    pub fn filtered(&self) -> u64 {
+        self.filtered
+    }
+
+    /// Packets that failed to parse.
+    pub fn malformed(&self) -> u64 {
+        self.malformed
+    }
+
+    /// Reads a pcap stream into this capture, applying the same filter.
+    pub fn ingest_pcap<R: std::io::Read>(
+        &mut self,
+        reader: R,
+    ) -> Result<usize, sixscope_packet::PacketError> {
+        let mut count = 0;
+        for rec in sixscope_packet::PcapReader::new(reader)? {
+            let rec = rec?;
+            if self.ingest(rec.ts, &rec.data) {
+                count += 1;
+            }
+        }
+        Ok(count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sixscope_packet::PacketBuilder;
+
+    fn t3_capture() -> Capture {
+        Capture::new(TelescopeConfig::t3("2001:db8:3::/48".parse().unwrap()))
+    }
+
+    fn probe(dst: &str) -> Vec<u8> {
+        PacketBuilder::new("2001:db8:f00::1".parse().unwrap(), dst.parse().unwrap())
+            .icmpv6_echo_request(1, 1, b"yarrp")
+    }
+
+    #[test]
+    fn ingest_records_matching_packets() {
+        let mut cap = t3_capture();
+        assert!(cap.ingest(SimTime::from_secs(5), &probe("2001:db8:3::1")));
+        assert_eq!(cap.len(), 1);
+        let p = &cap.packets()[0];
+        assert_eq!(p.protocol, Protocol::Icmpv6);
+        assert_eq!(p.dst, "2001:db8:3::1".parse::<Ipv6Addr>().unwrap());
+        assert_eq!(&p.payload[..], b"yarrp");
+        assert_eq!(p.telescope, TelescopeId::T3);
+    }
+
+    #[test]
+    fn ingest_filters_out_of_prefix_traffic() {
+        let mut cap = t3_capture();
+        assert!(!cap.ingest(SimTime::EPOCH, &probe("2001:db8:4::1")));
+        assert_eq!(cap.len(), 0);
+        assert_eq!(cap.filtered(), 1);
+    }
+
+    #[test]
+    fn ingest_counts_malformed() {
+        let mut cap = t3_capture();
+        assert!(!cap.ingest(SimTime::EPOCH, &[0u8; 10]));
+        assert_eq!(cap.malformed(), 1);
+    }
+
+    #[test]
+    fn t2_productive_traffic_is_excluded() {
+        let cfg = TelescopeConfig::t2("2001:db8:2::/48".parse().unwrap());
+        let productive = cfg.productive_subnet.unwrap();
+        let mut cap = Capture::new(cfg);
+        let inside = format!("{}", productive.low_byte_address());
+        assert!(!cap.ingest(SimTime::EPOCH, &probe(&inside)));
+        assert!(cap.ingest(SimTime::EPOCH, &probe("2001:db8:2:200::1")));
+    }
+
+    #[test]
+    fn pcap_tee_round_trips() {
+        use std::sync::{Arc, Mutex};
+
+        /// Shared Vec so we can read what the tee wrote.
+        #[derive(Clone)]
+        struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+        impl Write for SharedBuf {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let buf = SharedBuf(Arc::new(Mutex::new(Vec::new())));
+        let mut cap = t3_capture();
+        cap.attach_pcap(buf.clone()).unwrap();
+        let raw = probe("2001:db8:3::42");
+        cap.ingest(SimTime::from_secs(77), &raw);
+        let bytes = buf.0.lock().unwrap().clone();
+        let mut reader = sixscope_packet::PcapReader::new(&bytes[..]).unwrap();
+        let rec = reader.read_record().unwrap().unwrap();
+        assert_eq!(rec.ts.as_secs(), 77);
+        assert_eq!(rec.data, raw);
+    }
+
+    #[test]
+    fn pcap_ingest_applies_filter() {
+        // Build a pcap with one matching and one non-matching packet.
+        let mut w = PcapWriter::new(Vec::new()).unwrap();
+        w.write_record(&PcapRecord {
+            ts: SimTime::from_secs(1),
+            ts_micros: 0,
+            data: probe("2001:db8:3::1"),
+        })
+        .unwrap();
+        w.write_record(&PcapRecord {
+            ts: SimTime::from_secs(2),
+            ts_micros: 0,
+            data: probe("2001:db8:9::1"),
+        })
+        .unwrap();
+        let bytes = w.into_inner().unwrap();
+        let mut cap = t3_capture();
+        let n = cap.ingest_pcap(&bytes[..]).unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(cap.len(), 1);
+        assert_eq!(cap.filtered(), 1);
+    }
+}

@@ -1,0 +1,333 @@
+//! The T1 announcement schedule: bi-weekly asymmetric prefix splitting
+//! (paper §3.1, Fig. 2).
+//!
+//! After a baseline phase with the covering /32 announced stably, every two
+//! weeks:
+//!
+//! 1. all currently announced prefixes are **withdrawn for one day**,
+//! 2. the next day a new set is announced: all previous prefixes *except
+//!    the one being split*, plus the two halves of the split prefix.
+//!
+//! The split target is always the most-specific prefix that does **not**
+//! contain the low-byte address inherited from its parent — i.e. the *high*
+//! half of the previous split — so each cycle exposes two prefixes whose
+//! `::1` addresses were never announced before. After 16 cycles the set
+//! holds 17 prefixes and the most-specific is a /48.
+
+use serde::{Deserialize, Serialize};
+use sixscope_types::{Ipv6Prefix, SimDuration, SimTime};
+
+/// What a schedule action does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ScheduleActionKind {
+    /// Announce the prefix in BGP.
+    Announce,
+    /// Withdraw the prefix from BGP.
+    Withdraw,
+}
+
+/// One timed control-plane action.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScheduleAction {
+    /// When to perform it.
+    pub at: SimTime,
+    /// Announce or withdraw.
+    pub kind: ScheduleActionKind,
+    /// The affected prefix.
+    pub prefix: Ipv6Prefix,
+}
+
+/// The full T1 schedule.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SplitSchedule {
+    /// The covering prefix (the paper's untainted /32).
+    pub covering: Ipv6Prefix,
+    /// Experiment start (first announcement of the covering prefix).
+    pub start: SimTime,
+    /// Baseline phase length (paper: 12 weeks).
+    pub baseline: SimDuration,
+    /// Length of one announcement cycle (paper: 2 weeks).
+    pub cycle_len: SimDuration,
+    /// Withdrawal gap at each cycle boundary (paper: 1 day).
+    pub withdraw_gap: SimDuration,
+    /// Number of split cycles (paper: 16, reaching /48).
+    pub cycles: u32,
+}
+
+impl SplitSchedule {
+    /// The paper's exact schedule for a given covering /32.
+    pub fn paper(covering: Ipv6Prefix, start: SimTime) -> Self {
+        assert_eq!(covering.len(), 32, "the paper splits a /32");
+        SplitSchedule {
+            covering,
+            start,
+            baseline: SimDuration::weeks(12),
+            cycle_len: SimDuration::weeks(2),
+            withdraw_gap: SimDuration::days(1),
+            cycles: 16,
+        }
+    }
+
+    /// The announced prefix set during cycle `k` (0 = baseline).
+    ///
+    /// Cycle k ≥ 1 holds `k + 1` prefixes: the low halves of splits 1..=k
+    /// plus the final high half. The covering prefix itself is only
+    /// announced during the baseline.
+    pub fn announced_set(&self, cycle: u32) -> Vec<Ipv6Prefix> {
+        assert!(cycle <= self.cycles, "cycle {cycle} beyond schedule");
+        if cycle == 0 {
+            return vec![self.covering];
+        }
+        let mut set = Vec::with_capacity(cycle as usize + 1);
+        let mut current = self.covering;
+        for _ in 0..cycle {
+            let (lo, hi) = current.split().expect("len < 128 throughout");
+            set.push(lo);
+            current = hi;
+        }
+        set.push(current);
+        set
+    }
+
+    /// The prefix that is newly *split* entering cycle `k` (k ≥ 1): the
+    /// high half from the previous cycle (or the covering prefix for k = 1).
+    pub fn split_target(&self, cycle: u32) -> Ipv6Prefix {
+        assert!((1..=self.cycles).contains(&cycle));
+        let mut current = self.covering;
+        for _ in 1..cycle {
+            let (_, hi) = current.split().expect("len < 128 throughout");
+            current = hi;
+        }
+        current
+    }
+
+    /// The two prefixes first announced in cycle `k` (k ≥ 1).
+    pub fn new_prefixes(&self, cycle: u32) -> (Ipv6Prefix, Ipv6Prefix) {
+        self.split_target(cycle).split().expect("len < 128")
+    }
+
+    /// The *stable companion*: the /33 low half announced from cycle 1 to
+    /// the end and never split again (the +286% comparison baseline).
+    pub fn companion(&self) -> Ipv6Prefix {
+        self.covering.split().expect("a /32 splits").0
+    }
+
+    /// The iteratively split /33 (the high half of the first split).
+    pub fn split_side(&self) -> Ipv6Prefix {
+        self.covering.split().expect("a /32 splits").1
+    }
+
+    /// Start time of cycle `k` (0 = baseline start).
+    pub fn cycle_start(&self, cycle: u32) -> SimTime {
+        if cycle == 0 {
+            self.start
+        } else {
+            self.start + self.baseline + self.cycle_len.saturating_mul((cycle - 1) as u64)
+        }
+    }
+
+    /// End of the schedule (end of the last cycle).
+    pub fn end(&self) -> SimTime {
+        self.cycle_start(self.cycles) + self.cycle_len
+    }
+
+    /// The cycle active at `t` (`None` before start or after the end).
+    /// During a withdrawal gap the *upcoming* cycle is reported.
+    pub fn cycle_at(&self, t: SimTime) -> Option<u32> {
+        if t < self.start || t >= self.end() {
+            return None;
+        }
+        if t < self.start + self.baseline {
+            return Some(0);
+        }
+        let into = t.since(self.start + self.baseline).as_secs();
+        Some((into / self.cycle_len.as_secs()) as u32 + 1)
+    }
+
+    /// Generates the complete timed action list: the initial announcement,
+    /// then per cycle the withdraw-all / announce-new-set pair.
+    pub fn actions(&self) -> Vec<ScheduleAction> {
+        let mut actions = vec![ScheduleAction {
+            at: self.start,
+            kind: ScheduleActionKind::Announce,
+            prefix: self.covering,
+        }];
+        for cycle in 1..=self.cycles {
+            let boundary = self.cycle_start(cycle);
+            // Withdraw everything announced in the previous cycle.
+            for prefix in self.announced_set(cycle - 1) {
+                actions.push(ScheduleAction {
+                    at: boundary,
+                    kind: ScheduleActionKind::Withdraw,
+                    prefix,
+                });
+            }
+            // One day later, announce the new set.
+            for prefix in self.announced_set(cycle) {
+                actions.push(ScheduleAction {
+                    at: boundary + self.withdraw_gap,
+                    kind: ScheduleActionKind::Announce,
+                    prefix,
+                });
+            }
+        }
+        actions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Ipv6Prefix {
+        s.parse().unwrap()
+    }
+
+    fn sched() -> SplitSchedule {
+        SplitSchedule::paper(p("2001:db8::/32"), SimTime::EPOCH)
+    }
+
+    #[test]
+    fn baseline_announces_only_covering() {
+        assert_eq!(sched().announced_set(0), vec![p("2001:db8::/32")]);
+    }
+
+    #[test]
+    fn cycle_one_is_the_two_halves() {
+        assert_eq!(
+            sched().announced_set(1),
+            vec![p("2001:db8::/33"), p("2001:db8:8000::/33")]
+        );
+    }
+
+    #[test]
+    fn split_always_takes_the_half_without_inherited_low_byte() {
+        let s = sched();
+        for cycle in 1..=16 {
+            let target = s.split_target(cycle);
+            if cycle > 1 {
+                // The split target must not contain its parent's low-byte
+                // address (which was announced in the previous cycle).
+                let parent = target.parent().unwrap();
+                assert!(
+                    !target.contains(parent.low_byte_address()),
+                    "cycle {cycle}: {target} contains inherited low-byte"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn new_prefixes_have_fresh_low_bytes() {
+        let s = sched();
+        let mut seen_low_bytes = vec![s.covering.low_byte_address()];
+        for cycle in 1..=16 {
+            let (lo, hi) = s.new_prefixes(cycle);
+            // The high half's low-byte address is always fresh.
+            assert!(!seen_low_bytes.contains(&hi.low_byte_address()));
+            for pre in [lo, hi] {
+                if !seen_low_bytes.contains(&pre.low_byte_address()) {
+                    seen_low_bytes.push(pre.low_byte_address());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn final_cycle_has_17_prefixes_down_to_48() {
+        let s = sched();
+        let final_set = s.announced_set(16);
+        assert_eq!(final_set.len(), 17);
+        let max_len = final_set.iter().map(|p| p.len()).max().unwrap();
+        assert_eq!(max_len, 48);
+        // Exactly two /48s (the last split pair).
+        assert_eq!(final_set.iter().filter(|p| p.len() == 48).count(), 2);
+        // The set is disjoint and covers the /32 exactly.
+        for (i, a) in final_set.iter().enumerate() {
+            for b in final_set.iter().skip(i + 1) {
+                assert!(!a.overlaps(b), "{a} overlaps {b}");
+            }
+        }
+        let total: u128 = final_set.iter().map(|p| p.address_count()).sum();
+        assert_eq!(total, s.covering.address_count());
+    }
+
+    #[test]
+    fn set_grows_by_one_each_cycle() {
+        let s = sched();
+        for cycle in 1..=16u32 {
+            assert_eq!(s.announced_set(cycle).len() as u32, cycle + 1);
+        }
+    }
+
+    #[test]
+    fn companion_is_stable_across_cycles() {
+        let s = sched();
+        let companion = s.companion();
+        assert_eq!(companion, p("2001:db8::/33"));
+        for cycle in 1..=16 {
+            assert!(s.announced_set(cycle).contains(&companion));
+        }
+        assert_eq!(s.split_side(), p("2001:db8:8000::/33"));
+    }
+
+    #[test]
+    fn cycle_timing() {
+        let s = sched();
+        assert_eq!(s.cycle_start(0), SimTime::EPOCH);
+        assert_eq!(s.cycle_start(1).as_secs(), SimDuration::weeks(12).as_secs());
+        assert_eq!(
+            s.cycle_start(2).as_secs(),
+            (SimDuration::weeks(12) + SimDuration::weeks(2)).as_secs()
+        );
+        // 12 weeks baseline + 16 × 2 weeks = 44 weeks total (11 months).
+        assert_eq!(s.end().as_secs(), SimDuration::weeks(44).as_secs());
+    }
+
+    #[test]
+    fn cycle_at_maps_times_correctly() {
+        let s = sched();
+        assert_eq!(s.cycle_at(SimTime::EPOCH), Some(0));
+        assert_eq!(s.cycle_at(s.cycle_start(1)), Some(1));
+        // Mid-baseline.
+        assert_eq!(s.cycle_at(SimTime::EPOCH + SimDuration::weeks(5)), Some(0));
+        // Mid-cycle 3.
+        assert_eq!(
+            s.cycle_at(s.cycle_start(3) + SimDuration::days(5)),
+            Some(3)
+        );
+        assert_eq!(s.cycle_at(s.end()), None);
+    }
+
+    #[test]
+    fn actions_withdraw_then_reannounce_with_gap() {
+        let s = sched();
+        let actions = s.actions();
+        // Initial announce + per cycle: k withdrawals + (k+1) announcements.
+        let expected: usize = 1 + (1..=16).map(|k| k + (k + 1)).sum::<usize>();
+        assert_eq!(actions.len(), expected);
+        // Cycle-1 boundary: the /32 is withdrawn, the two /33s appear a day
+        // later.
+        let boundary = s.cycle_start(1);
+        let withdraws: Vec<_> = actions
+            .iter()
+            .filter(|a| a.at == boundary && a.kind == ScheduleActionKind::Withdraw)
+            .collect();
+        assert_eq!(withdraws.len(), 1);
+        assert_eq!(withdraws[0].prefix, p("2001:db8::/32"));
+        let announces: Vec<_> = actions
+            .iter()
+            .filter(|a| {
+                a.at == boundary + SimDuration::days(1)
+                    && a.kind == ScheduleActionKind::Announce
+            })
+            .collect();
+        assert_eq!(announces.len(), 2);
+    }
+
+    #[test]
+    fn actions_are_time_ordered() {
+        let actions = sched().actions();
+        assert!(actions.windows(2).all(|w| w[0].at <= w[1].at));
+    }
+}

@@ -1,0 +1,287 @@
+//! Scan-session construction (paper §3.3).
+//!
+//! A *scan session* is a maximal run of packets from one source (at a chosen
+//! aggregation level) whose inter-arrival gaps stay below the timeout T.
+//! The paper adopts T = 1 hour from Richter et al. and Zhao et al. — long
+//! enough for scanners traversing huge subnets, short enough not to glue
+//! unrelated campaigns — and deliberately applies no minimum packet count.
+
+use crate::capture::{Capture, CapturedPacket, Protocol};
+use crate::config::TelescopeId;
+use crate::source::{AggLevel, SourceKey};
+use sixscope_types::{SimDuration, SimTime};
+use std::collections::HashMap;
+
+/// The paper's session timeout (1 hour).
+pub const SESSION_TIMEOUT: SimDuration = SimDuration(3600);
+
+/// One scan session: indices into the capture's packet vector.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScanSession {
+    /// The source (at the sessionizer's aggregation level).
+    pub source: SourceKey,
+    /// The telescope observing it.
+    pub telescope: TelescopeId,
+    /// First packet time.
+    pub start: SimTime,
+    /// Last packet time.
+    pub end: SimTime,
+    /// Indices into [`Capture::packets`], in time order.
+    pub packet_indices: Vec<u32>,
+}
+
+impl ScanSession {
+    /// Number of packets in the session.
+    pub fn packet_count(&self) -> usize {
+        self.packet_indices.len()
+    }
+
+    /// Session duration.
+    pub fn duration(&self) -> SimDuration {
+        self.end - self.start
+    }
+
+    /// Iterates the session's packets out of `capture`.
+    pub fn packets<'a>(
+        &'a self,
+        capture: &'a Capture,
+    ) -> impl Iterator<Item = &'a CapturedPacket> + 'a {
+        self.packet_indices
+            .iter()
+            .map(move |&i| &capture.packets()[i as usize])
+    }
+
+    /// The set of transport protocols probed in this session.
+    pub fn protocols(&self, capture: &Capture) -> Vec<Protocol> {
+        let mut seen = [false; 4];
+        for p in self.packets(capture) {
+            let idx = match p.protocol {
+                Protocol::Icmpv6 => 0,
+                Protocol::Tcp => 1,
+                Protocol::Udp => 2,
+                Protocol::Other => 3,
+            };
+            seen[idx] = true;
+        }
+        let mut out = Vec::new();
+        if seen[0] {
+            out.push(Protocol::Icmpv6);
+        }
+        if seen[1] {
+            out.push(Protocol::Tcp);
+        }
+        if seen[2] {
+            out.push(Protocol::Udp);
+        }
+        if seen[3] {
+            out.push(Protocol::Other);
+        }
+        out
+    }
+}
+
+/// Builds scan sessions from a capture.
+#[derive(Debug, Clone)]
+pub struct Sessionizer {
+    /// Aggregation level for source identity.
+    pub level: AggLevel,
+    /// Inter-arrival timeout.
+    pub timeout: SimDuration,
+}
+
+impl Sessionizer {
+    /// The paper's configuration at a given aggregation level.
+    pub fn paper(level: AggLevel) -> Self {
+        Sessionizer {
+            level,
+            timeout: SESSION_TIMEOUT,
+        }
+    }
+
+    /// Sessionizes a capture. Packets must be (and are, by construction of
+    /// the simulation) in non-decreasing time order; out-of-order captures
+    /// are sorted first.
+    pub fn sessionize(&self, capture: &Capture) -> Vec<ScanSession> {
+        let packets = capture.packets();
+        // Index list in time order (stable to preserve arrival order on ties).
+        let mut order: Vec<u32> = (0..packets.len() as u32).collect();
+        let sorted = packets.windows(2).all(|w| w[0].ts <= w[1].ts);
+        if !sorted {
+            order.sort_by_key(|&i| packets[i as usize].ts);
+        }
+
+        let mut open: HashMap<SourceKey, usize> = HashMap::new();
+        let mut sessions: Vec<ScanSession> = Vec::new();
+        for &idx in &order {
+            let pkt = &packets[idx as usize];
+            let key = SourceKey::new(pkt.src, self.level);
+            match open.get(&key) {
+                Some(&sid) if pkt.ts.since(sessions[sid].end) < self.timeout => {
+                    let s = &mut sessions[sid];
+                    s.end = pkt.ts;
+                    s.packet_indices.push(idx);
+                }
+                _ => {
+                    let sid = sessions.len();
+                    sessions.push(ScanSession {
+                        source: key,
+                        telescope: pkt.telescope,
+                        start: pkt.ts,
+                        end: pkt.ts,
+                        packet_indices: vec![idx],
+                    });
+                    open.insert(key, sid);
+                }
+            }
+        }
+        sessions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TelescopeConfig;
+    use bytes::Bytes;
+    use std::net::Ipv6Addr;
+
+    fn capture_with(packets: Vec<(u64, &str, &str)>) -> Capture {
+        let mut cap = Capture::new(TelescopeConfig::t3("2001:db8:3::/48".parse().unwrap()));
+        for (ts, src, dst) in packets {
+            cap.push(CapturedPacket {
+                ts: SimTime::from_secs(ts),
+                telescope: TelescopeId::T3,
+                src: src.parse().unwrap(),
+                dst: dst.parse().unwrap(),
+                protocol: Protocol::Icmpv6,
+                src_port: None,
+                dst_port: None,
+                payload: Bytes::new(),
+            });
+        }
+        cap
+    }
+
+    #[test]
+    fn gap_below_timeout_stays_one_session() {
+        let cap = capture_with(vec![
+            (0, "2001:db8:f00::1", "2001:db8:3::1"),
+            (3599, "2001:db8:f00::1", "2001:db8:3::2"),
+            (7198, "2001:db8:f00::1", "2001:db8:3::3"),
+        ]);
+        let sessions = Sessionizer::paper(AggLevel::Addr128).sessionize(&cap);
+        assert_eq!(sessions.len(), 1);
+        assert_eq!(sessions[0].packet_count(), 3);
+        assert_eq!(sessions[0].duration(), SimDuration::secs(7198));
+    }
+
+    #[test]
+    fn gap_at_timeout_splits_sessions() {
+        let cap = capture_with(vec![
+            (0, "2001:db8:f00::1", "2001:db8:3::1"),
+            (3600, "2001:db8:f00::1", "2001:db8:3::2"),
+        ]);
+        let sessions = Sessionizer::paper(AggLevel::Addr128).sessionize(&cap);
+        assert_eq!(sessions.len(), 2);
+    }
+
+    #[test]
+    fn distinct_sources_get_distinct_sessions() {
+        let cap = capture_with(vec![
+            (0, "2001:db8:f00::1", "2001:db8:3::1"),
+            (1, "2001:db8:f00::2", "2001:db8:3::1"),
+        ]);
+        let sessions = Sessionizer::paper(AggLevel::Addr128).sessionize(&cap);
+        assert_eq!(sessions.len(), 2);
+    }
+
+    #[test]
+    fn sixty_four_aggregation_merges_rotating_sources() {
+        // Address rotation inside one /64 (the T2 phenomenon): /128 sees
+        // many sessions, /64 sees one.
+        let cap = capture_with(vec![
+            (0, "2001:db8:f00::aaaa", "2001:db8:3::1"),
+            (10, "2001:db8:f00::bbbb", "2001:db8:3::2"),
+            (20, "2001:db8:f00::cccc", "2001:db8:3::3"),
+        ]);
+        let s128 = Sessionizer::paper(AggLevel::Addr128).sessionize(&cap);
+        let s64 = Sessionizer::paper(AggLevel::Subnet64).sessionize(&cap);
+        assert_eq!(s128.len(), 3);
+        assert_eq!(s64.len(), 1);
+        assert_eq!(s64[0].packet_count(), 3);
+    }
+
+    #[test]
+    fn out_of_order_capture_is_sorted() {
+        let cap = capture_with(vec![
+            (100, "2001:db8:f00::1", "2001:db8:3::2"),
+            (0, "2001:db8:f00::1", "2001:db8:3::1"),
+        ]);
+        let sessions = Sessionizer::paper(AggLevel::Addr128).sessionize(&cap);
+        assert_eq!(sessions.len(), 1);
+        assert_eq!(sessions[0].start, SimTime::from_secs(0));
+        assert_eq!(sessions[0].end, SimTime::from_secs(100));
+        // Packet indices follow time order, not arrival order.
+        let cap_packets = cap.packets();
+        assert!(
+            cap_packets[sessions[0].packet_indices[0] as usize].ts
+                <= cap_packets[sessions[0].packet_indices[1] as usize].ts
+        );
+    }
+
+    #[test]
+    fn interleaved_sources_session_correctly() {
+        let cap = capture_with(vec![
+            (0, "2001:db8:f00::1", "2001:db8:3::1"),
+            (5, "2001:db8:f00::2", "2001:db8:3::1"),
+            (10, "2001:db8:f00::1", "2001:db8:3::2"),
+            (15, "2001:db8:f00::2", "2001:db8:3::2"),
+        ]);
+        let sessions = Sessionizer::paper(AggLevel::Addr128).sessionize(&cap);
+        assert_eq!(sessions.len(), 2);
+        assert!(sessions.iter().all(|s| s.packet_count() == 2));
+    }
+
+    #[test]
+    fn empty_capture_yields_no_sessions() {
+        let cap = capture_with(vec![]);
+        assert!(Sessionizer::paper(AggLevel::Addr128).sessionize(&cap).is_empty());
+    }
+
+    #[test]
+    fn session_packets_accessor_resolves_indices() {
+        let cap = capture_with(vec![
+            (0, "2001:db8:f00::1", "2001:db8:3::1"),
+            (1, "2001:db8:f00::1", "2001:db8:3::2"),
+        ]);
+        let sessions = Sessionizer::paper(AggLevel::Addr128).sessionize(&cap);
+        let dsts: Vec<Ipv6Addr> = sessions[0].packets(&cap).map(|p| p.dst).collect();
+        assert_eq!(
+            dsts,
+            vec![
+                "2001:db8:3::1".parse::<Ipv6Addr>().unwrap(),
+                "2001:db8:3::2".parse::<Ipv6Addr>().unwrap()
+            ]
+        );
+    }
+
+    #[test]
+    fn protocol_set_is_deduplicated() {
+        let mut cap = capture_with(vec![(0, "2001:db8:f00::1", "2001:db8:3::1")]);
+        cap.push(CapturedPacket {
+            ts: SimTime::from_secs(1),
+            telescope: TelescopeId::T3,
+            src: "2001:db8:f00::1".parse().unwrap(),
+            dst: "2001:db8:3::1".parse().unwrap(),
+            protocol: Protocol::Tcp,
+            src_port: Some(1),
+            dst_port: Some(80),
+            payload: Bytes::new(),
+        });
+        let sessions = Sessionizer::paper(AggLevel::Addr128).sessionize(&cap);
+        assert_eq!(
+            sessions[0].protocols(&cap),
+            vec![Protocol::Icmpv6, Protocol::Tcp]
+        );
+    }
+}

@@ -1,0 +1,146 @@
+//! Autonomous system numbers and the source metadata the paper joins against.
+//!
+//! Table 8 classifies scan sources by the *network type* of their origin AS
+//! (hosting, ISP, education, business, government); §4 counts origin ASes and
+//! countries. These are plain labels in our model, attached to each AS by the
+//! world generator.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A 4-byte autonomous system number (RFC 6793).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct Asn(pub u32);
+
+impl Asn {
+    /// Returns the raw number.
+    pub const fn get(self) -> u32 {
+        self.0
+    }
+
+    /// True if the ASN fits in the legacy 2-byte space.
+    pub const fn is_two_byte(self) -> bool {
+        self.0 <= u16::MAX as u32
+    }
+
+    /// The well-known AS_TRANS placeholder used when speaking to 2-byte peers.
+    pub const TRANS: Asn = Asn(23456);
+}
+
+impl fmt::Display for Asn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AS{}", self.0)
+    }
+}
+
+/// Coarse network type of an AS, following the categories of Table 8.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, PartialOrd, Ord)]
+pub enum NetworkType {
+    /// Server-hosting / cloud providers — where most heavy hitters live.
+    Hosting,
+    /// Access and transit ISPs — where most RIPE Atlas probes live.
+    Isp,
+    /// Universities and research networks.
+    Education,
+    /// Enterprise networks.
+    Business,
+    /// Government networks.
+    Government,
+    /// No classification available.
+    Unknown,
+}
+
+impl NetworkType {
+    /// All variants in Table 8 order.
+    pub const ALL: [NetworkType; 6] = [
+        NetworkType::Hosting,
+        NetworkType::Isp,
+        NetworkType::Education,
+        NetworkType::Business,
+        NetworkType::Government,
+        NetworkType::Unknown,
+    ];
+}
+
+impl fmt::Display for NetworkType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            NetworkType::Hosting => "Hosting",
+            NetworkType::Isp => "ISP",
+            NetworkType::Education => "Education",
+            NetworkType::Business => "Business",
+            NetworkType::Government => "Government",
+            NetworkType::Unknown => "Unknown",
+        };
+        f.write_str(s)
+    }
+}
+
+/// ISO-3166-style two-letter country code (stored as two ASCII bytes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct CountryCode(pub [u8; 2]);
+
+impl CountryCode {
+    /// Builds a code from a two-character ASCII string.
+    ///
+    /// # Panics
+    /// Panics if `s` is not exactly two ASCII bytes.
+    pub fn new(s: &str) -> Self {
+        let b = s.as_bytes();
+        assert!(b.len() == 2 && b.is_ascii(), "country code must be 2 ASCII chars");
+        CountryCode([b[0].to_ascii_uppercase(), b[1].to_ascii_uppercase()])
+    }
+}
+
+impl fmt::Display for CountryCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", self.0[0] as char, self.0[1] as char)
+    }
+}
+
+/// Static metadata for one autonomous system in the simulated world.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AsInfo {
+    /// The AS number.
+    pub asn: Asn,
+    /// Network type category (Table 8).
+    pub network_type: NetworkType,
+    /// Registration country.
+    pub country: CountryCode,
+    /// Human-readable name, used in report output and rDNS synthesis.
+    pub name: String,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn asn_display_and_size_class() {
+        assert_eq!(Asn(64512).to_string(), "AS64512");
+        assert!(Asn(65535).is_two_byte());
+        assert!(!Asn(4_200_000_000).is_two_byte());
+        assert_eq!(Asn::TRANS.get(), 23456);
+    }
+
+    #[test]
+    fn country_code_uppercases() {
+        assert_eq!(CountryCode::new("de").to_string(), "DE");
+        assert_eq!(CountryCode::new("US"), CountryCode::new("us"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn country_code_rejects_wrong_length() {
+        CountryCode::new("DEU");
+    }
+
+    #[test]
+    fn network_type_order_matches_table8() {
+        assert_eq!(NetworkType::ALL[0], NetworkType::Hosting);
+        assert_eq!(NetworkType::ALL[5], NetworkType::Unknown);
+        assert_eq!(NetworkType::Isp.to_string(), "ISP");
+    }
+}

@@ -1,0 +1,38 @@
+//! Error type for parsing and constructing foundation types.
+
+use std::fmt;
+
+/// Errors produced when parsing or constructing sixscope foundation types.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypeError {
+    /// A prefix length outside `0..=128`.
+    InvalidPrefixLength(u16),
+    /// The textual form of a prefix or address could not be parsed.
+    ParseAddr(String),
+    /// A prefix string was missing the `/len` part.
+    MissingLength(String),
+    /// Attempted to split a /128 (no more-specific prefixes exist).
+    CannotSplit,
+    /// A nibble index outside `0..32`.
+    InvalidNibbleIndex(usize),
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypeError::InvalidPrefixLength(l) => {
+                write!(f, "invalid IPv6 prefix length {l} (must be 0..=128)")
+            }
+            TypeError::ParseAddr(s) => write!(f, "cannot parse IPv6 address {s:?}"),
+            TypeError::MissingLength(s) => {
+                write!(f, "prefix {s:?} is missing a '/length' component")
+            }
+            TypeError::CannotSplit => write!(f, "a /128 prefix cannot be split"),
+            TypeError::InvalidNibbleIndex(i) => {
+                write!(f, "nibble index {i} out of range (must be 0..32)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TypeError {}

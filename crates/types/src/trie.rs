@@ -1,0 +1,261 @@
+//! A binary radix trie over IPv6 prefixes with longest-prefix match.
+//!
+//! This is the lookup structure behind both the BGP Loc-RIB (which prefix, if
+//! any, makes a destination reachable) and the telescope dispatcher (which
+//! telescope receives a scan packet). It stores one value per exact prefix
+//! and answers:
+//!
+//! * [`PrefixTrie::lookup`] — longest matching prefix for an address,
+//! * [`PrefixTrie::get`] — exact-prefix retrieval,
+//! * [`PrefixTrie::covered_by`] — all stored prefixes under a covering prefix.
+//!
+//! The implementation is a simple one-bit-per-level trie: at 128 levels
+//! maximum it trades a little depth for total code clarity, which is the
+//! right trade for tables of tens of routes (our global table peaks at a few
+//! dozen prefixes during the split experiment).
+
+use crate::prefix::Ipv6Prefix;
+use std::net::Ipv6Addr;
+
+#[derive(Debug, Clone)]
+struct Node<V> {
+    value: Option<(Ipv6Prefix, V)>,
+    children: [Option<Box<Node<V>>>; 2],
+}
+
+impl<V> Default for Node<V> {
+    fn default() -> Self {
+        Node {
+            value: None,
+            children: [None, None],
+        }
+    }
+}
+
+/// A map from [`Ipv6Prefix`] to `V` supporting longest-prefix match.
+#[derive(Debug, Clone)]
+pub struct PrefixTrie<V> {
+    root: Node<V>,
+    len: usize,
+}
+
+// Manual impl: the derive would demand `V: Default`, which values never need.
+impl<V> Default for PrefixTrie<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn bit(addr_bits: u128, depth: u8) -> usize {
+    ((addr_bits >> (127 - depth as u32)) & 1) as usize
+}
+
+impl<V> PrefixTrie<V> {
+    /// Creates an empty trie.
+    pub fn new() -> Self {
+        PrefixTrie {
+            root: Node::default(),
+            len: 0,
+        }
+    }
+
+    /// Number of stored prefixes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no prefixes are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts `value` at `prefix`, returning the previous value if any.
+    pub fn insert(&mut self, prefix: Ipv6Prefix, value: V) -> Option<V> {
+        let mut node = &mut self.root;
+        for depth in 0..prefix.len() {
+            let b = bit(prefix.bits(), depth);
+            node = node.children[b].get_or_insert_with(Box::default);
+        }
+        let old = node.value.replace((prefix, value));
+        match old {
+            Some((_, v)) => Some(v),
+            None => {
+                self.len += 1;
+                None
+            }
+        }
+    }
+
+    /// Removes and returns the value stored at exactly `prefix`.
+    pub fn remove(&mut self, prefix: &Ipv6Prefix) -> Option<V> {
+        fn rec<V>(node: &mut Node<V>, prefix: &Ipv6Prefix, depth: u8) -> Option<V> {
+            if depth == prefix.len() {
+                return node.value.take().map(|(_, v)| v);
+            }
+            let b = bit(prefix.bits(), depth);
+            let child = node.children[b].as_mut()?;
+            let out = rec(child, prefix, depth + 1);
+            if child.value.is_none() && child.children.iter().all(Option::is_none) {
+                node.children[b] = None;
+            }
+            out
+        }
+        let out = rec(&mut self.root, prefix, 0);
+        if out.is_some() {
+            self.len -= 1;
+        }
+        out
+    }
+
+    /// Returns the value stored at exactly `prefix`.
+    pub fn get(&self, prefix: &Ipv6Prefix) -> Option<&V> {
+        let mut node = &self.root;
+        for depth in 0..prefix.len() {
+            node = node.children[bit(prefix.bits(), depth)].as_deref()?;
+        }
+        node.value.as_ref().map(|(_, v)| v)
+    }
+
+    /// Longest-prefix match: the most specific stored prefix containing `addr`.
+    pub fn lookup(&self, addr: Ipv6Addr) -> Option<(&Ipv6Prefix, &V)> {
+        let bits = u128::from(addr);
+        let mut node = &self.root;
+        let mut best = node.value.as_ref();
+        for depth in 0..128u8 {
+            match node.children[bit(bits, depth)].as_deref() {
+                Some(child) => {
+                    node = child;
+                    if node.value.is_some() {
+                        best = node.value.as_ref();
+                    }
+                }
+                None => break,
+            }
+        }
+        best.map(|(p, v)| (p, v))
+    }
+
+    /// All stored `(prefix, value)` pairs covered by `covering`, in prefix order.
+    pub fn covered_by(&self, covering: &Ipv6Prefix) -> Vec<(&Ipv6Prefix, &V)> {
+        let mut node = &self.root;
+        for depth in 0..covering.len() {
+            match node.children[bit(covering.bits(), depth)].as_deref() {
+                Some(child) => node = child,
+                None => return Vec::new(),
+            }
+        }
+        let mut out = Vec::new();
+        fn walk<'a, V>(node: &'a Node<V>, out: &mut Vec<(&'a Ipv6Prefix, &'a V)>) {
+            if let Some((p, v)) = &node.value {
+                out.push((p, v));
+            }
+            for child in node.children.iter().flatten() {
+                walk(child, out);
+            }
+        }
+        walk(node, &mut out);
+        out
+    }
+
+    /// Iterates all stored `(prefix, value)` pairs in prefix order.
+    pub fn iter(&self) -> Vec<(&Ipv6Prefix, &V)> {
+        self.covered_by(&Ipv6Prefix::default_route())
+    }
+
+    /// Removes all entries.
+    pub fn clear(&mut self) {
+        self.root = Node::default();
+        self.len = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Ipv6Prefix {
+        s.parse().unwrap()
+    }
+    fn a(s: &str) -> Ipv6Addr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn insert_get_remove_round_trip() {
+        let mut t = PrefixTrie::new();
+        assert!(t.is_empty());
+        assert_eq!(t.insert(p("2001:db8::/32"), 1), None);
+        assert_eq!(t.insert(p("2001:db8::/32"), 2), Some(1));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(&p("2001:db8::/32")), Some(&2));
+        assert_eq!(t.get(&p("2001:db8::/33")), None);
+        assert_eq!(t.remove(&p("2001:db8::/32")), Some(2));
+        assert!(t.is_empty());
+        assert_eq!(t.remove(&p("2001:db8::/32")), None);
+    }
+
+    #[test]
+    fn lookup_prefers_most_specific() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("2001:db8::/32"), "covering");
+        t.insert(p("2001:db8:1234::/48"), "specific");
+        let (pre, v) = t.lookup(a("2001:db8:1234::1")).unwrap();
+        assert_eq!(*pre, p("2001:db8:1234::/48"));
+        assert_eq!(*v, "specific");
+        let (pre, v) = t.lookup(a("2001:db8:ffff::1")).unwrap();
+        assert_eq!(*pre, p("2001:db8::/32"));
+        assert_eq!(*v, "covering");
+        assert!(t.lookup(a("2001:db9::1")).is_none());
+    }
+
+    #[test]
+    fn lookup_with_default_route() {
+        let mut t = PrefixTrie::new();
+        t.insert(Ipv6Prefix::default_route(), 0);
+        let (pre, _) = t.lookup(a("abcd::1")).unwrap();
+        assert_eq!(*pre, Ipv6Prefix::default_route());
+    }
+
+    #[test]
+    fn covered_by_returns_subtree() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("2001:db8::/32"), 0);
+        t.insert(p("2001:db8::/33"), 1);
+        t.insert(p("2001:db8:8000::/33"), 2);
+        t.insert(p("2001:db9::/32"), 3);
+        let under: Vec<_> = t
+            .covered_by(&p("2001:db8::/32"))
+            .into_iter()
+            .map(|(p, _)| *p)
+            .collect();
+        assert_eq!(under, vec![p("2001:db8::/32"), p("2001:db8::/33"), p("2001:db8:8000::/33")]);
+        assert!(t.covered_by(&p("3fff::/20")).is_empty());
+    }
+
+    #[test]
+    fn remove_prunes_empty_branches() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("2001:db8:0:1::/64"), 1);
+        t.remove(&p("2001:db8:0:1::/64"));
+        // The root must have no children left after pruning.
+        assert!(t.root.children.iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn host_route_lookup() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("2001:db8::1/128"), "host");
+        assert!(t.lookup(a("2001:db8::1")).is_some());
+        assert!(t.lookup(a("2001:db8::2")).is_none());
+    }
+
+    #[test]
+    fn iter_returns_everything_sorted_by_position() {
+        let mut t = PrefixTrie::new();
+        for (i, s) in ["3fff::/20", "2001:db8::/32", "2001:db8:8000::/33"].iter().enumerate() {
+            t.insert(p(s), i);
+        }
+        let all: Vec<_> = t.iter().into_iter().map(|(p, _)| *p).collect();
+        assert_eq!(all, vec![p("2001:db8::/32"), p("2001:db8:8000::/33"), p("3fff::/20")]);
+    }
+}

@@ -1,0 +1,88 @@
+//! BGP control-plane lab: run the paper's asymmetric split schedule against
+//! the simulated AS topology and watch the collector — the "BGP signal"
+//! that reactive scanners consume.
+//!
+//! ```sh
+//! cargo run -p sixscope-examples --bin bgp-lab --release
+//! ```
+
+use sixscope_bgp::topology::standard_topology;
+use sixscope_bgp::RouteEventKind;
+use sixscope_telescope::{ScheduleActionKind, SplitSchedule};
+use sixscope_types::{Asn, SimDuration, SimTime};
+
+fn main() {
+    let origin = Asn(64500);
+    let borrower = Asn(64510);
+    let collector = Asn(64999);
+    let covering = "2001:db8::/32".parse().unwrap();
+
+    println!("establishing BGP sessions (origin, two transits, IXP core, borrower, collector)…");
+    let mut topo = standard_topology(origin, borrower, collector, SimTime::EPOCH);
+
+    let schedule = SplitSchedule::paper(covering, SimTime::EPOCH + SimDuration::days(1));
+    println!(
+        "executing the T1 schedule: {} weeks baseline + {} bi-weekly split cycles\n",
+        12, schedule.cycles
+    );
+
+    for action in schedule.actions() {
+        topo.run_until(action.at);
+        match action.kind {
+            ScheduleActionKind::Announce => topo.announce(origin, action.prefix, action.at),
+            ScheduleActionKind::Withdraw => topo.withdraw(origin, action.prefix, action.at),
+        }
+    }
+    topo.run_until(schedule.end() + SimDuration::hours(1));
+
+    // The collector's event feed — what a looking glass / RIS sees.
+    let events = topo.collector().events();
+    let announces = events.iter().filter(|e| e.is_announce()).count();
+    let withdraws = events.len() - announces;
+    println!(
+        "collector processed {} route events ({announces} announce, {withdraws} withdraw)",
+        events.len()
+    );
+
+    // Reaction-latency view: when did each cycle's *new* prefixes become
+    // visible, relative to the re-announcement instant?
+    for cycle in [1u32, 8, 16] {
+        let (lo, hi) = schedule.new_prefixes(cycle);
+        let announce_at = schedule.cycle_start(cycle) + SimDuration::days(1);
+        for prefix in [lo, hi] {
+            let seen = events
+                .iter()
+                .find(|e| e.prefix == prefix && e.is_announce())
+                .map(|e| e.ts);
+            if let Some(ts) = seen {
+                println!(
+                    "cycle {cycle:>2}: {prefix:<24} visible {}s after announcement",
+                    ts.as_secs() - announce_at.as_secs()
+                );
+            }
+        }
+    }
+
+    // Final state: the 17-prefix table.
+    let table = topo.global_table();
+    println!("\nfinal global table ({} prefixes):", table.len());
+    for prefix in &table {
+        println!("  {prefix}");
+    }
+
+    // AS-path view for the most specific prefix.
+    if let Some(last) = table.iter().max_by_key(|p| p.len()) {
+        if let Some(route) = topo.speaker(collector).and_then(|s| s.rib().best(last)) {
+            let path: Vec<String> = route.as_path.iter().map(|a| a.to_string()).collect();
+            println!("\ncollector's AS path for {last}: {}", path.join(" → "));
+        }
+    }
+
+    // Sample withdrawal event timing.
+    if let Some(withdraw) = events.iter().find(|e| matches!(e.kind, RouteEventKind::Withdraw)) {
+        println!(
+            "\nfirst withdrawal seen at the collector: {} at t={}",
+            withdraw.prefix, withdraw.ts
+        );
+    }
+}

@@ -1,0 +1,82 @@
+//! The analysis toolkit on its own: classify target addresses, test
+//! randomness (NIST SP 800-22), and detect scan periods — the §5 taxonomy
+//! machinery applied to hand-made target lists.
+//!
+//! ```sh
+//! cargo run -p sixscope-examples --bin classify-scanner --release
+//! ```
+
+use sixscope_analysis::addrtype::classify;
+use sixscope_analysis::autocorr::PeriodDetector;
+use sixscope_analysis::classify::temporal_class;
+use sixscope_analysis::nist::{BitSequence, NistTest};
+use sixscope_types::{SimDuration, SimTime, Xoshiro256pp};
+use std::net::Ipv6Addr;
+
+fn main() {
+    // --- RFC 7707 address typing (Table 3's classifier) ---
+    println!("address classification (RFC 7707 classes):");
+    let samples = [
+        "2001:db8::1",
+        "2001:db8::443",
+        "2001:db8::192.0.2.1",
+        "2001:db8::211:22ff:fe33:4455",
+        "2001:db8::cafe:cafe:cafe:cafe",
+        "2001:db8:1:2::",
+        "2001:db8::5efe:c000:201",
+        "2001:db8::3a7f:91c4:d02e:65b8",
+    ];
+    for s in samples {
+        let addr: Ipv6Addr = s.parse().unwrap();
+        println!("  {s:<36} → {}", classify(addr));
+    }
+
+    // --- NIST randomness tests (Appendix B) ---
+    println!("\nNIST SP 800-22 on two synthetic scan sessions (IID bits):");
+    let mut rng = Xoshiro256pp::seed_from_u64(99);
+    let mut random_session = BitSequence::new();
+    for _ in 0..150 {
+        random_session.push_bits(rng.next_u64() as u128, 64);
+    }
+    let mut lowbyte_session = BitSequence::new();
+    for i in 1u128..=150 {
+        lowbyte_session.push_bits(i, 64);
+    }
+    println!("  {:<10} {:>14} {:>14}", "test", "random scan", "low-byte scan");
+    for test in NistTest::ALL {
+        let r = random_session.run(test);
+        let l = lowbyte_session.run(test);
+        println!(
+            "  {:<10} {:>8.4} {}  {:>8.4} {}",
+            test.name(),
+            r.p_value,
+            if r.passes() { "pass" } else { "FAIL" },
+            l.p_value,
+            if l.passes() { "pass" } else { "FAIL" },
+        );
+    }
+
+    // --- temporal classification (§5.1) ---
+    println!("\ntemporal classification from session start times:");
+    let detector = PeriodDetector::default();
+    let daily: Vec<SimTime> = (0..20)
+        .map(|d| SimTime::EPOCH + SimDuration::days(d) + SimDuration::mins(d % 7 * 3))
+        .collect();
+    let sporadic: Vec<SimTime> = [0u64, 30, 31, 200, 470, 471, 900, 1388]
+        .iter()
+        .map(|&h| SimTime::EPOCH + SimDuration::hours(h))
+        .collect();
+    let single = vec![SimTime::EPOCH + SimDuration::days(3)];
+    for (name, starts) in [
+        ("daily scanner", &daily),
+        ("sporadic scanner", &sporadic),
+        ("single visit", &single),
+    ] {
+        let class = temporal_class(starts, &detector);
+        let period = detector
+            .detect(starts)
+            .map(|p| format!(" (period ≈ {})", p.period))
+            .unwrap_or_default();
+        println!("  {name:<18} {} sessions → {class}{period}", starts.len());
+    }
+}

@@ -1,0 +1,1 @@
+//! Runnable examples for the sixscope toolkit; see the binary targets.

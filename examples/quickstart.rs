@@ -1,0 +1,43 @@
+//! Quickstart: run a scaled-down version of the paper's full 11-month
+//! experiment and print the headline results.
+//!
+//! ```sh
+//! cargo run -p sixscope-examples --bin quickstart --release
+//! ```
+
+use sixscope::{render, tables, Experiment};
+use sixscope_telescope::TelescopeId;
+
+fn main() {
+    // One seed, one scale: the whole study is deterministic from here.
+    // Scale 0.01 ≈ 1% of the paper's ~51M packets; all shares are
+    // scale-free.
+    let experiment = Experiment::new(42, 0.01);
+    println!("running the 11-month experiment (seed 42, scale 0.01)…");
+    let analyzed = experiment.run();
+
+    println!(
+        "\ncaptured {} packets across the four telescopes; \
+         {} probes were dropped in unrouted space; T4 answered {} probes\n",
+        analyzed.result.total_packets(),
+        analyzed.result.dropped_unrouted,
+        analyzed.result.t4_responses,
+    );
+
+    for id in TelescopeId::ALL {
+        println!(
+            "{id}: {:>8} packets, {:>6} sessions (/128), {:>5} sessions (/64)",
+            analyzed.capture(id).len(),
+            analyzed.sessions128(id).len(),
+            analyzed.sessions64(id).len(),
+        );
+    }
+
+    println!("\n{}", render::render_table2(&tables::table2(&analyzed)));
+    println!("{}", render::render_table6(&tables::table6(&analyzed)));
+    println!("{}", render::render_headline(&tables::headline(&analyzed)));
+    println!(
+        "Run `cargo run -p sixscope-bench --bin repro --release` for the full\n\
+         paper-vs-measured report (EXPERIMENTS.md)."
+    );
+}
