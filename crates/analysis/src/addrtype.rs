@@ -87,8 +87,7 @@ const SERVICE_PORTS: [u16; 16] = [
 
 /// Hex words commonly used in manually configured "wordy" addresses.
 const HEX_WORDS: [u16; 12] = [
-    0xcafe, 0xbabe, 0xdead, 0xbeef, 0xf00d, 0xfeed, 0xface, 0xc0de, 0xb00b, 0xd00d, 0xabba,
-    0xaffe,
+    0xcafe, 0xbabe, 0xdead, 0xbeef, 0xf00d, 0xfeed, 0xface, 0xc0de, 0xb00b, 0xd00d, 0xabba, 0xaffe,
 ];
 
 /// Classifies the interface identifier of `addr`.
@@ -175,10 +174,26 @@ mod tests {
 
     #[test]
     fn embedded_port_beats_low_byte() {
-        assert_eq!(c("2001:db8::443"), AddressType::EmbeddedPort, "hex spelling of 443");
-        assert_eq!(c("2001:db8::80"), AddressType::EmbeddedPort, "hex spelling of 80");
-        assert_eq!(c("2001:db8::50"), AddressType::EmbeddedPort, "0x50 = decimal 80");
-        assert_eq!(c("2001:db8::35"), AddressType::EmbeddedPort, "0x35 = decimal 53");
+        assert_eq!(
+            c("2001:db8::443"),
+            AddressType::EmbeddedPort,
+            "hex spelling of 443"
+        );
+        assert_eq!(
+            c("2001:db8::80"),
+            AddressType::EmbeddedPort,
+            "hex spelling of 80"
+        );
+        assert_eq!(
+            c("2001:db8::50"),
+            AddressType::EmbeddedPort,
+            "0x50 = decimal 80"
+        );
+        assert_eq!(
+            c("2001:db8::35"),
+            AddressType::EmbeddedPort,
+            "0x35 = decimal 53"
+        );
         // 1 is not a service port.
         assert_eq!(c("2001:db8::1"), AddressType::LowByte);
     }
@@ -204,9 +219,15 @@ mod tests {
 
     #[test]
     fn pattern_bytes() {
-        assert_eq!(c("2001:db8::cafe:cafe:cafe:cafe"), AddressType::PatternBytes);
+        assert_eq!(
+            c("2001:db8::cafe:cafe:cafe:cafe"),
+            AddressType::PatternBytes
+        );
         assert_eq!(c("2001:db8::dead:beef:0:1"), AddressType::PatternBytes);
-        assert_eq!(c("2001:db8::aaaa:aaaa:aaaa:aaaa"), AddressType::PatternBytes);
+        assert_eq!(
+            c("2001:db8::aaaa:aaaa:aaaa:aaaa"),
+            AddressType::PatternBytes
+        );
         // ≤ 2 distinct bytes.
         assert_eq!(c("2001:db8::a5a5:a5a5:a5a5:0"), AddressType::PatternBytes);
     }

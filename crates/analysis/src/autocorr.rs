@@ -100,17 +100,22 @@ impl PeriodDetector {
         }
         let max_lag = n_buckets / 2;
         let acf = |lag: usize| -> f64 {
-            let num: f64 = (0..n_buckets - lag).map(|i| series[i] * series[i + lag]).sum();
+            let num: f64 = (0..n_buckets - lag)
+                .map(|i| series[i] * series[i + lag])
+                .sum();
             num / denom
         };
         // Find the best local-max lag.
         let mut best: Option<(usize, f64)> = None;
         for lag in 2..max_lag {
             let c = acf(lag);
-            if c >= self.min_score && c > acf(lag - 1) && c >= acf(lag + 1)
-                && best.is_none_or(|(_, bc)| c > bc) {
-                    best = Some((lag, c));
-                }
+            if c >= self.min_score
+                && c > acf(lag - 1)
+                && c >= acf(lag + 1)
+                && best.is_none_or(|(_, bc)| c > bc)
+            {
+                best = Some((lag, c));
+            }
         }
         let (lag, score) = best?;
         // Validate: the doubled lag must also correlate (a repeating
@@ -136,7 +141,9 @@ mod tests {
     #[test]
     fn perfectly_periodic_daily_scanner() {
         let starts: Vec<SimTime> = (0..20).map(|d| t(d * 24)).collect();
-        let p = PeriodDetector::default().detect(&starts).expect("period found");
+        let p = PeriodDetector::default()
+            .detect(&starts)
+            .expect("period found");
         assert_eq!(p.period, SimDuration::hours(24));
         assert!(p.score > 0.8);
     }
@@ -148,11 +155,11 @@ mod tests {
         let starts: Vec<SimTime> = jitter
             .iter()
             .enumerate()
-            .map(|(d, j)| {
-                SimTime::from_secs((d as i64 * 86_400 + j * 60).max(0) as u64)
-            })
+            .map(|(d, j)| SimTime::from_secs((d as i64 * 86_400 + j * 60).max(0) as u64))
             .collect();
-        let p = PeriodDetector::default().detect(&starts).expect("period found");
+        let p = PeriodDetector::default()
+            .detect(&starts)
+            .expect("period found");
         let hours = p.period.as_secs() as f64 / 3600.0;
         assert!((hours - 24.0).abs() < 1.5, "period was {hours} h");
     }

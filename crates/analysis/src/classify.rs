@@ -16,7 +16,7 @@ use crate::dbscan::{cluster_count, dbscan};
 use crate::nist::{BitSequence, NistTest};
 use serde::{Deserialize, Serialize};
 use sixscope_telescope::{Capture, ScanSession, SourceKey};
-use sixscope_types::{Ipv6Prefix, SimTime};
+use sixscope_types::{map_indexed, Ipv6Prefix, SimTime};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -126,27 +126,43 @@ pub fn temporal_class(starts: &[SimTime], detector: &PeriodDetector) -> Temporal
     }
 }
 
+/// Minimum number of distinct sources before [`profile_scanners`] fans the
+/// per-source classification out to worker threads; below this the thread
+/// setup costs more than the autocorrelation it parallelizes.
+const PARALLEL_PROFILE_THRESHOLD: usize = 64;
+
 /// Groups sessions by source and classifies each scanner's temporal
 /// behavior.
+///
+/// Classification of each source is independent (the period detector is a
+/// pure function of the source's session starts), so large inputs are
+/// profiled on worker threads. Grouping uses a `BTreeMap` and the parallel
+/// map preserves input order, so the output order — and content — is
+/// identical at any thread count.
 pub fn profile_scanners(sessions: &[ScanSession]) -> Vec<ScannerProfile> {
     let detector = PeriodDetector::default();
     let mut by_source: BTreeMap<SourceKey, Vec<usize>> = BTreeMap::new();
     for (i, s) in sessions.iter().enumerate() {
         by_source.entry(s.source).or_default().push(i);
     }
-    by_source
-        .into_iter()
-        .map(|(source, idxs)| {
-            let starts: Vec<SimTime> = idxs.iter().map(|&i| sessions[i].start).collect();
-            let packets: u64 = idxs.iter().map(|&i| sessions[i].packet_count() as u64).sum();
-            ScannerProfile {
-                source,
-                temporal: temporal_class(&starts, &detector),
-                session_indices: idxs,
-                packets,
-            }
-        })
-        .collect()
+    let groups: Vec<(SourceKey, Vec<usize>)> = by_source.into_iter().collect();
+    let threads = match groups.len() {
+        n if n >= PARALLEL_PROFILE_THRESHOLD => sixscope_types::num_threads(None),
+        _ => 1,
+    };
+    map_indexed(threads, &groups, |_, (source, idxs)| {
+        let starts: Vec<SimTime> = idxs.iter().map(|&i| sessions[i].start).collect();
+        let packets: u64 = idxs
+            .iter()
+            .map(|&i| sessions[i].packet_count() as u64)
+            .sum();
+        ScannerProfile {
+            source: *source,
+            temporal: temporal_class(&starts, &detector),
+            session_indices: idxs.clone(),
+            packets,
+        }
+    })
 }
 
 /// The minimum session size for statistical randomness testing (paper: 100).
@@ -383,7 +399,10 @@ mod tests {
             .map(|_| Ipv6Addr::from(base | rng.next_u64() as u128))
             .collect();
         let (cap, sessions) = capture_with_targets(&targets);
-        assert_eq!(addr_selection(&sessions[0], &cap, 32), AddrSelection::Random);
+        assert_eq!(
+            addr_selection(&sessions[0], &cap, 32),
+            AddrSelection::Random
+        );
     }
 
     #[test]
@@ -396,7 +415,10 @@ mod tests {
             .collect();
         let (cap, sessions) = capture_with_targets(&targets);
         // Random draws are unsorted with overwhelming probability.
-        assert_eq!(addr_selection(&sessions[0], &cap, 32), AddrSelection::Unknown);
+        assert_eq!(
+            addr_selection(&sessions[0], &cap, 32),
+            AddrSelection::Unknown
+        );
     }
 
     #[test]
@@ -471,7 +493,10 @@ mod tests {
     #[test]
     fn netsel_inconsistent_across_cycles() {
         let c1 = cycle(&["2001:db8::/33", "2001:db8:8000::/33"], &[3, 0]);
-        let c2 = cycle(&["2001:db8::/33", "2001:db8:8000::/34", "2001:db8:c000::/34"], &[4, 4, 4]);
+        let c2 = cycle(
+            &["2001:db8::/33", "2001:db8:8000::/34", "2001:db8:c000::/34"],
+            &[4, 4, 4],
+        );
         assert_eq!(
             network_selection(&[c1, c2]),
             Some(NetworkSelection::Inconsistent)

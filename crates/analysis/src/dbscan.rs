@@ -31,7 +31,12 @@ impl Assignment {
 /// the original formulation).
 ///
 /// Returns one [`Assignment`] per input point.
-pub fn dbscan<P>(points: &[P], eps: f64, min_pts: usize, dist: impl Fn(&P, &P) -> f64) -> Vec<Assignment> {
+pub fn dbscan<P>(
+    points: &[P],
+    eps: f64,
+    min_pts: usize,
+    dist: impl Fn(&P, &P) -> f64,
+) -> Vec<Assignment> {
     const UNVISITED: usize = usize::MAX;
     const NOISE: usize = usize::MAX - 1;
     let n = points.len();
@@ -165,7 +170,12 @@ mod tests {
 
     #[test]
     fn works_with_vector_points() {
-        let points = vec![vec![0.0, 0.0], vec![0.0, 0.1], vec![5.0, 5.0], vec![5.0, 5.1]];
+        let points = vec![
+            vec![0.0, 0.0],
+            vec![0.0, 0.1],
+            vec![5.0, 5.0],
+            vec![5.0, 5.1],
+        ];
         let dist = |a: &Vec<f64>, b: &Vec<f64>| -> f64 {
             a.iter()
                 .zip(b)

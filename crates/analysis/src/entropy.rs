@@ -145,7 +145,11 @@ mod tests {
         assert!(!segs[0].random, "prefix segment must be structured");
         let last = segs.last().unwrap();
         assert!(last.random, "tail segment must be random");
-        assert!(last.len() >= 18, "the last ~20 nibbles are random, got {}", last.len());
+        assert!(
+            last.len() >= 18,
+            "the last ~20 nibbles are random, got {}",
+            last.len()
+        );
         // Segments tile the 32 nibbles exactly.
         assert_eq!(segs.iter().map(Segment::len).sum::<usize>(), 32);
         assert_eq!(segs[0].start, 0);

@@ -224,7 +224,9 @@ mod tests {
 
     #[test]
     fn high_entropy_payload_is_random_bytes() {
-        let payload: Vec<u8> = (0..128u8).map(|i| i.wrapping_mul(37).wrapping_add(11)).collect();
+        let payload: Vec<u8> = (0..128u8)
+            .map(|i| i.wrapping_mul(37).wrapping_add(11))
+            .collect();
         assert_eq!(identify(&payload, None), ToolMatch::RandomBytes);
     }
 

@@ -16,9 +16,7 @@ use crate::special::{erfc, normal_cdf};
 use serde::{Deserialize, Serialize};
 
 /// The tests the paper applies (Appendix B).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum NistTest {
     /// Frequency (monobit).
     Frequency,
@@ -234,7 +232,10 @@ fn cusum_p(bits: &[bool], backward: bool) -> f64 {
         return 0.0;
     }
     let xs: Vec<f64> = if backward {
-        bits.iter().rev().map(|&b| if b { 1.0 } else { -1.0 }).collect()
+        bits.iter()
+            .rev()
+            .map(|&b| if b { 1.0 } else { -1.0 })
+            .collect()
     } else {
         bits.iter().map(|&b| if b { 1.0 } else { -1.0 }).collect()
     };
@@ -303,7 +304,11 @@ mod tests {
         // p-value = 0.4116588.
         let seq = from_bits("1011010111");
         let out = seq.run(NistTest::CusumForward);
-        assert!((out.p_value - 0.4116588).abs() < 1e-3, "p = {}", out.p_value);
+        assert!(
+            (out.p_value - 0.4116588).abs() < 1e-3,
+            "p = {}",
+            out.p_value
+        );
     }
 
     #[test]

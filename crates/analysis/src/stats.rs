@@ -18,7 +18,9 @@ pub fn cumulative_distinct<T: Eq + Hash + Clone>(
     let mut seen = std::collections::HashSet::new();
     for (ts, item) in events {
         if seen.insert(item) {
-            *firsts.entry(ts.as_secs() / bucket.as_secs().max(1)).or_default() += 1;
+            *firsts
+                .entry(ts.as_secs() / bucket.as_secs().max(1))
+                .or_default() += 1;
         }
     }
     let mut out = Vec::with_capacity(firsts.len());
@@ -42,10 +44,7 @@ pub fn bucket_counts(
     for t in times {
         *counts.entry(t.as_secs() / width).or_default() += 1;
     }
-    let (Some(&lo), Some(&hi)) = (
-        counts.keys().next(),
-        counts.keys().next_back(),
-    ) else {
+    let (Some(&lo), Some(&hi)) = (counts.keys().next(), counts.keys().next_back()) else {
         return Vec::new();
     };
     (lo..=hi)
@@ -145,7 +144,9 @@ mod tests {
         let points = ecdf(vec![3.0, 1.0, 2.0, 2.0]);
         assert_eq!(points.len(), 4);
         assert!((points.last().unwrap().1 - 1.0).abs() < 1e-12);
-        assert!(points.windows(2).all(|w| w[0].0 <= w[1].0 && w[0].1 <= w[1].1));
+        assert!(points
+            .windows(2)
+            .all(|w| w[0].0 <= w[1].0 && w[0].1 <= w[1].1));
     }
 
     #[test]

@@ -15,23 +15,37 @@ fn bench_fig3(c: &mut Criterion) {
     let series = figures::fig3(a);
     assert!(!series.is_empty());
     // Declining discovery: the first two weeks outpace the last two.
-    let head: u64 = series.iter().filter(|&&(w, _)| w < 2).map(|&(_, n)| n).sum();
-    let tail: u64 = series.iter().filter(|&&(w, _)| w >= 10).map(|&(_, n)| n).sum();
+    let head: u64 = series
+        .iter()
+        .filter(|&&(w, _)| w < 2)
+        .map(|&(_, n)| n)
+        .sum();
+    let tail: u64 = series
+        .iter()
+        .filter(|&&(w, _)| w >= 10)
+        .map(|&(_, n)| n)
+        .sum();
     assert!(head > tail, "Fig. 3 does not decline ({head} vs {tail})");
-    c.bench_function("fig3_new_prefixes", |b| b.iter(|| black_box(figures::fig3(a))));
+    c.bench_function("fig3_new_prefixes", |b| {
+        b.iter(|| black_box(figures::fig3(a)))
+    });
 }
 
 fn bench_fig4(c: &mut Criterion) {
     let a = bench_corpus();
     let curves = figures::fig4(a);
     assert_eq!(curves.len(), 6);
-    c.bench_function("fig4_growth_curves", |b| b.iter(|| black_box(figures::fig4(a))));
+    c.bench_function("fig4_growth_curves", |b| {
+        b.iter(|| black_box(figures::fig4(a)))
+    });
 }
 
 fn bench_fig5(c: &mut Criterion) {
     let a = bench_corpus();
     assert!(!figures::fig5(a).is_empty());
-    c.bench_function("fig5_heavy_activity", |b| b.iter(|| black_box(figures::fig5(a))));
+    c.bench_function("fig5_heavy_activity", |b| {
+        b.iter(|| black_box(figures::fig5(a)))
+    });
 }
 
 fn bench_fig7(c: &mut Criterion) {
@@ -47,14 +61,21 @@ fn bench_fig7(c: &mut Criterion) {
         .sum();
     let total: u64 = cells.iter().map(|x| x.sessions).sum();
     assert!(structured * 2 > total, "structured selection must dominate");
-    c.bench_function("fig7a_hourly_traffic", |b| b.iter(|| black_box(figures::fig7a(a))));
-    c.bench_function("fig7b_taxonomy_initial", |b| b.iter(|| black_box(figures::fig7b(a))));
+    c.bench_function("fig7a_hourly_traffic", |b| {
+        b.iter(|| black_box(figures::fig7a(a)))
+    });
+    c.bench_function("fig7b_taxonomy_initial", |b| {
+        b.iter(|| black_box(figures::fig7b(a)))
+    });
 }
 
 fn bench_fig8(c: &mut Criterion) {
     let a = bench_corpus();
     let (_, sources) = figures::fig8(a);
-    assert!(sources.exclusive_share() > 0.5, "most sources exclusive to one telescope");
+    assert!(
+        sources.exclusive_share() > 0.5,
+        "most sources exclusive to one telescope"
+    );
     c.bench_function("fig8_upset", |b| b.iter(|| black_box(figures::fig8(a))));
 }
 
@@ -66,18 +87,29 @@ fn bench_fig9_to_11(c: &mut Criterion) {
     assert!(growth.len() > 2);
     let biweekly = figures::fig11(a);
     assert!(!biweekly.t1.is_empty());
-    c.bench_function("fig9_weekly_sessions", |b| b.iter(|| black_box(figures::fig9(a))));
-    c.bench_function("fig10_prefix_growth", |b| b.iter(|| black_box(figures::fig10(a))));
-    c.bench_function("fig11_biweekly", |b| b.iter(|| black_box(figures::fig11(a))));
+    c.bench_function("fig9_weekly_sessions", |b| {
+        b.iter(|| black_box(figures::fig9(a)))
+    });
+    c.bench_function("fig10_prefix_growth", |b| {
+        b.iter(|| black_box(figures::fig10(a)))
+    });
+    c.bench_function("fig11_biweekly", |b| {
+        b.iter(|| black_box(figures::fig11(a)))
+    });
 }
 
 fn bench_fig12_13(c: &mut Criterion) {
     let a = bench_corpus();
     let (structured, _) = figures::fig12(a);
-    assert!(structured.is_some(), "a large structured session must exist");
+    assert!(
+        structured.is_some(),
+        "a large structured session must exist"
+    );
     let sorted = figures::fig13(a).unwrap();
     assert!(sorted.rows.windows(2).all(|w| w[0] <= w[1]));
-    c.bench_function("fig12_nibble_matrices", |b| b.iter(|| black_box(figures::fig12(a))));
+    c.bench_function("fig12_nibble_matrices", |b| {
+        b.iter(|| black_box(figures::fig12(a)))
+    });
 }
 
 fn bench_fig14_15(c: &mut Criterion) {
@@ -86,8 +118,12 @@ fn bench_fig14_15(c: &mut Criterion) {
     assert!(!ranks.is_empty());
     let cells = figures::fig15(a);
     assert!(!cells.is_empty());
-    c.bench_function("fig14_subnet_ranks", |b| b.iter(|| black_box(figures::fig14(a))));
-    c.bench_function("fig15_taxonomy_split", |b| b.iter(|| black_box(figures::fig15(a))));
+    c.bench_function("fig14_subnet_ranks", |b| {
+        b.iter(|| black_box(figures::fig14(a)))
+    });
+    c.bench_function("fig15_taxonomy_split", |b| {
+        b.iter(|| black_box(figures::fig15(a)))
+    });
 }
 
 fn bench_fig16(c: &mut Criterion) {

@@ -2,17 +2,14 @@
 //! packet codecs, BGP propagation, sessionization, the full experiment.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use sixscope::{Experiment, scanners::PopulationSpec, scanners::ExperimentLayout};
+use sixscope::{scanners::ExperimentLayout, scanners::PopulationSpec, Experiment};
 use sixscope_bench::bench_corpus;
 use sixscope_telescope::{AggLevel, Sessionizer, TelescopeId};
 use std::hint::black_box;
 
 fn bench_packet_codec(c: &mut Criterion) {
     use sixscope::packet::{PacketBuilder, ParsedPacket};
-    let builder = PacketBuilder::new(
-        "2a0a::1".parse().unwrap(),
-        "2001:db8::1".parse().unwrap(),
-    );
+    let builder = PacketBuilder::new("2a0a::1".parse().unwrap(), "2001:db8::1".parse().unwrap());
     let bytes = builder.icmpv6_echo_request(7, 9, b"yrp6-0000000042");
     let mut group = c.benchmark_group("packet_codec");
     group.throughput(Throughput::Bytes(bytes.len() as u64));
@@ -72,6 +69,65 @@ fn bench_full_experiment(c: &mut Criterion) {
     group.finish();
 }
 
+/// Serial vs. parallel execution engine on the same scenario. The outputs
+/// are byte-identical (see `parallel_determinism`); only wall-clock moves.
+fn bench_engine_threads(c: &mut Criterion) {
+    use sixscope::sim::{Scenario, ScenarioConfig};
+    use sixscope::types::num_threads;
+
+    let run = |threads: usize| {
+        let mut config = ScenarioConfig::new(42, 0.008);
+        config.threads = Some(threads);
+        Scenario::new(config).run().total_packets()
+    };
+    let mut group = c.benchmark_group("engine_threads");
+    group.sample_size(10);
+    group.bench_function("serial_1_thread", |b| b.iter(|| black_box(run(1))));
+    let n = num_threads(None).max(2);
+    group.bench_function(format!("parallel_{n}_threads"), |b| {
+        b.iter(|| black_box(run(n)))
+    });
+    group.finish();
+}
+
+/// Naive interval-scan LPM vs. the epoch-compiled trie on the visibility
+/// schedule of a real run.
+fn bench_lpm(c: &mut Criterion) {
+    use sixscope::sim::CompiledVisibility;
+    use sixscope::types::SimTime;
+    use std::net::Ipv6Addr;
+
+    let a = bench_corpus();
+    let vis = &a.result.visibility;
+    let compiled = CompiledVisibility::compile(vis);
+    let queries: Vec<(Ipv6Addr, SimTime)> = a
+        .capture(TelescopeId::T1)
+        .packets()
+        .iter()
+        .take(512)
+        .map(|p| (p.dst, p.ts))
+        .collect();
+    let mut group = c.benchmark_group("lpm");
+    group.throughput(Throughput::Elements(queries.len() as u64));
+    group.bench_function("naive_interval_scan", |b| {
+        b.iter(|| {
+            queries
+                .iter()
+                .filter(|&&(addr, t)| black_box(vis.lpm(addr, t)).is_some())
+                .count()
+        })
+    });
+    group.bench_function("epoch_compiled", |b| {
+        b.iter(|| {
+            queries
+                .iter()
+                .filter(|&&(addr, t)| black_box(compiled.lpm(addr, t)).is_some())
+                .count()
+        })
+    });
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default()
@@ -79,6 +135,7 @@ criterion_group! {
         .warm_up_time(std::time::Duration::from_millis(300))
         .measurement_time(std::time::Duration::from_millis(800));
     targets = bench_packet_codec, bench_bgp_propagation, bench_sessionizer,
-              bench_population_build, bench_full_experiment
+              bench_population_build, bench_full_experiment, bench_engine_threads,
+              bench_lpm
 }
 criterion_main!(benches);

@@ -66,9 +66,7 @@ fn bench_table7(c: &mut Criterion) {
     let a = bench_corpus();
     let rows = tables::table7(a);
     assert_eq!(rows[0].tool.to_string(), "RIPEAtlasProbe");
-    c.bench_function("table7_tools", |b| {
-        b.iter(|| black_box(tables::table7(a)))
-    });
+    c.bench_function("table7_tools", |b| b.iter(|| black_box(tables::table7(a))));
 }
 
 fn bench_table8(c: &mut Criterion) {

@@ -15,7 +15,10 @@ fn main() {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(sixscope_bench::SCALE);
-    eprintln!("running experiment: seed={SEED} scale={scale} (paper = 1.0) …");
+    let threads = sixscope_types::num_threads(None);
+    eprintln!(
+        "running experiment: seed={SEED} scale={scale} (paper = 1.0), {threads} worker thread(s) …"
+    );
     let t0 = std::time::Instant::now();
     let a = Experiment::new(SEED, scale).run();
     eprintln!(
@@ -25,6 +28,13 @@ fn main() {
         a.result.dropped_unrouted,
         a.result.t4_responses,
     );
+    if a.result.truncated_probes > 0 {
+        eprintln!(
+            "warning: generation cap truncated {} probe(s) — a scanner spec is \
+             mis-scaled for this run",
+            a.result.truncated_probes,
+        );
+    }
 
     let mut out = String::new();
     writeln!(out, "# EXPERIMENTS — paper vs. measured\n").unwrap();
@@ -67,7 +77,10 @@ fn tables_section(a: &Analyzed, out: &mut String) {
         "§4",
         "full/initial packet ratio",
         "~11x (51M vs 4.6M)",
-        format!("{:.1}x", full.packets as f64 / initial.packets.max(1) as f64),
+        format!(
+            "{:.1}x",
+            full.packets as f64 / initial.packets.max(1) as f64
+        ),
         full.packets > 3 * initial.packets,
     );
     record(
@@ -107,8 +120,14 @@ fn tables_section(a: &Analyzed, out: &mut String) {
 
     let t3 = tables::table3(a);
     writeln!(out, "```\n{}```", render::render_table3(&t3)).unwrap();
-    let randomized = t3.iter().find(|r| r.address_type.to_string() == "randomized").unwrap();
-    let low_byte = t3.iter().find(|r| r.address_type.to_string() == "low-byte").unwrap();
+    let randomized = t3
+        .iter()
+        .find(|r| r.address_type.to_string() == "randomized")
+        .unwrap();
+    let low_byte = t3
+        .iter()
+        .find(|r| r.address_type.to_string() == "low-byte")
+        .unwrap();
     record(
         "Table 3",
         "randomized packet share",
@@ -175,14 +194,16 @@ fn tables_section(a: &Analyzed, out: &mut String) {
         ),
         col(TelescopeId::T2).sources128 > col(TelescopeId::T1).sources128,
     );
-    let ratio = |id: TelescopeId| {
-        col(id).sources128 as f64 / col(id).sources64.max(1) as f64
-    };
+    let ratio = |id: TelescopeId| col(id).sources128 as f64 / col(id).sources64.max(1) as f64;
     record(
         "Table 5a",
         "T2 /128-to-/64 source ratio vs T1",
         "~3x vs ~1.2x",
-        format!("{:.1}x vs {:.1}x", ratio(TelescopeId::T2), ratio(TelescopeId::T1)),
+        format!(
+            "{:.1}x vs {:.1}x",
+            ratio(TelescopeId::T2),
+            ratio(TelescopeId::T1)
+        ),
         ratio(TelescopeId::T2) > ratio(TelescopeId::T1),
     );
 
@@ -293,7 +314,11 @@ fn figures_section(a: &Analyzed, out: &mut String) {
     writeln!(out, "## Figures\n").unwrap();
 
     let f3 = figures::fig3(a);
-    writeln!(out, "### Fig. 3 — new source /64 prefixes per baseline week\n```").unwrap();
+    writeln!(
+        out,
+        "### Fig. 3 — new source /64 prefixes per baseline week\n```"
+    )
+    .unwrap();
     for (week, n) in &f3 {
         writeln!(out, "week {week:>2}: {n}").unwrap();
     }
@@ -327,7 +352,10 @@ fn figures_section(a: &Analyzed, out: &mut String) {
         out,
         "### Fig. 5 — heavy-hitter daily activity: {} bubbles across {} sources\n",
         f5.len(),
-        f5.iter().map(|b| b.source).collect::<std::collections::BTreeSet<_>>().len()
+        f5.iter()
+            .map(|b| b.source)
+            .collect::<std::collections::BTreeSet<_>>()
+            .len()
     )
     .unwrap();
     record(
@@ -353,7 +381,10 @@ fn figures_section(a: &Analyzed, out: &mut String) {
         "Fig. 7a",
         "announced telescopes dwarf covered ones",
         "4–6 orders of magnitude",
-        format!("T1/T3 = {:.0}x", sum(TelescopeId::T1) as f64 / sum(TelescopeId::T3).max(1) as f64),
+        format!(
+            "T1/T3 = {:.0}x",
+            sum(TelescopeId::T1) as f64 / sum(TelescopeId::T3).max(1) as f64
+        ),
         sum(TelescopeId::T1) > 100 * sum(TelescopeId::T3).max(1),
     );
 
@@ -471,7 +502,11 @@ fn figures_section(a: &Analyzed, out: &mut String) {
     );
 
     let f14 = figures::fig14(a);
-    writeln!(out, "### Fig. 14 — packets per scanner type across /48 subnets\n```").unwrap();
+    writeln!(
+        out,
+        "### Fig. 14 — packets per scanner type across /48 subnets\n```"
+    )
+    .unwrap();
     for (class, counts) in &f14 {
         writeln!(
             out,
@@ -519,7 +554,11 @@ fn figures_section(a: &Analyzed, out: &mut String) {
     );
 
     let f17 = figures::fig17(a);
-    writeln!(out, "### Fig. 17 — NIST outcomes (T1, ≥100-packet sessions)\n```").unwrap();
+    writeln!(
+        out,
+        "### Fig. 17 — NIST outcomes (T1, ≥100-packet sessions)\n```"
+    )
+    .unwrap();
     let rate = |iid: bool| {
         let (p, f) = f17
             .iter()
@@ -529,7 +568,12 @@ fn figures_section(a: &Analyzed, out: &mut String) {
     };
     let (ip, if_, irate) = rate(true);
     let (sp, sf, srate) = rate(false);
-    writeln!(out, "IID    : pass {ip}, fail {if_} ({:.0}%)", irate * 100.0).unwrap();
+    writeln!(
+        out,
+        "IID    : pass {ip}, fail {if_} ({:.0}%)",
+        irate * 100.0
+    )
+    .unwrap();
     writeln!(out, "subnet : pass {sp}, fail {sf} ({:.0}%)", srate * 100.0).unwrap();
     writeln!(out, "```").unwrap();
     record(

@@ -102,25 +102,20 @@ impl SessionFsm {
     ///
     /// UPDATE payloads are *not* interpreted here — the speaker handles
     /// routing; the FSM only validates that UPDATEs arrive in Established.
-    pub fn handle(
-        &mut self,
-        now: SimTime,
-        msg: &BgpMessage,
-    ) -> Result<Vec<BgpMessage>, BgpError> {
+    pub fn handle(&mut self, now: SimTime, msg: &BgpMessage) -> Result<Vec<BgpMessage>, BgpError> {
         self.last_received = now;
         match (&self.state, msg) {
             (State::OpenSent, BgpMessage::Open(open)) => {
                 if open.hold_time != 0 && open.hold_time < 3 {
                     self.state = State::Idle;
                     return Ok(vec![BgpMessage::Notification(NotificationMessage {
-                        code: 2, // OPEN Message Error
+                        code: 2,    // OPEN Message Error
                         subcode: 6, // Unacceptable Hold Time
                         data: vec![],
                     })]);
                 }
-                self.hold_time = SimDuration::secs(
-                    self.local_open.hold_time.min(open.hold_time) as u64,
-                );
+                self.hold_time =
+                    SimDuration::secs(self.local_open.hold_time.min(open.hold_time) as u64);
                 self.peer_open = Some(open.clone());
                 self.state = State::OpenConfirm;
                 self.last_keepalive_sent = now;
@@ -199,7 +194,11 @@ mod tests {
                 return;
             }
         }
-        panic!("sessions failed to establish: {:?} / {:?}", a.state(), b.state());
+        panic!(
+            "sessions failed to establish: {:?} / {:?}",
+            a.state(),
+            b.state()
+        );
     }
 
     #[test]
@@ -301,7 +300,13 @@ mod tests {
                 }),
             )
             .unwrap_err();
-        assert_eq!(err, BgpError::PeerNotification { code: 6, subcode: 4 });
+        assert_eq!(
+            err,
+            BgpError::PeerNotification {
+                code: 6,
+                subcode: 4
+            }
+        );
         assert_eq!(a.state(), State::Idle);
     }
 

@@ -155,7 +155,10 @@ mod tests {
             max_length: 48,
             origin: Asn(64500),
         });
-        assert_eq!(table.validate(&p("2001:db8::/32"), Asn(64500)), RpkiValidity::Valid);
+        assert_eq!(
+            table.validate(&p("2001:db8::/32"), Asn(64500)),
+            RpkiValidity::Valid
+        );
         assert_eq!(
             table.validate(&p("2001:db8:1234::/48"), Asn(64500)),
             RpkiValidity::Valid

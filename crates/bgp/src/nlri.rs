@@ -93,6 +93,9 @@ mod tests {
     #[test]
     fn rejects_truncation() {
         assert!(matches!(decode_prefix(&[]), Err(BgpError::Truncated(_))));
-        assert!(matches!(decode_prefix(&[48, 0x20, 0x01]), Err(BgpError::Truncated(_))));
+        assert!(matches!(
+            decode_prefix(&[48, 0x20, 0x01]),
+            Err(BgpError::Truncated(_))
+        ));
     }
 }

@@ -235,7 +235,10 @@ mod tests {
         let mut rib = LocRib::new();
         rib.insert(route("2001:db8::/32", &[1, 2, 3], 0));
         let shorter = route("2001:db8::/32", &[7, 8], 1);
-        assert_eq!(rib.insert(shorter.clone()), RibChange::NewBest(shorter.clone()));
+        assert_eq!(
+            rib.insert(shorter.clone()),
+            RibChange::NewBest(shorter.clone())
+        );
         // A longer path from another peer does not displace it.
         assert_eq!(
             rib.insert(route("2001:db8::/32", &[4, 5, 6, 7], 2)),
@@ -264,7 +267,7 @@ mod tests {
         assert!(a.better_than(&b));
         let mut c = route("2001:db8::/32", &[3], 2);
         c.med = 10;
-        assert!(a.better_than(&c) && b.better_than(&c) == false || a.better_than(&c));
+        assert!(a.better_than(&c) && !b.better_than(&c) || a.better_than(&c));
         // Oldest wins among full ties.
         let mut d = route("2001:db8::/32", &[4], 3);
         d.learned_at = SimTime::from_secs(100);
@@ -324,7 +327,9 @@ mod tests {
         let changes = rib.drop_peer(0);
         assert_eq!(changes.len(), 2);
         // 2001:db8::/32 falls back to peer 1, 2001:db9::/32 disappears.
-        assert!(changes.iter().any(|c| matches!(c, RibChange::NewBest(r) if r.learned_from == 1)));
+        assert!(changes
+            .iter()
+            .any(|c| matches!(c, RibChange::NewBest(r) if r.learned_from == 1)));
         assert!(changes.contains(&RibChange::Withdrawn(p("2001:db9::/32"))));
         assert_eq!(rib.len(), 1);
     }

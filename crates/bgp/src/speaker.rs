@@ -409,7 +409,12 @@ mod tests {
             let mut b = Speaker::new(Asn(64501), 2, "2001:db8:f00::2".parse().unwrap());
             let a_peer = a.add_peer(Asn(64501), rel_ab);
             let b_peer = b.add_peer(Asn(64500), rel_ba);
-            Pair { a, b, a_peer, b_peer }
+            Pair {
+                a,
+                b,
+                a_peer,
+                b_peer,
+            }
         }
 
         /// Ping-pongs traffic until quiescent; returns rounds taken.
@@ -460,10 +465,18 @@ mod tests {
         let out = pair.a.announce(p("2001:db8::/32"), now);
         assert_eq!(out.len(), 1, "one update to the single peer");
         pair.a_to_b(out, now);
-        let route = pair.b.rib().best(&p("2001:db8::/32")).expect("route installed");
+        let route = pair
+            .b
+            .rib()
+            .best(&p("2001:db8::/32"))
+            .expect("route installed");
         assert_eq!(route.as_path, vec![Asn(64500)]);
         // Data-plane reachability follows.
-        assert!(pair.b.rib().lookup("2001:db8::1".parse().unwrap()).is_some());
+        assert!(pair
+            .b
+            .rib()
+            .lookup("2001:db8::1".parse().unwrap())
+            .is_some());
     }
 
     #[test]
@@ -473,7 +486,10 @@ mod tests {
         pair.establish(now);
         let out = pair.a.announce(p("2001:db8::/32"), now);
         pair.a_to_b(out, now);
-        let out = pair.a.withdraw(p("2001:db8::/32"), now + sixscope_types::SimDuration::secs(5));
+        let out = pair.a.withdraw(
+            p("2001:db8::/32"),
+            now + sixscope_types::SimDuration::secs(5),
+        );
         assert_eq!(out.len(), 1);
         pair.a_to_b(out, now);
         assert!(pair.b.rib().best(&p("2001:db8::/32")).is_none());
@@ -507,7 +523,10 @@ mod tests {
             to_a = nta;
             to_b = ntb;
         }
-        assert!(b.rib().best(&p("2001:db8::/32")).is_some(), "initial table synced");
+        assert!(
+            b.rib().best(&p("2001:db8::/32")).is_some(),
+            "initial table synced"
+        );
     }
 
     #[test]
@@ -529,7 +548,10 @@ mod tests {
         };
         let bytes = BgpMessage::Update(update).encode();
         pair.b.handle_bytes(pair.b_peer, now, &bytes).unwrap();
-        assert!(pair.b.rib().best(&p("2001:db8::/32")).is_none(), "looped path dropped");
+        assert!(
+            pair.b.rib().best(&p("2001:db8::/32")).is_none(),
+            "looped path dropped"
+        );
     }
 
     #[test]
@@ -542,14 +564,15 @@ mod tests {
         let to_peer = b.add_peer(Asn(30), PeerRelation::Peer);
         let to_customer = b.add_peer(Asn(40), PeerRelation::Customer);
         // Force sessions up by exchanging with throwaway speakers.
-        let mut others: Vec<(Speaker, PeerId)> = [(10u32, from_peer), (30, to_peer), (40, to_customer)]
-            .iter()
-            .map(|&(asn, _)| {
-                let mut s = Speaker::new(Asn(asn), asn, "2001:db8:f00::ff".parse().unwrap());
-                let pid = s.add_peer(Asn(20), PeerRelation::Peer);
-                (s, pid)
-            })
-            .collect();
+        let mut others: Vec<(Speaker, PeerId)> =
+            [(10u32, from_peer), (30, to_peer), (40, to_customer)]
+                .iter()
+                .map(|&(asn, _)| {
+                    let mut s = Speaker::new(Asn(asn), asn, "2001:db8:f00::ff".parse().unwrap());
+                    let pid = s.add_peer(Asn(20), PeerRelation::Peer);
+                    (s, pid)
+                })
+                .collect();
         for (i, (other, opid)) in others.iter_mut().enumerate() {
             let bpid = i as PeerId;
             let mut to_other = b.start_peer(bpid, now);
@@ -668,8 +691,14 @@ mod community_tests {
             }
             // Route any messages addressed to other peers nowhere (chain
             // tests deliver those explicitly).
-            to_x = next_to_x.into_iter().filter(|(p, _)| *p == y_peer).collect();
-            to_y = next_to_y.into_iter().filter(|(p, _)| *p == x_peer).collect();
+            to_x = next_to_x
+                .into_iter()
+                .filter(|(p, _)| *p == y_peer)
+                .collect();
+            to_y = next_to_y
+                .into_iter()
+                .filter(|(p, _)| *p == x_peer)
+                .collect();
         }
         assert!(x.peer_established(x_peer) && y.peer_established(y_peer));
     }
@@ -698,7 +727,10 @@ mod community_tests {
         for (_, bytes) in out {
             forwarded.extend(b.handle_bytes(b_a, now, &bytes).unwrap());
         }
-        let to_c: Vec<_> = forwarded.into_iter().filter(|(peer, _)| *peer == b_c).collect();
+        let to_c: Vec<_> = forwarded
+            .into_iter()
+            .filter(|(peer, _)| *peer == b_c)
+            .collect();
         assert!(!to_c.is_empty(), "plain route must reach c");
         for (_, bytes) in to_c {
             c.handle_bytes(c_b, now, &bytes).unwrap();

@@ -113,8 +113,16 @@ impl Topology {
             // from b's view; the collector never exports anyway.
             PeerRelation::Collector => PeerRelation::Provider,
         };
-        let id_b_in_a = self.speakers.get_mut(&a).expect("AS a exists").add_peer(b, b_is);
-        let id_a_in_b = self.speakers.get_mut(&b).expect("AS b exists").add_peer(a, a_is);
+        let id_b_in_a = self
+            .speakers
+            .get_mut(&a)
+            .expect("AS a exists")
+            .add_peer(b, b_is);
+        let id_a_in_b = self
+            .speakers
+            .get_mut(&b)
+            .expect("AS b exists")
+            .add_peer(a, a_is);
         self.peer_ids.insert((a, b), id_b_in_a);
         self.peer_ids.insert((b, a), id_a_in_b);
         self.delays.insert((a, b), delay);
@@ -226,12 +234,7 @@ impl Topology {
                             ts: msg.deliver_at,
                             prefix: *prefix,
                             kind: RouteEventKind::Announce {
-                                origin_as: update
-                                    .attrs
-                                    .as_path
-                                    .last()
-                                    .copied()
-                                    .unwrap_or(Asn(0)),
+                                origin_as: update.attrs.as_path.last().copied().unwrap_or(Asn(0)),
                                 as_path: update.attrs.as_path.clone(),
                             },
                         });
@@ -325,12 +328,7 @@ impl Default for Topology {
 /// * a route collector fed by both transits.
 ///
 /// Returns the topology with all sessions established at `start`.
-pub fn standard_topology(
-    origin: Asn,
-    borrower: Asn,
-    collector: Asn,
-    start: SimTime,
-) -> Topology {
+pub fn standard_topology(origin: Asn, borrower: Asn, collector: Asn, start: SimTime) -> Topology {
     let transit1 = Asn(3320);
     let transit2 = Asn(6939);
     let core = Asn(174);
@@ -342,13 +340,38 @@ pub fn standard_topology(
     topo.add_as(core, "2001:db8:ffff::12".parse().unwrap());
     topo.add_as(collector, "2001:db8:ffff::99".parse().unwrap());
     // Origin multihomes to both transits (seconds of BGP delay per hop).
-    topo.connect(origin, transit1, PeerRelation::Provider, SimDuration::secs(2));
-    topo.connect(origin, transit2, PeerRelation::Provider, SimDuration::secs(3));
-    topo.connect(borrower, transit2, PeerRelation::Provider, SimDuration::secs(2));
+    topo.connect(
+        origin,
+        transit1,
+        PeerRelation::Provider,
+        SimDuration::secs(2),
+    );
+    topo.connect(
+        origin,
+        transit2,
+        PeerRelation::Provider,
+        SimDuration::secs(3),
+    );
+    topo.connect(
+        borrower,
+        transit2,
+        PeerRelation::Provider,
+        SimDuration::secs(2),
+    );
     topo.connect(transit1, core, PeerRelation::Peer, SimDuration::secs(5));
     topo.connect(transit2, core, PeerRelation::Peer, SimDuration::secs(4));
-    topo.connect(transit1, collector, PeerRelation::Collector, SimDuration::secs(8));
-    topo.connect(transit2, collector, PeerRelation::Collector, SimDuration::secs(10));
+    topo.connect(
+        transit1,
+        collector,
+        PeerRelation::Collector,
+        SimDuration::secs(8),
+    );
+    topo.connect(
+        transit2,
+        collector,
+        PeerRelation::Collector,
+        SimDuration::secs(10),
+    );
     topo.set_collector(collector);
     topo.establish_all(start);
     topo

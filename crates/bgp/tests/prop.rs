@@ -30,27 +30,29 @@ fn arb_attrs() -> impl Strategy<Value = PathAttributes> {
         proptest::collection::vec(arb_prefix(), 0..8),
         proptest::collection::vec(any::<u32>(), 0..6),
     )
-        .prop_map(|(origin, path, med, local_pref, reach, unreach, communities)| {
-            // An empty AS_PATH only round-trips when the ORIGIN forces the
-            // attribute block to exist; normalize to the encodable subset.
-            let origin = if path.is_empty() && origin.is_none() && reach.is_none() {
-                Some(Origin::Igp)
-            } else {
-                origin
-            };
-            PathAttributes {
-                origin,
-                as_path: path.into_iter().map(Asn).collect(),
-                med,
-                local_pref,
-                communities,
-                mp_reach: reach.map(|(nh, prefixes)| MpReach {
-                    next_hop: Ipv6Addr::from(nh),
-                    prefixes,
-                }),
-                mp_unreach: unreach,
-            }
-        })
+        .prop_map(
+            |(origin, path, med, local_pref, reach, unreach, communities)| {
+                // An empty AS_PATH only round-trips when the ORIGIN forces the
+                // attribute block to exist; normalize to the encodable subset.
+                let origin = if path.is_empty() && origin.is_none() && reach.is_none() {
+                    Some(Origin::Igp)
+                } else {
+                    origin
+                };
+                PathAttributes {
+                    origin,
+                    as_path: path.into_iter().map(Asn).collect(),
+                    med,
+                    local_pref,
+                    communities,
+                    mp_reach: reach.map(|(nh, prefixes)| MpReach {
+                        next_hop: Ipv6Addr::from(nh),
+                        prefixes,
+                    }),
+                    mp_unreach: unreach,
+                }
+            },
+        )
 }
 
 proptest! {

@@ -145,11 +145,9 @@ fn write_capture_pcap(capture: &Capture, path: &str) -> Result<(), String> {
                 0,
                 &p.payload,
             ),
-            Protocol::Udp | Protocol::Other => builder.udp(
-                p.src_port.unwrap_or(0),
-                p.dst_port.unwrap_or(0),
-                &p.payload,
-            ),
+            Protocol::Udp | Protocol::Other => {
+                builder.udp(p.src_port.unwrap_or(0), p.dst_port.unwrap_or(0), &p.payload)
+            }
         };
         writer
             .write_record(&PcapRecord {
@@ -189,13 +187,20 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
         let n = capture
             .ingest_pcap(reader)
             .map_err(|e| format!("{f}: {e}"))?;
-        eprintln!("{f}: {n} packets in prefix (filtered {}, malformed {})",
-            capture.filtered(), capture.malformed());
+        eprintln!(
+            "{f}: {n} packets in prefix (filtered {}, malformed {})",
+            capture.filtered(),
+            capture.malformed()
+        );
     }
     println!("total packets: {}", capture.len());
     let sessions = Sessionizer::paper(AggLevel::Addr128).sessionize(&capture);
     let profiles = profile_scanners(&sessions);
-    println!("sessions (/128): {}, scanners: {}\n", sessions.len(), profiles.len());
+    println!(
+        "sessions (/128): {}, scanners: {}\n",
+        sessions.len(),
+        profiles.len()
+    );
     println!(
         "{:<42} {:>6} {:>8}  {:<13} addr-selection (first session)",
         "source", "sess", "packets", "temporal"

@@ -4,7 +4,7 @@
 use sixscope_analysis::classify::{profile_scanners, ScannerProfile};
 use sixscope_sim::{ExperimentResult, Scenario, ScenarioConfig};
 use sixscope_telescope::{AggLevel, Capture, ScanSession, Sessionizer, SourceKey, TelescopeId};
-use sixscope_types::{AsInfo, Asn, PrefixTrie, SimTime};
+use sixscope_types::{map_indexed, num_threads, AsInfo, Asn, PrefixTrie, SimTime};
 use std::collections::BTreeMap;
 use std::net::Ipv6Addr;
 
@@ -50,13 +50,27 @@ pub struct Analyzed {
 
 impl Analyzed {
     /// Builds the corpus from a finished experiment.
+    ///
+    /// The eight sessionization passes (four telescopes × two aggregation
+    /// levels) are independent pure functions of their capture, so they run
+    /// on worker threads (`SIXSCOPE_THREADS` caps them; 1 forces serial).
+    /// Results are keyed by telescope, so scheduling cannot affect output.
     pub fn from_result(result: ExperimentResult) -> Analyzed {
+        let jobs: Vec<(TelescopeId, AggLevel)> = TelescopeId::ALL
+            .into_iter()
+            .flat_map(|id| [(id, AggLevel::Addr128), (id, AggLevel::Subnet64)])
+            .collect();
+        let sessionized = map_indexed(num_threads(None), &jobs, |_, &(id, level)| {
+            Sessionizer::paper(level).sessionize(&result.captures[&id])
+        });
         let mut sessions128 = BTreeMap::new();
         let mut sessions64 = BTreeMap::new();
-        for id in TelescopeId::ALL {
-            let capture = &result.captures[&id];
-            sessions128.insert(id, Sessionizer::paper(AggLevel::Addr128).sessionize(capture));
-            sessions64.insert(id, Sessionizer::paper(AggLevel::Subnet64).sessionize(capture));
+        for (&(id, level), sessions) in jobs.iter().zip(sessionized) {
+            match level {
+                AggLevel::Addr128 => sessions128.insert(id, sessions),
+                AggLevel::Subnet64 => sessions64.insert(id, sessions),
+                other => unreachable!("no {other:?} sessionization job scheduled"),
+            };
         }
         let mut asn_by_subnet = PrefixTrie::new();
         for scanner in &result.population.scanners {
@@ -135,19 +149,13 @@ impl Analyzed {
     /// Temporal scanner profiles of the T1 split period (owned clone of
     /// the relevant sessions, indices referencing the returned vector).
     pub fn t1_split_profiles(&self) -> (Vec<ScanSession>, Vec<ScannerProfile>) {
-        let sessions: Vec<ScanSession> =
-            self.t1_split_sessions().into_iter().cloned().collect();
+        let sessions: Vec<ScanSession> = self.t1_split_sessions().into_iter().cloned().collect();
         let profiles = profile_scanners(&sessions);
         (sessions, profiles)
     }
 
     /// Distinct /128 sources at one telescope over a time range.
-    pub fn sources128(
-        &self,
-        id: TelescopeId,
-        from: SimTime,
-        until: SimTime,
-    ) -> Vec<SourceKey> {
+    pub fn sources128(&self, id: TelescopeId, from: SimTime, until: SimTime) -> Vec<SourceKey> {
         let mut out: Vec<SourceKey> = self.result.captures[&id]
             .packets()
             .iter()

@@ -83,8 +83,14 @@ pub fn fig4(a: &Analyzed) -> Vec<GrowthCurve> {
         }
     }
     curves.push(normalize("ASes", cumulative_distinct(as_events, week)));
-    curves.push(normalize("sources /128", cumulative_distinct(s128_events, week)));
-    curves.push(normalize("sources /64", cumulative_distinct(s64_events, week)));
+    curves.push(normalize(
+        "sources /128",
+        cumulative_distinct(s128_events, week),
+    ));
+    curves.push(normalize(
+        "sources /64",
+        cumulative_distinct(s64_events, week),
+    ));
 
     // Sessions at both aggregation levels.
     for (label, sel) in [("sessions /128", true), ("sessions /64", false)] {
@@ -582,13 +588,15 @@ pub fn fig17(a: &Analyzed) -> Vec<NistFigureCell> {
     }
     cells
         .into_iter()
-        .map(|((test, iid_part, temporal), (pass, fail))| NistFigureCell {
-            test,
-            iid_part,
-            temporal,
-            pass,
-            fail,
-        })
+        .map(
+            |((test, iid_part, temporal), (pass, fail))| NistFigureCell {
+                test,
+                iid_part,
+                temporal,
+                pass,
+                fail,
+            },
+        )
         .collect()
 }
 
@@ -635,12 +643,7 @@ mod tests {
     #[test]
     fn fig7a_t1_and_t2_dwarf_t3() {
         let series = fig7a(analyzed());
-        let sum = |id| {
-            series[&id]
-                .iter()
-                .map(|&(_, n)| n)
-                .sum::<u64>()
-        };
+        let sum = |id| series[&id].iter().map(|&(_, n)| n).sum::<u64>();
         assert!(sum(TelescopeId::T1) > 20 * sum(TelescopeId::T3).max(1));
     }
 
@@ -681,7 +684,11 @@ mod tests {
     #[test]
     fn fig10_more_specific_prefixes_gain_sessions() {
         let growth = fig10(analyzed());
-        assert!(growth.len() > 3, "only {} prefixes saw sessions", growth.len());
+        assert!(
+            growth.len() > 3,
+            "only {} prefixes saw sessions",
+            growth.len()
+        );
         // Some /48 eventually receives sessions.
         assert!(growth.iter().any(|g| g.prefix.len() >= 40));
     }

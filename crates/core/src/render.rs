@@ -2,8 +2,8 @@
 //! paper's row format (used by the `repro` harness and EXPERIMENTS.md).
 
 use crate::figures::{BiweeklySeries, GrowthCurve, NibbleMatrix, TaxonomyCell};
-use crate::tables::{CorpusOverview, Headline, Table2, Table4, Table5, Table6};
 use crate::tables::{AddressTypeRow, NetworkTypeRow, ToolRow};
+use crate::tables::{CorpusOverview, Headline, Table2, Table4, Table5, Table6};
 use std::fmt::Write;
 
 /// Renders the §4 corpus overview.
@@ -206,7 +206,11 @@ pub fn render_table7(rows: &[ToolRow]) -> String {
 /// Renders Table 8.
 pub fn render_table8(rows: &[NetworkTypeRow]) -> String {
     let mut out = String::new();
-    writeln!(out, "Table 8 — network types of scan sources (T1, split period)").unwrap();
+    writeln!(
+        out,
+        "Table 8 — network types of scan sources (T1, split period)"
+    )
+    .unwrap();
     writeln!(
         out,
         "{:<12} {:>9} {:>7} {:>9} {:>7} {:>12} {:>7}",
@@ -315,11 +319,23 @@ pub fn render_growth(curves: &[GrowthCurve]) -> String {
 /// Renders the bi-weekly T1-vs-rest series (Fig. 11).
 pub fn render_biweekly(s: &BiweeklySeries) -> String {
     let mut out = String::new();
-    writeln!(out, "{:<8} {:>12} {:>12}", "bi-week", "T1 sessions", "rest sessions").unwrap();
+    writeln!(
+        out,
+        "{:<8} {:>12} {:>12}",
+        "bi-week", "T1 sessions", "rest sessions"
+    )
+    .unwrap();
     let rest: std::collections::BTreeMap<u64, u64> =
         s.others.iter().map(|&(b, n, _)| (b, n)).collect();
     for &(b, n, _) in &s.t1 {
-        writeln!(out, "{:<8} {:>12} {:>12}", b, n, rest.get(&b).copied().unwrap_or(0)).unwrap();
+        writeln!(
+            out,
+            "{:<8} {:>12} {:>12}",
+            b,
+            n,
+            rest.get(&b).copied().unwrap_or(0)
+        )
+        .unwrap();
     }
     out
 }

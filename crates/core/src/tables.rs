@@ -286,8 +286,7 @@ pub fn table4(a: &Analyzed) -> Table4 {
         }
     }
     let top = |counts: &BTreeMap<PortLabel, u64>, total: u64| -> Vec<PortRow> {
-        let mut entries: Vec<(PortLabel, u64)> =
-            counts.iter().map(|(l, &c)| (*l, c)).collect();
+        let mut entries: Vec<(PortLabel, u64)> = counts.iter().map(|(l, &c)| (*l, c)).collect();
         entries.sort_by(|x, y| y.1.cmp(&x.1).then(x.0.cmp(&y.0)));
         entries
             .into_iter()
@@ -724,8 +723,7 @@ pub fn headline(a: &Analyzed) -> Headline {
 
     // Weekly averages of sources and sessions, baseline vs. split period.
     let baseline_weeks = (boundary - schedule.cycle_start(0)).as_secs() as f64 / 604_800.0;
-    let split_weeks =
-        (schedule.end() - boundary).as_secs() as f64 / 604_800.0;
+    let split_weeks = (schedule.end() - boundary).as_secs() as f64 / 604_800.0;
     // Average number of distinct weekly sources (sum of per-week distinct
     // source counts divided by the number of weeks in the range).
     let weekly_sources = |from, until, weeks: f64| -> f64 {
@@ -759,7 +757,11 @@ pub fn headline(a: &Analyzed) -> Headline {
         .count() as u64;
     let final_cycle = schedule.cycles;
     let final_set = schedule.announced_set(final_cycle);
-    let final_48s: Vec<Ipv6Prefix> = final_set.iter().filter(|p| p.len() == 48).copied().collect();
+    let final_48s: Vec<Ipv6Prefix> = final_set
+        .iter()
+        .filter(|p| p.len() == 48)
+        .copied()
+        .collect();
     let final_start = schedule.cycle_start(final_cycle);
     // Per-prefix session counting (as in Fig. 10): a session counts toward
     // every announced prefix it probes; the /48 share is the share of those
@@ -844,7 +846,11 @@ mod tests {
         assert!(icmp.packets > udp.packets && icmp.packets > tcp.packets);
         // TCP dominates sessions (92.8% in the paper).
         assert!(tcp.session_pct > icmp.session_pct);
-        assert!(tcp.session_pct > 50.0, "TCP session share {}", tcp.session_pct);
+        assert!(
+            tcp.session_pct > 50.0,
+            "TCP session share {}",
+            tcp.session_pct
+        );
         // Packet shares sum to ≤ 100 (plus an "other" remainder).
         let sum: f64 = t.rows.iter().map(|r| r.packet_pct).sum();
         assert!(sum <= 100.5);
@@ -919,7 +925,11 @@ mod tests {
         // Network selection: single-prefix dominates scanners.
         let single = &t.network[0];
         assert_eq!(single.label, "Single-prefix scanning");
-        assert!(single.scanner_pct > 50.0, "single-prefix {}", single.scanner_pct);
+        assert!(
+            single.scanner_pct > 50.0,
+            "single-prefix {}",
+            single.scanner_pct
+        );
     }
 
     #[test]
@@ -971,7 +981,11 @@ mod tests {
         assert!(h.weekly_sessions_growth_pct > 50.0);
         assert!(h.one_off_scanner_pct > 50.0);
         assert!(!h.heavy_hitters.is_empty());
-        assert!(h.heavy_packet_pct > 30.0, "heavy share {}", h.heavy_packet_pct);
+        assert!(
+            h.heavy_packet_pct > 30.0,
+            "heavy share {}",
+            h.heavy_packet_pct
+        );
         assert!(h.heavy_session_pct < 15.0);
     }
 }

@@ -5,7 +5,7 @@
 //! the simulated network, exactly as a real scanning host would hand them to
 //! a raw socket.
 
-use crate::icmpv6::Icmpv6Header;
+use crate::icmpv6::{Icmpv6Header, ICMPV6_HEADER_LEN};
 use crate::ipv6::{Ipv6Header, NextHeader, IPV6_HEADER_LEN};
 use crate::tcp::{TcpHeader, TCP_HEADER_LEN};
 use crate::udp::{UdpHeader, UDP_HEADER_LEN};
@@ -43,54 +43,97 @@ impl PacketBuilder {
         self
     }
 
-    fn finish(&self, next: NextHeader, upper: Vec<u8>) -> Vec<u8> {
-        let mut hdr = Ipv6Header::new(self.src, self.dst, next, upper.len() as u16);
+    /// Appends the IPv6 header for an upper layer of known length. The
+    /// transport encoders are append-only, so the header can be written
+    /// first and the packet assembled in the caller's buffer with no
+    /// intermediate allocation.
+    fn start_into(&self, next: NextHeader, upper_len: usize, out: &mut Vec<u8>) {
+        let mut hdr = Ipv6Header::new(self.src, self.dst, next, upper_len as u16);
         hdr.hop_limit = self.hop_limit;
         hdr.flow_label = self.flow_label;
-        let mut out = Vec::with_capacity(IPV6_HEADER_LEN + upper.len());
-        hdr.encode(&mut out);
-        out.extend_from_slice(&upper);
-        out
+        out.reserve(IPV6_HEADER_LEN + upper_len);
+        hdr.encode(out);
     }
 
     /// Builds an ICMPv6 Echo Request with the given payload.
     pub fn icmpv6_echo_request(&self, identifier: u16, sequence: u16, payload: &[u8]) -> Vec<u8> {
-        let mut upper = Vec::with_capacity(8 + payload.len());
-        Icmpv6Header::echo_request(identifier, sequence).encode(
-            self.src, self.dst, payload, &mut upper,
+        let mut out = Vec::new();
+        self.icmpv6_echo_request_into(identifier, sequence, payload, &mut out);
+        out
+    }
+
+    /// Appends a complete ICMPv6 Echo Request packet to `out`.
+    pub fn icmpv6_echo_request_into(
+        &self,
+        identifier: u16,
+        sequence: u16,
+        payload: &[u8],
+        out: &mut Vec<u8>,
+    ) {
+        self.icmpv6_into(
+            Icmpv6Header::echo_request(identifier, sequence),
+            payload,
+            out,
         );
-        self.finish(NextHeader::Icmpv6, upper)
     }
 
     /// Builds an arbitrary ICMPv6 message.
     pub fn icmpv6(&self, header: Icmpv6Header, payload: &[u8]) -> Vec<u8> {
-        let mut upper = Vec::with_capacity(8 + payload.len());
-        header.encode(self.src, self.dst, payload, &mut upper);
-        self.finish(NextHeader::Icmpv6, upper)
+        let mut out = Vec::new();
+        self.icmpv6_into(header, payload, &mut out);
+        out
+    }
+
+    /// Appends a complete ICMPv6 packet to `out`.
+    pub fn icmpv6_into(&self, header: Icmpv6Header, payload: &[u8], out: &mut Vec<u8>) {
+        self.start_into(NextHeader::Icmpv6, ICMPV6_HEADER_LEN + payload.len(), out);
+        header.encode(self.src, self.dst, payload, out);
     }
 
     /// Builds a TCP SYN probe (optionally with a payload, which some scan
     /// tools use to carry a fingerprint).
     pub fn tcp_syn(&self, src_port: u16, dst_port: u16, seq: u32, payload: &[u8]) -> Vec<u8> {
-        let mut upper = Vec::with_capacity(TCP_HEADER_LEN + payload.len());
-        TcpHeader::syn(src_port, dst_port, seq).encode(self.src, self.dst, payload, &mut upper);
-        self.finish(NextHeader::Tcp, upper)
+        let mut out = Vec::new();
+        self.tcp_syn_into(src_port, dst_port, seq, payload, &mut out);
+        out
+    }
+
+    /// Appends a complete TCP SYN packet to `out`.
+    pub fn tcp_syn_into(
+        &self,
+        src_port: u16,
+        dst_port: u16,
+        seq: u32,
+        payload: &[u8],
+        out: &mut Vec<u8>,
+    ) {
+        self.tcp_into(TcpHeader::syn(src_port, dst_port, seq), payload, out);
     }
 
     /// Builds an arbitrary TCP segment.
     pub fn tcp(&self, header: TcpHeader, payload: &[u8]) -> Vec<u8> {
-        let mut upper = Vec::with_capacity(TCP_HEADER_LEN + payload.len());
-        header.encode(self.src, self.dst, payload, &mut upper);
-        self.finish(NextHeader::Tcp, upper)
+        let mut out = Vec::new();
+        self.tcp_into(header, payload, &mut out);
+        out
+    }
+
+    /// Appends a complete TCP packet to `out`.
+    pub fn tcp_into(&self, header: TcpHeader, payload: &[u8], out: &mut Vec<u8>) {
+        self.start_into(NextHeader::Tcp, TCP_HEADER_LEN + payload.len(), out);
+        header.encode(self.src, self.dst, payload, out);
     }
 
     /// Builds a UDP datagram.
     pub fn udp(&self, src_port: u16, dst_port: u16, payload: &[u8]) -> Vec<u8> {
-        let mut upper = Vec::with_capacity(UDP_HEADER_LEN + payload.len());
-        UdpHeader::new(src_port, dst_port, payload.len()).encode(
-            self.src, self.dst, payload, &mut upper,
-        );
-        self.finish(NextHeader::Udp, upper)
+        let mut out = Vec::new();
+        self.udp_into(src_port, dst_port, payload, &mut out);
+        out
+    }
+
+    /// Appends a complete UDP packet to `out`.
+    pub fn udp_into(&self, src_port: u16, dst_port: u16, payload: &[u8], out: &mut Vec<u8>) {
+        self.start_into(NextHeader::Udp, UDP_HEADER_LEN + payload.len(), out);
+        UdpHeader::new(src_port, dst_port, payload.len()).encode(self.src, self.dst, payload, out);
     }
 }
 
@@ -144,6 +187,20 @@ mod tests {
         let p = ParsedPacket::parse(&bytes).unwrap();
         assert_eq!(p.header.hop_limit, 3);
         assert_eq!(p.header.flow_label, 0x1234);
+    }
+
+    #[test]
+    fn into_variants_match_allocating_builders_across_reuse() {
+        let b = builder();
+        let mut buf = Vec::new();
+        b.icmpv6_echo_request_into(7, 3, b"ping", &mut buf);
+        assert_eq!(buf, b.icmpv6_echo_request(7, 3, b"ping"));
+        buf.clear();
+        b.tcp_syn_into(55555, 443, 9, b"fp", &mut buf);
+        assert_eq!(buf, b.tcp_syn(55555, 443, 9, b"fp"));
+        buf.clear();
+        b.udp_into(40000, 33434, b"traceroute!", &mut buf);
+        assert_eq!(buf, b.udp(40000, 33434, b"traceroute!"));
     }
 
     #[test]

@@ -22,7 +22,10 @@ impl Checksum {
 
     /// Adds a 16-bit word.
     pub fn add_u16(&mut self, w: u16) {
-        debug_assert!(self.pending.is_none(), "add_u16 between odd byte boundaries");
+        debug_assert!(
+            self.pending.is_none(),
+            "add_u16 between odd byte boundaries"
+        );
         self.sum += w as u32;
     }
 
@@ -61,12 +64,7 @@ impl Checksum {
 
 /// Computes the upper-layer checksum over the IPv6 pseudo-header plus
 /// `upper` (transport header + payload, with its checksum field zeroed).
-pub fn pseudo_header_checksum(
-    src: Ipv6Addr,
-    dst: Ipv6Addr,
-    next_header: u8,
-    upper: &[u8],
-) -> u16 {
+pub fn pseudo_header_checksum(src: Ipv6Addr, dst: Ipv6Addr, next_header: u8, upper: &[u8]) -> u16 {
     let mut ck = Checksum::new();
     ck.add_bytes(&src.octets());
     ck.add_bytes(&dst.octets());

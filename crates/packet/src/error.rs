@@ -46,7 +46,10 @@ impl fmt::Display for PacketError {
                 what,
                 declared,
                 actual,
-            } => write!(f, "{what} declares {declared} bytes but {actual} are available"),
+            } => write!(
+                f,
+                "{what} declares {declared} bytes but {actual} are available"
+            ),
             PacketError::BadChecksum(what) => write!(f, "{what} checksum verification failed"),
             PacketError::BadPcapMagic(m) => write!(f, "unrecognized pcap magic {m:#010x}"),
             PacketError::UnsupportedLinkType(l) => {

@@ -144,7 +144,10 @@ mod tests {
     use super::*;
 
     fn addrs() -> (Ipv6Addr, Ipv6Addr) {
-        ("2001:db8::1".parse().unwrap(), "2001:db8::2".parse().unwrap())
+        (
+            "2001:db8::1".parse().unwrap(),
+            "2001:db8::2".parse().unwrap(),
+        )
     }
 
     #[test]

@@ -48,7 +48,8 @@ impl<W: Write> PcapWriter<W> {
 
     /// Appends one packet record.
     pub fn write_record(&mut self, rec: &PcapRecord) -> Result<(), PacketError> {
-        self.out.write_all(&(rec.ts.as_secs() as u32).to_le_bytes())?;
+        self.out
+            .write_all(&(rec.ts.as_secs() as u32).to_le_bytes())?;
         self.out.write_all(&rec.ts_micros.to_le_bytes())?;
         let len = rec.data.len() as u32;
         self.out.write_all(&len.to_le_bytes())?; // incl_len
@@ -195,8 +196,14 @@ mod tests {
         let w = PcapWriter::new(Vec::new()).unwrap();
         let bytes = w.into_inner().unwrap();
         assert_eq!(bytes.len(), 24);
-        assert_eq!(u32::from_le_bytes(bytes[0..4].try_into().unwrap()), MAGIC_LE_US);
-        assert_eq!(u32::from_le_bytes(bytes[20..24].try_into().unwrap()), LINKTYPE_RAW);
+        assert_eq!(
+            u32::from_le_bytes(bytes[0..4].try_into().unwrap()),
+            MAGIC_LE_US
+        );
+        assert_eq!(
+            u32::from_le_bytes(bytes[20..24].try_into().unwrap()),
+            LINKTYPE_RAW
+        );
     }
 
     #[test]

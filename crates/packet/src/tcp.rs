@@ -143,7 +143,10 @@ mod tests {
     use super::*;
 
     fn addrs() -> (Ipv6Addr, Ipv6Addr) {
-        ("2001:db8::a".parse().unwrap(), "2001:db8::b".parse().unwrap())
+        (
+            "2001:db8::a".parse().unwrap(),
+            "2001:db8::b".parse().unwrap(),
+        )
     }
 
     #[test]

@@ -2,9 +2,7 @@
 //! the same fields with a valid checksum, and pcap round-trips are lossless.
 
 use proptest::prelude::*;
-use sixscope_packet::{
-    PacketBuilder, ParsedPacket, PcapReader, PcapRecord, PcapWriter, Transport,
-};
+use sixscope_packet::{PacketBuilder, ParsedPacket, PcapReader, PcapRecord, PcapWriter, Transport};
 use sixscope_types::SimTime;
 use std::net::Ipv6Addr;
 

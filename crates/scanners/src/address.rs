@@ -121,12 +121,11 @@ impl AddressStrategy {
                 out
             }
             AddressStrategy::ServicePorts => {
-                const PORT_IIDS: [u64; 10] =
-                    [0x80, 0x443, 0x22, 0x53, 0x21, 0x25, 0x8080, 0x50, 0x35, 0x443];
+                const PORT_IIDS: [u64; 10] = [
+                    0x80, 0x443, 0x22, 0x53, 0x21, 0x25, 0x8080, 0x50, 0x35, 0x443,
+                ];
                 (0..count)
-                    .map(|i| {
-                        Ipv6Addr::from(prefix.bits() | PORT_IIDS[(i % 10) as usize] as u128)
-                    })
+                    .map(|i| Ipv6Addr::from(prefix.bits() | PORT_IIDS[(i % 10) as usize] as u128))
                     .collect()
             }
             AddressStrategy::EmbeddedIpv4 { base } => (0..count)
@@ -225,7 +224,9 @@ mod tests {
             AddressStrategy::SubnetAnycast,
             AddressStrategy::ServicePorts,
             AddressStrategy::EmbeddedIpv4 { base: 0xc0000201 },
-            AddressStrategy::Eui64 { oui: [0x00, 0x11, 0x22] },
+            AddressStrategy::Eui64 {
+                oui: [0x00, 0x11, 0x22],
+            },
             AddressStrategy::PatternWords,
             AddressStrategy::RandomIid,
             AddressStrategy::RandomFull,
@@ -268,12 +269,10 @@ mod tests {
 
     #[test]
     fn eui64_targets_classify_as_ieee_derived() {
-        let targets = AddressStrategy::Eui64 { oui: [0, 0x11, 0x22] }.generate(
-            p("2001:db8::/32"),
-            10,
-            &mut rng(),
-            &[],
-        );
+        let targets = AddressStrategy::Eui64 {
+            oui: [0, 0x11, 0x22],
+        }
+        .generate(p("2001:db8::/32"), 10, &mut rng(), &[]);
         assert!(targets
             .iter()
             .all(|&t| classify(t) == AddressType::IeeeDerived));
@@ -307,7 +306,9 @@ mod tests {
             &[],
         );
         assert_eq!(targets.len(), 100);
-        assert!(targets.windows(2).all(|w| u128::from(w[0]) < u128::from(w[1])));
+        assert!(targets
+            .windows(2)
+            .all(|w| u128::from(w[0]) < u128::from(w[1])));
     }
 
     #[test]
@@ -342,8 +343,14 @@ mod tests {
             &mut rng(),
             &[],
         );
-        assert_eq!(targets[0], "2001:db8::c000:201".parse::<Ipv6Addr>().unwrap());
-        assert_eq!(targets[1], "2001:db8::c000:202".parse::<Ipv6Addr>().unwrap());
+        assert_eq!(
+            targets[0],
+            "2001:db8::c000:201".parse::<Ipv6Addr>().unwrap()
+        );
+        assert_eq!(
+            targets[1],
+            "2001:db8::c000:202".parse::<Ipv6Addr>().unwrap()
+        );
         assert!(targets
             .iter()
             .all(|&t| classify(t) == AddressType::EmbeddedIpv4));

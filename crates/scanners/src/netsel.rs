@@ -213,9 +213,7 @@ mod tests {
         assert_eq!(a.len(), 1);
         // Different salts spread across prefixes.
         let picks: std::collections::BTreeSet<Ipv6Prefix> = (0..32u64)
-            .map(|salt| {
-                NetworkStrategy::PinnedPrefix { salt }.select(&announced(), 0, &mut r)[0]
-            })
+            .map(|salt| NetworkStrategy::PinnedPrefix { salt }.select(&announced(), 0, &mut r)[0])
             .collect();
         assert!(picks.len() > 1, "all salts pinned the same prefix");
     }
@@ -223,8 +221,12 @@ mod tests {
     #[test]
     fn empty_announcement_view() {
         let mut r = rng();
-        assert!(NetworkStrategy::SinglePrefix.select(&[], 0, &mut r).is_empty());
-        assert!(NetworkStrategy::AllAnnounced.select(&[], 0, &mut r).is_empty());
+        assert!(NetworkStrategy::SinglePrefix
+            .select(&[], 0, &mut r)
+            .is_empty());
+        assert!(NetworkStrategy::AllAnnounced
+            .select(&[], 0, &mut r)
+            .is_empty());
         assert!(NetworkStrategy::SizeProportional { draws: 3 }
             .select(&[], 0, &mut r)
             .is_empty());

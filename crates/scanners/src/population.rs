@@ -28,7 +28,7 @@ use crate::temporal::TemporalModel;
 use crate::tools::ToolProfile;
 use sixscope_telescope::{ScheduleAction, ScheduleActionKind, SplitSchedule};
 use sixscope_types::{
-    Asn, AsInfo, CountryCode, Ipv6Prefix, NetworkType, SimDuration, SimTime, Xoshiro256pp,
+    AsInfo, Asn, CountryCode, Ipv6Prefix, NetworkType, SimDuration, SimTime, Xoshiro256pp,
 };
 use std::collections::BTreeMap;
 use std::net::Ipv6Addr;
@@ -126,11 +126,10 @@ fn scaled(paper_count: u64, scale: f64) -> u64 {
 /// Country pool: the paper observes sources from 127 countries; the pool
 /// below covers the long tail proportionally at reduced scales.
 const COUNTRIES: [&str; 64] = [
-    "US", "DE", "CN", "NL", "GB", "FR", "RU", "JP", "BR", "IN", "CA", "AU", "SE", "CH", "PL",
-    "IT", "ES", "KR", "SG", "HK", "ZA", "MX", "AR", "TR", "UA", "RO", "CZ", "AT", "BE", "DK",
-    "FI", "NO", "PT", "GR", "HU", "BG", "HR", "SI", "SK", "LT", "LV", "EE", "IE", "IS", "LU",
-    "MT", "CY", "IL", "SA", "AE", "EG", "NG", "KE", "TH", "VN", "ID", "MY", "PH", "TW", "NZ",
-    "CL", "CO", "PE", "VE",
+    "US", "DE", "CN", "NL", "GB", "FR", "RU", "JP", "BR", "IN", "CA", "AU", "SE", "CH", "PL", "IT",
+    "ES", "KR", "SG", "HK", "ZA", "MX", "AR", "TR", "UA", "RO", "CZ", "AT", "BE", "DK", "FI", "NO",
+    "PT", "GR", "HU", "BG", "HR", "SI", "SK", "LT", "LV", "EE", "IE", "IS", "LU", "MT", "CY", "IL",
+    "SA", "AE", "EG", "NG", "KE", "TH", "VN", "ID", "MY", "PH", "TW", "NZ", "CL", "CO", "PE", "VE",
 ];
 
 /// Deterministic /64 source subnet for scanner `i` of AS index `a`.
@@ -279,7 +278,11 @@ impl PopulationSpec {
     /// the +275%-sources mechanism of §7.1.
     fn build_atlas(&self, b: &mut Builder, s: f64) {
         let count = scaled(6483, s);
-        let pool = b.as_pool(NetworkType::Isp, "isp-atlas", ((count / 12).max(4)) as usize);
+        let pool = b.as_pool(
+            NetworkType::Isp,
+            "isp-atlas",
+            ((count / 12).max(4)) as usize,
+        );
         let hosting_pool = b.as_pool(NetworkType::Hosting, "hosting-atlas", 3);
         for i in 0..count {
             // 22% of Atlas probes live in hosting networks (§7.2).
@@ -291,8 +294,7 @@ impl PopulationSpec {
             let as_index = asn.get() - 64_512;
             let subnet = scanner_subnet(as_index, 10_000 + i as u32);
             let addr = scanner_addr(subnet, 0x10 + i);
-            b.rdns
-                .insert(addr, format!("p{i}.probes.atlas.ripe.net"));
+            b.rdns.insert(addr, format!("p{i}.probes.atlas.ripe.net"));
             let (at, prefix) = b.random_announce_reaction(SimDuration::days(3));
             let id = b.new_id();
             b.push(ScannerSpec {
@@ -354,7 +356,11 @@ impl PopulationSpec {
     /// Miscellaneous one-off scanners with varied structured strategies.
     fn build_one_off_misc(&self, b: &mut Builder, s: f64) {
         let count = scaled(1700, s);
-        let hosting = b.as_pool(NetworkType::Hosting, "hosting-misc", ((count / 20).max(3)) as usize);
+        let hosting = b.as_pool(
+            NetworkType::Hosting,
+            "hosting-misc",
+            ((count / 20).max(3)) as usize,
+        );
         let business = b.as_pool(NetworkType::Business, "business-misc", 3);
         let strategies = [
             AddressStrategy::LowByte { max: 16 },
@@ -414,13 +420,13 @@ impl PopulationSpec {
         let edu = b.as_pool(NetworkType::Education, "edu-si", 4);
         let mut built = 0u64;
         let make = |b: &mut Builder,
-                        built: &mut u64,
-                        tool: ToolProfile,
-                        periodic: bool,
-                        sessions_hint: u32,
-                        packets_per_prefix: u64,
-                        reactive: bool,
-                        rdns: Option<String>| {
+                    built: &mut u64,
+                    tool: ToolProfile,
+                    periodic: bool,
+                    sessions_hint: u32,
+                    packets_per_prefix: u64,
+                    reactive: bool,
+                    rdns: Option<String>| {
             let idx = *built;
             *built += 1;
             let research = matches!(
@@ -502,16 +508,52 @@ impl PopulationSpec {
             );
         }
         for _ in 0..traceroute {
-            make(b, &mut built, ToolProfile::traceroute(), false, 10, 6, false, None);
+            make(
+                b,
+                &mut built,
+                ToolProfile::traceroute(),
+                false,
+                10,
+                6,
+                false,
+                None,
+            );
         }
         for _ in 0..htrace {
-            make(b, &mut built, ToolProfile::htrace6(), false, 3, 6, false, None);
+            make(
+                b,
+                &mut built,
+                ToolProfile::htrace6(),
+                false,
+                3,
+                6,
+                false,
+                None,
+            );
         }
         for _ in 0..seeks {
-            make(b, &mut built, ToolProfile::six_seeks(), false, 4, 6, false, None);
+            make(
+                b,
+                &mut built,
+                ToolProfile::six_seeks(),
+                false,
+                4,
+                6,
+                false,
+                None,
+            );
         }
         for _ in 0..sixscan {
-            make(b, &mut built, ToolProfile::six_scan(), false, 6, 6, false, None);
+            make(
+                b,
+                &mut built,
+                ToolProfile::six_scan(),
+                false,
+                6,
+                6,
+                false,
+                None,
+            );
         }
         for i in 0..ark {
             // Ark nodes probe with high frequency (2019 sessions from 2
@@ -530,11 +572,29 @@ impl PopulationSpec {
             );
         }
         for _ in 0..monitors {
-            make(b, &mut built, ToolProfile::random_bytes(), false, 8, 6, true, None);
+            make(
+                b,
+                &mut built,
+                ToolProfile::random_bytes(),
+                false,
+                8,
+                6,
+                true,
+                None,
+            );
         }
         while built < total {
             let periodic = b.rng.bool(0.45);
-            make(b, &mut built, ToolProfile::random_bytes(), periodic, 25, 6, false, None);
+            make(
+                b,
+                &mut built,
+                ToolProfile::random_bytes(),
+                periodic,
+                25,
+                6,
+                false,
+                None,
+            );
         }
     }
 
@@ -625,9 +685,7 @@ impl PopulationSpec {
                         choices: vec![
                             (crate::tools::ProbeKindTemplate::Icmp, 0.3),
                             (
-                                crate::tools::ProbeKindTemplate::TcpPorts(
-                                    &crate::tools::WEB_PORTS,
-                                ),
+                                crate::tools::ProbeKindTemplate::TcpPorts(&crate::tools::WEB_PORTS),
                                 0.7,
                             ),
                         ],
@@ -688,7 +746,8 @@ impl PopulationSpec {
         // period, ICMPv6 toward random IIDs in T2.
         let subnet = scanner_subnet(edu.get() - 64_512, 1);
         let addr = scanner_addr(subnet, 0x6);
-        b.rdns.insert(addr, "scan.6sense.example-research.edu".into());
+        b.rdns
+            .insert(addr, "scan.6sense.example-research.edu".into());
         let id = b.new_id();
         let t2 = b.layout.t2;
         b.push(ScannerSpec {
@@ -946,9 +1005,7 @@ impl PopulationSpec {
                         choices: vec![
                             (crate::tools::ProbeKindTemplate::Icmp, 0.3),
                             (
-                                crate::tools::ProbeKindTemplate::TcpPorts(
-                                    &crate::tools::WEB_PORTS,
-                                ),
+                                crate::tools::ProbeKindTemplate::TcpPorts(&crate::tools::WEB_PORTS),
                                 0.7,
                             ),
                         ],
@@ -1004,9 +1061,7 @@ impl PopulationSpec {
             // and the first visit is a stationary-renewal draw, which
             // yields Fig. 3's declining new-source discovery curve.
             let gap_days = 1 + b.rng.below(30);
-            let first = b
-                .rng
-                .exponential(1.0 / (gap_days as f64 * 86_400.0)) as u64;
+            let first = b.rng.exponential(1.0 / (gap_days as f64 * 86_400.0)) as u64;
             let start = b.layout.start + SimDuration::secs(first);
             let id = b.new_id();
             let broad = b.rng.bool(0.1);
@@ -1240,8 +1295,16 @@ mod tests {
 
     #[test]
     fn scale_changes_population_size_roughly_linearly() {
-        let small = PopulationSpec { seed: 5, scale: 0.01 }.build(&layout());
-        let large = PopulationSpec { seed: 5, scale: 0.04 }.build(&layout());
+        let small = PopulationSpec {
+            seed: 5,
+            scale: 0.01,
+        }
+        .build(&layout());
+        let large = PopulationSpec {
+            seed: 5,
+            scale: 0.04,
+        }
+        .build(&layout());
         let ratio = large.scanners.len() as f64 / small.scanners.len() as f64;
         assert!(
             (2.5..6.0).contains(&ratio),

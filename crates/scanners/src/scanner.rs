@@ -17,13 +17,18 @@ use sixscope_types::{Asn, Ipv6Prefix, SimDuration, SimTime, Xoshiro256pp};
 use std::net::Ipv6Addr;
 
 /// The world as a scanner sees it.
+///
+/// The view methods return borrowed slices: probe generation queries them
+/// once per session, and the simulation backs them with pre-compiled
+/// snapshots (epoch tries, publication-ordered hitlists) so the hot path
+/// allocates nothing.
 pub trait ScanContext {
     /// Prefixes visible in the global table at `t` (collector view).
-    fn announced_at(&self, t: SimTime) -> Vec<Ipv6Prefix>;
+    fn announced_at(&self, t: SimTime) -> &[Ipv6Prefix];
     /// First-visibility events `(time, prefix)` for BGP-reactive scanners.
     fn announce_events(&self) -> &[(SimTime, Ipv6Prefix)];
     /// The public hitlist as of `t`.
-    fn hitlist(&self, t: SimTime) -> Vec<Ipv6Addr>;
+    fn hitlist(&self, t: SimTime) -> &[Ipv6Addr];
     /// Whether probing `addr` elicits a response (feeds dynamic TGAs).
     fn responds(&self, addr: Ipv6Addr) -> bool;
     /// End of the observation window.
@@ -111,18 +116,28 @@ pub struct Probe {
 impl Probe {
     /// Encodes the probe to raw IPv6 wire bytes.
     pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Encodes the probe into `buf`, clearing it first. The delivery loop
+    /// reuses one scratch buffer per shard instead of allocating per probe;
+    /// the resulting bytes are identical to [`Probe::to_bytes`].
+    pub fn encode_into(&self, buf: &mut Vec<u8>) {
+        buf.clear();
         let builder = PacketBuilder::new(self.src, self.dst);
         match self.kind {
             ProbeKind::Icmp { ident, seq } => {
-                builder.icmpv6_echo_request(ident, seq, &self.payload)
+                builder.icmpv6_echo_request_into(ident, seq, &self.payload, buf)
             }
             ProbeKind::Tcp {
                 src_port,
                 dst_port,
                 seq,
-            } => builder.tcp_syn(src_port, dst_port, seq, &self.payload),
+            } => builder.tcp_syn_into(src_port, dst_port, seq, &self.payload, buf),
             ProbeKind::Udp { src_port, dst_port } => {
-                builder.udp(src_port, dst_port, &self.payload)
+                builder.udp_into(src_port, dst_port, &self.payload, buf)
             }
         }
     }
@@ -208,12 +223,12 @@ impl ScannerSpec {
             strategy => {
                 let announced = ctx.announced_at(start);
                 let hitlist = ctx.hitlist(start);
-                for prefix in strategy.select(&announced, session_index, rng) {
+                for prefix in strategy.select(announced, session_index, rng) {
                     targets.extend(self.address.generate(
                         prefix,
                         self.packets_per_prefix,
                         rng,
-                        &hitlist,
+                        hitlist,
                     ));
                 }
             }
@@ -234,7 +249,10 @@ impl ScannerSpec {
                 // Refinement probes use dense low-byte exploration of the
                 // responsive region regardless of the seeding strategy.
                 targets.extend(AddressStrategy::LowByte { max: followups }.generate(
-                    *region, followups, rng, &[],
+                    *region,
+                    followups,
+                    rng,
+                    &[],
                 ));
             }
         }
@@ -245,7 +263,9 @@ impl ScannerSpec {
         let mut session_src = self.current_src(rng, false);
         for dst in targets {
             let src = match &self.source {
-                SourceModel::RotatingIid { per_probe: true, .. } => self.current_src(rng, true),
+                SourceModel::RotatingIid {
+                    per_probe: true, ..
+                } => self.current_src(rng, true),
                 _ => session_src,
             };
             let n = *probe_counter;
@@ -317,14 +337,14 @@ pub struct StaticContext {
 }
 
 impl ScanContext for StaticContext {
-    fn announced_at(&self, _t: SimTime) -> Vec<Ipv6Prefix> {
-        self.announced.clone()
+    fn announced_at(&self, _t: SimTime) -> &[Ipv6Prefix] {
+        &self.announced
     }
     fn announce_events(&self) -> &[(SimTime, Ipv6Prefix)] {
         &self.events
     }
-    fn hitlist(&self, _t: SimTime) -> Vec<Ipv6Addr> {
-        self.hitlist.clone()
+    fn hitlist(&self, _t: SimTime) -> &[Ipv6Addr] {
+        &self.hitlist
     }
     fn responds(&self, addr: Ipv6Addr) -> bool {
         self.responsive.is_some_and(|p| p.contains(addr))
@@ -379,7 +399,10 @@ mod tests {
     fn one_off_all_announced_probes_both_prefixes() {
         let probes = base_spec().generate(&ctx(), &mut rng());
         assert_eq!(probes.len(), 10, "5 targets × 2 prefixes");
-        let in_lo = probes.iter().filter(|pr| p("2001:db8::/33").contains(pr.dst)).count();
+        let in_lo = probes
+            .iter()
+            .filter(|pr| p("2001:db8::/33").contains(pr.dst))
+            .count();
         let in_hi = probes
             .iter()
             .filter(|pr| p("2001:db8:8000::/33").contains(pr.dst))
@@ -456,9 +479,12 @@ mod tests {
         };
         spec.packets_per_prefix = 20;
         let probes = spec.generate(&ctx(), &mut rng());
-        let distinct: std::collections::HashSet<Ipv6Addr> =
-            probes.iter().map(|p| p.src).collect();
-        assert!(distinct.len() > 10, "only {} distinct sources", distinct.len());
+        let distinct: std::collections::HashSet<Ipv6Addr> = probes.iter().map(|p| p.src).collect();
+        assert!(
+            distinct.len() > 10,
+            "only {} distinct sources",
+            distinct.len()
+        );
         assert!(probes
             .iter()
             .all(|pr| p("2001:db8:f00:1::/64").contains(pr.src)));

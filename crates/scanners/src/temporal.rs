@@ -127,7 +127,9 @@ mod tests {
         };
         let starts = m.session_starts(&mut rng());
         assert_eq!(starts.len(), 10);
-        assert!(starts.windows(2).all(|w| w[1] - w[0] == SimDuration::days(1)));
+        assert!(starts
+            .windows(2)
+            .all(|w| w[1] - w[0] == SimDuration::days(1)));
     }
 
     #[test]

@@ -91,11 +91,8 @@ impl SpaceTree {
 
     /// The current leaf prefixes, most promising first.
     pub fn regions_by_score(&self) -> Vec<(Ipv6Prefix, f64)> {
-        let mut out: Vec<(Ipv6Prefix, f64)> = self
-            .regions
-            .iter()
-            .map(|r| (r.prefix, r.score()))
-            .collect();
+        let mut out: Vec<(Ipv6Prefix, f64)> =
+            self.regions.iter().map(|r| (r.prefix, r.score())).collect();
         out.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("scores are finite"));
         out
     }
@@ -105,18 +102,13 @@ impl SpaceTree {
     /// proportion to region score (plus a small exploration floor so silent
     /// regions are still re-checked occasionally) — the density-driven
     /// budget allocation at the heart of 6Tree-style scanning.
-    pub fn next_wave(
-        &self,
-        top: usize,
-        per_region: u64,
-        rng: &mut Xoshiro256pp,
-    ) -> Vec<Ipv6Addr> {
+    pub fn next_wave(&self, top: usize, per_region: u64, rng: &mut Xoshiro256pp) -> Vec<Ipv6Addr> {
         const EXPLORE_FLOOR: f64 = 0.05;
         let ranked: Vec<(Ipv6Prefix, f64)> =
             self.regions_by_score().into_iter().take(top).collect();
-        let budget = (top as u64).saturating_mul(per_region).min(
-            ranked.len() as u64 * per_region,
-        );
+        let budget = (top as u64)
+            .saturating_mul(per_region)
+            .min(ranked.len() as u64 * per_region);
         let total: f64 = ranked.iter().map(|(_, s)| s + EXPLORE_FLOOR).sum();
         let mut targets = Vec::new();
         for (prefix, score) in &ranked {
@@ -271,8 +263,8 @@ mod tests {
         // the scanner holds hitlist seeds (one live, one stale).
         let responsive = p("3fff:4::/48");
         let seeds: Vec<Ipv6Addr> = vec![
-            "3fff:4::1".parse().unwrap(),   // live
-            "3fff:6::1".parse().unwrap(),   // stale hitlist entry
+            "3fff:4::1".parse().unwrap(), // live
+            "3fff:6::1".parse().unwrap(), // stale hitlist entry
         ];
         let mut tree = SpaceTree::with_seeds(p("3fff::/29"), 48, &seeds);
         assert_eq!(tree.region_count(), 3);

@@ -1,0 +1,153 @@
+//! Epoch-compiled visibility: constant-time-ish LPM and announced-set
+//! snapshots for the data-plane hot loop.
+//!
+//! [`Visibility::lpm`] scans every prefix's interval list per probe — fine
+//! for tests, quadratic pain for the ~10⁶-probe delivery loop. The visible
+//! set only changes at interval endpoints (announce/withdraw times), so the
+//! schedule compiles into *epochs*: between two consecutive endpoints the
+//! set is constant. Each epoch gets one [`PrefixTrie`] for longest-prefix
+//! match and one prefix-ordered snapshot of the announced set; a query is a
+//! binary search over epoch boundaries plus a trie walk.
+//!
+//! Equivalence with the naive structure is exact (property-tested in
+//! `crates/sim/tests/prop.rs`): same LPM result for every `(addr, t)` and
+//! the same `announced_at` content *and order* — the latter matters because
+//! scanners consume the announced set in order, so any deviation would
+//! change their RNG draw sequence and break the byte-identical-output
+//! contract.
+
+use crate::visibility::Visibility;
+use sixscope_types::{Ipv6Prefix, PrefixTrie, SimTime};
+use std::net::Ipv6Addr;
+
+/// Visibility compiled into per-epoch snapshots.
+#[derive(Debug, Clone, Default)]
+pub struct CompiledVisibility {
+    /// Epoch start times, ascending. Epoch `i` covers
+    /// `[starts[i], starts[i+1])`; times before `starts[0]` fall into an
+    /// implicit empty epoch (nothing announced before the first event).
+    starts: Vec<SimTime>,
+    /// Longest-prefix-match trie per epoch.
+    tries: Vec<PrefixTrie<()>>,
+    /// Visible prefixes per epoch, in prefix order (matching
+    /// [`Visibility::announced_at`]).
+    announced: Vec<Vec<Ipv6Prefix>>,
+}
+
+impl CompiledVisibility {
+    /// Compiles the interval structure into epoch snapshots.
+    pub fn compile(visibility: &Visibility) -> CompiledVisibility {
+        let starts = visibility.endpoints();
+        let mut tries = Vec::with_capacity(starts.len());
+        let mut announced = Vec::with_capacity(starts.len());
+        for &start in &starts {
+            let visible = visibility.announced_at(start);
+            let mut trie = PrefixTrie::new();
+            for prefix in &visible {
+                trie.insert(*prefix, ());
+            }
+            tries.push(trie);
+            announced.push(visible);
+        }
+        CompiledVisibility {
+            starts,
+            tries,
+            announced,
+        }
+    }
+
+    /// Epoch index for `t`, or `None` before the first event.
+    fn epoch(&self, t: SimTime) -> Option<usize> {
+        self.starts.partition_point(|&s| s <= t).checked_sub(1)
+    }
+
+    /// Longest visible prefix covering `addr` at `t` — same result as
+    /// [`Visibility::lpm`].
+    pub fn lpm(&self, addr: Ipv6Addr, t: SimTime) -> Option<Ipv6Prefix> {
+        let e = self.epoch(t)?;
+        self.tries[e].lookup(addr).map(|(p, _)| *p)
+    }
+
+    /// All prefixes visible at `t`, in prefix order — same content and
+    /// order as [`Visibility::announced_at`], without allocating.
+    pub fn announced_at(&self, t: SimTime) -> &[Ipv6Prefix] {
+        match self.epoch(t) {
+            Some(e) => &self.announced[e],
+            None => &[],
+        }
+    }
+
+    /// Number of compiled epochs.
+    pub fn epochs(&self) -> usize {
+        self.starts.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sixscope_bgp::{RouteEvent, RouteEventKind};
+    use sixscope_types::Asn;
+
+    fn announce(ts: u64, prefix: &str) -> RouteEvent {
+        RouteEvent {
+            ts: SimTime::from_secs(ts),
+            prefix: prefix.parse().unwrap(),
+            kind: RouteEventKind::Announce {
+                origin_as: Asn(64500),
+                as_path: vec![Asn(64500)],
+            },
+        }
+    }
+
+    fn withdraw(ts: u64, prefix: &str) -> RouteEvent {
+        RouteEvent {
+            ts: SimTime::from_secs(ts),
+            prefix: prefix.parse().unwrap(),
+            kind: RouteEventKind::Withdraw,
+        }
+    }
+
+    #[test]
+    fn matches_naive_on_a_small_schedule() {
+        let vis = Visibility::from_events(&[
+            announce(100, "2001:db8::/32"),
+            announce(100, "2001:db8:1234::/48"),
+            withdraw(500, "2001:db8:1234::/48"),
+            announce(900, "2001:db8:1234::/48"),
+            withdraw(1200, "2001:db8::/32"),
+        ]);
+        let compiled = CompiledVisibility::compile(&vis);
+        assert_eq!(compiled.epochs(), 4);
+        let addr: Ipv6Addr = "2001:db8:1234::1".parse().unwrap();
+        for ts in [0, 99, 100, 499, 500, 899, 900, 1199, 1200, 5000] {
+            let t = SimTime::from_secs(ts);
+            assert_eq!(
+                compiled.lpm(addr, t),
+                vis.lpm(addr, t),
+                "lpm diverged at t={ts}"
+            );
+            assert_eq!(
+                compiled.announced_at(t),
+                vis.announced_at(t).as_slice(),
+                "announced_at diverged at t={ts}"
+            );
+        }
+    }
+
+    #[test]
+    fn before_first_event_nothing_is_routed() {
+        let vis = Visibility::from_events(&[announce(100, "2001:db8::/32")]);
+        let compiled = CompiledVisibility::compile(&vis);
+        let addr: Ipv6Addr = "2001:db8::1".parse().unwrap();
+        assert_eq!(compiled.lpm(addr, SimTime::from_secs(99)), None);
+        assert!(compiled.announced_at(SimTime::from_secs(99)).is_empty());
+    }
+
+    #[test]
+    fn empty_visibility_compiles_to_no_epochs() {
+        let compiled = CompiledVisibility::compile(&Visibility::default());
+        assert_eq!(compiled.epochs(), 0);
+        assert_eq!(compiled.lpm("::1".parse().unwrap(), SimTime::EPOCH), None);
+    }
+}

@@ -17,10 +17,12 @@
 //! [`scenario::Scenario::run`] executes the full 11-month experiment and
 //! returns the captures and metadata the analysis pipeline consumes.
 
+pub mod compiled;
 pub mod scenario;
 pub mod visibility;
 pub mod world;
 
+pub use compiled::CompiledVisibility;
 pub use scenario::{ExperimentResult, IrrPolicy, Scenario, ScenarioConfig};
 pub use visibility::Visibility;
 pub use world::TumHitlist;

@@ -10,8 +10,15 @@
 //! ```
 //!
 //! Everything is derived from one seed; running the same config twice
-//! yields byte-identical captures.
+//! yields byte-identical captures — *at any worker-thread count*. Probe
+//! generation fans scanners out to worker threads (each scanner owns an
+//! independent RNG stream pre-split from the master in population order)
+//! and the merged probe list is identical to the serial one; delivery
+//! shards the time-sorted probe list into contiguous ranges whose per-shard
+//! captures concatenate back in order. See DESIGN.md §6 for the full
+//! parallel-determinism contract.
 
+use crate::compiled::CompiledVisibility;
 use crate::visibility::Visibility;
 use crate::world::TumHitlist;
 use sixscope_bgp::irr::Route6Registry;
@@ -23,7 +30,9 @@ use sixscope_scanners::{ExperimentLayout, PopulationSpec, Probe, ScanContext, Sc
 use sixscope_telescope::{
     respond, Capture, ScheduleActionKind, SplitSchedule, TelescopeConfig, TelescopeId,
 };
-use sixscope_types::{Asn, Ipv6Prefix, SimDuration, SimTime, Xoshiro256pp};
+use sixscope_types::{
+    chunk_ranges, map_indexed, num_threads, Asn, Ipv6Prefix, SimDuration, SimTime, Xoshiro256pp,
+};
 use std::collections::BTreeMap;
 use std::net::Ipv6Addr;
 
@@ -54,6 +63,11 @@ pub struct ScenarioConfig {
     pub layout: ExperimentLayout,
     /// Upstream IRR filtering policy.
     pub irr_policy: IrrPolicy,
+    /// Worker threads for generation and delivery. `None` defers to the
+    /// `SIXSCOPE_THREADS` environment variable, then to
+    /// [`std::thread::available_parallelism`]; `Some(1)` forces the serial
+    /// path. Output is byte-identical at any setting.
+    pub threads: Option<usize>,
 }
 
 impl ScenarioConfig {
@@ -70,6 +84,7 @@ impl ScenarioConfig {
             scale,
             layout,
             irr_policy: IrrPolicy::Open,
+            threads: None,
         }
     }
 
@@ -118,6 +133,9 @@ pub struct ExperimentResult {
     pub t4_responses: u64,
     /// Probes sent toward unrouted space (dropped in the DFZ).
     pub dropped_unrouted: u64,
+    /// Probes discarded by the per-scanner generation cap. Non-zero means
+    /// a mis-scaled spec was silently clipped — the `repro` binary logs it.
+    pub truncated_probes: u64,
 }
 
 impl ExperimentResult {
@@ -138,8 +156,15 @@ pub struct Scenario {
 }
 
 /// The scanner-facing world view (implements [`ScanContext`]).
+///
+/// The view methods answer from pre-compiled snapshots — the epoch tries of
+/// [`CompiledVisibility`] and the publication-ordered hitlist — so every
+/// query is a binary search handing out a borrowed slice. The snapshots
+/// reproduce the naive structures' content *and order* exactly, keeping the
+/// scanners' RNG draw sequences unchanged.
 struct WorldView {
     visibility: Visibility,
+    compiled: CompiledVisibility,
     transitions: Vec<(SimTime, Ipv6Prefix)>,
     hitlist: TumHitlist,
     t4: Ipv6Prefix,
@@ -147,14 +172,14 @@ struct WorldView {
 }
 
 impl ScanContext for WorldView {
-    fn announced_at(&self, t: SimTime) -> Vec<Ipv6Prefix> {
-        self.visibility.announced_at(t)
+    fn announced_at(&self, t: SimTime) -> &[Ipv6Prefix] {
+        self.compiled.announced_at(t)
     }
     fn announce_events(&self) -> &[(SimTime, Ipv6Prefix)] {
         &self.transitions
     }
-    fn hitlist(&self, t: SimTime) -> Vec<Ipv6Addr> {
-        self.hitlist.at(t)
+    fn hitlist(&self, t: SimTime) -> &[Ipv6Addr] {
+        self.hitlist.as_of(t)
     }
     fn responds(&self, addr: Ipv6Addr) -> bool {
         self.t4.contains(addr)
@@ -237,52 +262,87 @@ impl Scenario {
         .build(&layout);
 
         let world = WorldView {
+            compiled: CompiledVisibility::compile(&visibility),
             transitions: visibility.announce_transitions(),
             visibility,
             hitlist,
             t4: layout.t4,
             end: layout.end,
         };
+        let threads = num_threads(self.config.threads);
 
         // Generate probes. Each scanner gets its own RNG stream so the
-        // population composition never perturbs individual behavior.
+        // population composition never perturbs individual behavior. The
+        // streams are split from the master *serially in population order*
+        // (split mutates the master), then generation fans out to workers;
+        // the order-preserving merge plus the stable time sort reproduce
+        // the serial probe sequence exactly.
         let mut master = Xoshiro256pp::seed_from_u64(self.config.seed ^ 0x5ca_0b0e5);
-        let mut probes: Vec<Probe> = Vec::new();
-        for spec in &population.scanners {
-            let mut rng = master.split(&format!("scanner-{}", spec.id));
-            probes.extend(self.bounded_generate(spec, &world, &mut rng));
+        let streams: Vec<Xoshiro256pp> = population
+            .scanners
+            .iter()
+            .map(|spec| master.split(&format!("scanner-{}", spec.id)))
+            .collect();
+        let per_scanner: Vec<(Vec<Probe>, u64)> =
+            map_indexed(threads, &population.scanners, |i, spec| {
+                let mut rng = streams[i].clone();
+                self.bounded_generate(spec, &world, &mut rng)
+            });
+        let total: usize = per_scanner.iter().map(|(p, _)| p.len()).sum();
+        let mut probes: Vec<Probe> = Vec::with_capacity(total);
+        let mut truncated_probes = 0u64;
+        for (scanner_probes, truncated) in per_scanner {
+            probes.extend(scanner_probes);
+            truncated_probes += truncated;
         }
         probes.sort_by_key(|p| p.ts);
 
-        // Deliver.
-        let mut captures = BTreeMap::new();
-        captures.insert(TelescopeId::T1, Capture::new(TelescopeConfig::t1(layout.t1)));
-        captures.insert(TelescopeId::T2, Capture::new(TelescopeConfig::t2(layout.t2)));
-        captures.insert(TelescopeId::T3, Capture::new(TelescopeConfig::t3(layout.t3)));
-        captures.insert(TelescopeId::T4, Capture::new(TelescopeConfig::t4(layout.t4)));
-        let mut t4_responses = 0u64;
-        let mut dropped_unrouted = 0u64;
-        for probe in &probes {
-            // The DFZ test: is the destination covered by a visible prefix
-            // at send time? (Propagation delay for the data path is
-            // negligible at our one-second resolution.)
-            if world.visibility.lpm(probe.dst, probe.ts).is_none() {
-                dropped_unrouted += 1;
-                continue;
-            }
-            let Some(telescope) = self.telescope_for(&layout, probe.dst) else {
-                continue; // routed, but not into observed space
-            };
-            let bytes = probe.to_bytes();
-            let capture = captures.get_mut(&telescope).expect("telescope exists");
-            let recorded = capture.ingest(probe.ts, &bytes);
-            if recorded && telescope == TelescopeId::T4 {
-                if let Ok(parsed) = ParsedPacket::parse(&bytes) {
-                    if respond(&parsed).is_some() {
-                        t4_responses += 1;
+        // Deliver. Shards are contiguous ranges of the time-sorted probe
+        // list; each worker fills shard-local captures (reusing one encode
+        // scratch buffer), and absorbing them in shard order restores the
+        // exact serial capture sequence.
+        let ranges = chunk_ranges(probes.len(), threads);
+        let shard_results = map_indexed(threads, &ranges, |_, range| {
+            let mut captures = Self::fresh_captures(&layout);
+            let mut buf: Vec<u8> = Vec::with_capacity(256);
+            let mut t4_responses = 0u64;
+            let mut dropped_unrouted = 0u64;
+            for probe in &probes[range.clone()] {
+                // The DFZ test: is the destination covered by a visible
+                // prefix at send time? (Propagation delay for the data path
+                // is negligible at our one-second resolution.)
+                if world.compiled.lpm(probe.dst, probe.ts).is_none() {
+                    dropped_unrouted += 1;
+                    continue;
+                }
+                let Some(telescope) = self.telescope_for(&layout, probe.dst) else {
+                    continue; // routed, but not into observed space
+                };
+                probe.encode_into(&mut buf);
+                let capture = captures.get_mut(&telescope).expect("telescope exists");
+                let recorded = capture.ingest(probe.ts, &buf);
+                if recorded && telescope == TelescopeId::T4 {
+                    if let Ok(parsed) = ParsedPacket::parse(&buf) {
+                        if respond(&parsed).is_some() {
+                            t4_responses += 1;
+                        }
                     }
                 }
             }
+            (captures, t4_responses, dropped_unrouted)
+        });
+        let mut captures = Self::fresh_captures(&layout);
+        let mut t4_responses = 0u64;
+        let mut dropped_unrouted = 0u64;
+        for (shard_captures, shard_t4, shard_dropped) in shard_results {
+            for (id, capture) in shard_captures {
+                captures
+                    .get_mut(&id)
+                    .expect("telescope exists")
+                    .absorb(capture);
+            }
+            t4_responses += shard_t4;
+            dropped_unrouted += shard_dropped;
         }
 
         ExperimentResult {
@@ -294,8 +354,31 @@ impl Scenario {
             hitlist: world.hitlist,
             t4_responses,
             dropped_unrouted,
+            truncated_probes,
             layout,
         }
+    }
+
+    /// One empty capture per telescope.
+    fn fresh_captures(layout: &ExperimentLayout) -> BTreeMap<TelescopeId, Capture> {
+        let mut captures = BTreeMap::new();
+        captures.insert(
+            TelescopeId::T1,
+            Capture::new(TelescopeConfig::t1(layout.t1)),
+        );
+        captures.insert(
+            TelescopeId::T2,
+            Capture::new(TelescopeConfig::t2(layout.t2)),
+        );
+        captures.insert(
+            TelescopeId::T3,
+            Capture::new(TelescopeConfig::t3(layout.t3)),
+        );
+        captures.insert(
+            TelescopeId::T4,
+            Capture::new(TelescopeConfig::t4(layout.t4)),
+        );
+        captures
     }
 
     /// Which telescope observes `dst`, if any.
@@ -314,19 +397,21 @@ impl Scenario {
     }
 
     /// Generates a scanner's probes with a safety cap so a mis-scaled spec
-    /// cannot exhaust memory.
+    /// cannot exhaust memory. Returns the probes plus how many the cap
+    /// discarded (surfaced as [`ExperimentResult::truncated_probes`]).
     fn bounded_generate(
         &self,
         spec: &ScannerSpec,
         world: &WorldView,
         rng: &mut Xoshiro256pp,
-    ) -> Vec<Probe> {
+    ) -> (Vec<Probe>, u64) {
         const CAP: usize = 4_000_000;
         let mut probes = spec.generate(world, rng);
-        if probes.len() > CAP {
+        let truncated = probes.len().saturating_sub(CAP) as u64;
+        if truncated > 0 {
             probes.truncate(CAP);
         }
-        probes
+        (probes, truncated)
     }
 }
 
@@ -352,7 +437,10 @@ mod tests {
         let mid_c1 = schedule.cycle_start(1) + SimDuration::days(5);
         assert!(!vis.visible(&config.layout.t1, mid_c1));
         for prefix in schedule.announced_set(1) {
-            assert!(vis.visible(&prefix, mid_c1), "{prefix} not visible in cycle 1");
+            assert!(
+                vis.visible(&prefix, mid_c1),
+                "{prefix} not visible in cycle 1"
+            );
         }
         // Mid final cycle all 17 prefixes are visible.
         let mid_final = schedule.cycle_start(16) + SimDuration::days(5);
@@ -369,7 +457,10 @@ mod tests {
         let result = tiny();
         assert!(result.capture(TelescopeId::T1).len() > 100, "T1 too quiet");
         assert!(result.capture(TelescopeId::T2).len() > 100, "T2 too quiet");
-        assert!(result.capture(TelescopeId::T4).len() > 0, "T4 saw nothing");
+        assert!(
+            !result.capture(TelescopeId::T4).is_empty(),
+            "T4 saw nothing"
+        );
         // The silent telescope is quiet but not necessarily empty.
         assert!(
             result.capture(TelescopeId::T3).len() < result.capture(TelescopeId::T1).len() / 10,
@@ -411,6 +502,31 @@ mod tests {
     }
 
     #[test]
+    fn thread_count_does_not_change_results() {
+        let mut serial = ScenarioConfig::new(42, 0.004);
+        serial.threads = Some(1);
+        let mut parallel = ScenarioConfig::new(42, 0.004);
+        parallel.threads = Some(4);
+        let a = Scenario::new(serial).run();
+        let b = Scenario::new(parallel).run();
+        for id in TelescopeId::ALL {
+            assert_eq!(
+                a.capture(id).packets(),
+                b.capture(id).packets(),
+                "{id:?} diverged"
+            );
+        }
+        assert_eq!(a.dropped_unrouted, b.dropped_unrouted);
+        assert_eq!(a.t4_responses, b.t4_responses);
+        assert_eq!(a.truncated_probes, b.truncated_probes);
+    }
+
+    #[test]
+    fn tiny_run_reports_no_truncation() {
+        assert_eq!(tiny().truncated_probes, 0);
+    }
+
+    #[test]
     fn route6_registry_matches_paper_timeline() {
         let config = ScenarioConfig::new(1, 0.004);
         let registry = config.paper_route6_registry();
@@ -444,7 +560,10 @@ mod tests {
         let mid_c1 = schedule.cycle_start(1) + SimDuration::days(5);
         assert!(!vis.visible(&companion, mid_c1), "object not yet created");
         let mid_c16 = schedule.cycle_start(16) + SimDuration::days(5);
-        assert!(vis.visible(&companion, mid_c16), "object exists, must propagate");
+        assert!(
+            vis.visible(&companion, mid_c16),
+            "object exists, must propagate"
+        );
         // The split-side prefixes were never registered: never visible.
         let split_side = schedule.split_side();
         assert!(!vis.visible(&split_side, mid_c1));

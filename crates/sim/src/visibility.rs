@@ -89,9 +89,28 @@ impl Visibility {
         out
     }
 
+    /// Every distinct interval endpoint (announce and withdraw times),
+    /// sorted ascending. Between two consecutive endpoints the visible set
+    /// is constant — these are the epoch boundaries the compiled LPM
+    /// snapshots (see `compiled::CompiledVisibility`).
+    pub fn endpoints(&self) -> Vec<SimTime> {
+        let mut out: Vec<SimTime> = self
+            .intervals
+            .values()
+            .flatten()
+            .flat_map(|(from, until)| std::iter::once(*from).chain(*until))
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
     /// First time each prefix became visible.
     pub fn first_seen(&self, prefix: &Ipv6Prefix) -> Option<SimTime> {
-        self.intervals.get(prefix).and_then(|l| l.first()).map(|(from, _)| *from)
+        self.intervals
+            .get(prefix)
+            .and_then(|l| l.first())
+            .map(|(from, _)| *from)
     }
 
     /// All prefixes ever seen.
@@ -139,10 +158,16 @@ mod tests {
         assert!(!vis.visible(&pre, SimTime::from_secs(99)));
         assert!(vis.visible(&pre, SimTime::from_secs(100)));
         assert!(vis.visible(&pre, SimTime::from_secs(499)));
-        assert!(!vis.visible(&pre, SimTime::from_secs(500)), "withdraw boundary is exclusive");
+        assert!(
+            !vis.visible(&pre, SimTime::from_secs(500)),
+            "withdraw boundary is exclusive"
+        );
         assert!(!vis.visible(&pre, SimTime::from_secs(700)));
         assert!(vis.visible(&pre, SimTime::from_secs(900)));
-        assert!(vis.visible(&pre, SimTime::from_secs(1_000_000)), "still open");
+        assert!(
+            vis.visible(&pre, SimTime::from_secs(1_000_000)),
+            "still open"
+        );
     }
 
     #[test]
@@ -165,9 +190,18 @@ mod tests {
             withdraw(100, "2001:db8:1234::/48"),
         ]);
         let addr: Ipv6Addr = "2001:db8:1234::1".parse().unwrap();
-        assert_eq!(vis.lpm(addr, SimTime::from_secs(50)), Some(p("2001:db8:1234::/48")));
-        assert_eq!(vis.lpm(addr, SimTime::from_secs(150)), Some(p("2001:db8::/32")));
-        assert_eq!(vis.lpm("3fff::1".parse().unwrap(), SimTime::from_secs(50)), None);
+        assert_eq!(
+            vis.lpm(addr, SimTime::from_secs(50)),
+            Some(p("2001:db8:1234::/48"))
+        );
+        assert_eq!(
+            vis.lpm(addr, SimTime::from_secs(150)),
+            Some(p("2001:db8::/32"))
+        );
+        assert_eq!(
+            vis.lpm("3fff::1".parse().unwrap(), SimTime::from_secs(50)),
+            None
+        );
     }
 
     #[test]

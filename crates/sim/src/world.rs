@@ -27,6 +27,9 @@ pub struct HitlistEntry {
 #[derive(Debug, Clone, Default)]
 pub struct TumHitlist {
     entries: Vec<HitlistEntry>,
+    /// The entry addresses in publication order, cached so [`Self::as_of`]
+    /// can hand out a borrowed prefix of the list without allocating.
+    addrs: Vec<Ipv6Addr>,
 }
 
 impl TumHitlist {
@@ -53,16 +56,21 @@ impl TumHitlist {
             });
         }
         entries.sort_by_key(|e| e.published);
-        TumHitlist { entries }
+        let addrs = entries.iter().map(|e| e.addr).collect();
+        TumHitlist { entries, addrs }
     }
 
     /// Addresses listed at `t`.
     pub fn at(&self, t: SimTime) -> Vec<Ipv6Addr> {
-        self.entries
-            .iter()
-            .take_while(|e| e.published <= t)
-            .map(|e| e.addr)
-            .collect()
+        self.as_of(t).to_vec()
+    }
+
+    /// Addresses listed at `t`, borrowed: the publication-ordered prefix of
+    /// the full list, found by binary search. This is the hot-path variant
+    /// behind `ScanContext::hitlist`.
+    pub fn as_of(&self, t: SimTime) -> &[Ipv6Addr] {
+        let n = self.entries.partition_point(|e| e.published <= t);
+        &self.addrs[..n]
     }
 
     /// When `addr` was first published, if ever.
@@ -119,7 +127,10 @@ mod tests {
             Some(SimTime::from_secs(1000) + PUBLICATION_LAG)
         );
         assert!(list.at(SimTime::from_secs(1000)).is_empty());
-        assert_eq!(list.at(SimTime::from_secs(1000) + PUBLICATION_LAG), vec![addr]);
+        assert_eq!(
+            list.at(SimTime::from_secs(1000) + PUBLICATION_LAG),
+            vec![addr]
+        );
     }
 
     #[test]
@@ -143,6 +154,19 @@ mod tests {
             list.published_at("2001:db8::1".parse().unwrap()),
             Some(SimTime::from_secs(100) + PUBLICATION_LAG)
         );
+    }
+
+    #[test]
+    fn as_of_matches_at_for_every_boundary() {
+        let v = vis(&[
+            (100, "2001:db8::/33", true),
+            (5000, "2001:db8:8000::/33", true),
+        ]);
+        let list = TumHitlist::build(&["3fff::1".parse().unwrap()], &v);
+        for ts in [0, 99, 100, 100 + 5 * 86_400, 5000 + 5 * 86_400, 10_000_000] {
+            let t = SimTime::from_secs(ts);
+            assert_eq!(list.as_of(t), list.at(t).as_slice(), "diverged at t={ts}");
+        }
     }
 
     #[test]

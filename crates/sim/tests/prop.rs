@@ -1,0 +1,82 @@
+//! Property test: the epoch-compiled LPM is indistinguishable from the
+//! naive interval scan — same longest-prefix match and same announced-set
+//! snapshot (content and order) for arbitrary event streams and queries.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use sixscope_bgp::{RouteEvent, RouteEventKind};
+use sixscope_sim::{CompiledVisibility, Visibility};
+use sixscope_types::{Asn, SimTime};
+use std::net::Ipv6Addr;
+
+/// A pool of nested and disjoint prefixes so LPM has real work to do.
+const PREFIXES: [&str; 6] = [
+    "2001:db8::/32",
+    "2001:db8::/33",
+    "2001:db8:8000::/33",
+    "2001:db8:1234::/48",
+    "2001:db8:1234:5600::/56",
+    "3fff::/20",
+];
+
+fn event(ts: u64, prefix_idx: usize, up: bool) -> RouteEvent {
+    RouteEvent {
+        ts: SimTime::from_secs(ts),
+        prefix: PREFIXES[prefix_idx % PREFIXES.len()].parse().unwrap(),
+        kind: if up {
+            RouteEventKind::Announce {
+                origin_as: Asn(64_500),
+                as_path: vec![Asn(64_500)],
+            }
+        } else {
+            RouteEventKind::Withdraw
+        },
+    }
+}
+
+/// Query addresses concentrate inside the 2001:db8::/32 so most lookups
+/// traverse the nested-prefix chain; the raw bits occasionally land
+/// elsewhere, covering the no-match path.
+fn query_addr(bits: u128, inside: bool) -> Ipv6Addr {
+    if inside {
+        let net: u128 = 0x2001_0db8 << 96;
+        Ipv6Addr::from(net | (bits & ((1u128 << 96) - 1)))
+    } else {
+        Ipv6Addr::from(bits)
+    }
+}
+
+proptest! {
+    #[test]
+    fn compiled_visibility_matches_naive(
+        raw_events in vec((0u64..10_000, 0usize..6, any::<bool>()), 0..40),
+        queries in vec((any::<u128>(), any::<bool>(), 0u64..12_000), 1..60),
+    ) {
+        let mut events: Vec<RouteEvent> = raw_events
+            .iter()
+            .map(|&(ts, idx, up)| event(ts, idx, up))
+            .collect();
+        // Collector streams are time-ordered; the fold requires it.
+        events.sort_by_key(|e| e.ts);
+        let vis = Visibility::from_events(&events);
+        let compiled = CompiledVisibility::compile(&vis);
+        for &(bits, inside, ts) in &queries {
+            let addr = query_addr(bits, inside);
+            let t = SimTime::from_secs(ts);
+            prop_assert_eq!(
+                compiled.lpm(addr, t),
+                vis.lpm(addr, t),
+                "lpm diverged for {} at t={}",
+                addr,
+                ts
+            );
+            let naive_announced = vis.announced_at(t);
+            prop_assert_eq!(
+                compiled.announced_at(t),
+                naive_announced.as_slice(),
+                "announced_at diverged at t={}",
+                ts
+            );
+        }
+    }
+}

@@ -101,7 +101,9 @@ impl Capture {
         &mut self,
         writer: W,
     ) -> Result<(), sixscope_packet::PacketError> {
-        self.pcap = Some(PcapWriter::new(Box::new(writer) as Box<dyn Write + Send + Sync>)?);
+        self.pcap = Some(PcapWriter::new(
+            Box::new(writer) as Box<dyn Write + Send + Sync>
+        )?);
         Ok(())
     }
 
@@ -154,6 +156,22 @@ impl Capture {
     /// summarized captures; simulation uses [`Capture::ingest`]).
     pub fn push(&mut self, packet: CapturedPacket) {
         self.packets.push(packet);
+    }
+
+    /// Appends another capture of the same telescope: packets concatenate
+    /// in order, filter/malformed counters add up. The parallel delivery
+    /// engine merges per-shard captures with this; the caller is
+    /// responsible for shard order (contiguous time-sorted shards keep the
+    /// merged capture time-sorted). `other`'s pcap tee, if any, is dropped
+    /// — shard-local captures never attach one.
+    pub fn absorb(&mut self, other: Capture) {
+        debug_assert_eq!(
+            self.config.id, other.config.id,
+            "absorbing across telescopes"
+        );
+        self.packets.extend(other.packets);
+        self.filtered += other.filtered;
+        self.malformed += other.malformed;
     }
 
     /// All captured packets in arrival order.
@@ -236,6 +254,21 @@ mod tests {
         let mut cap = t3_capture();
         assert!(!cap.ingest(SimTime::EPOCH, &[0u8; 10]));
         assert_eq!(cap.malformed(), 1);
+    }
+
+    #[test]
+    fn absorb_concatenates_packets_and_counters() {
+        let mut a = t3_capture();
+        let mut b = t3_capture();
+        assert!(a.ingest(SimTime::from_secs(1), &probe("2001:db8:3::1")));
+        assert!(b.ingest(SimTime::from_secs(2), &probe("2001:db8:3::2")));
+        assert!(!b.ingest(SimTime::from_secs(3), &probe("2001:db8:9::1"))); // filtered
+        assert!(!b.ingest(SimTime::from_secs(4), &[0u8; 4])); // malformed
+        a.absorb(b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.filtered(), 1);
+        assert_eq!(a.malformed(), 1);
+        assert!(a.packets().windows(2).all(|w| w[0].ts <= w[1].ts));
     }
 
     #[test]

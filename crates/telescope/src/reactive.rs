@@ -21,7 +21,9 @@ pub fn respond(probe: &ParsedPacket) -> Option<Vec<u8>> {
             Some(builder.icmpv6(h.echo_reply_for(), &probe.payload))
         }
         Transport::Icmpv6(_) => None,
-        Transport::Tcp(h) if h.flags.contains(TcpFlags::SYN) && !h.flags.contains(TcpFlags::ACK) => {
+        Transport::Tcp(h)
+            if h.flags.contains(TcpFlags::SYN) && !h.flags.contains(TcpFlags::ACK) =>
+        {
             // Deterministic ISN derived from the probe so replies are
             // reproducible run to run.
             let isn = h.seq.rotate_left(16) ^ 0x5153_4f36; // "QSO6"

@@ -292,10 +292,7 @@ mod tests {
         // Mid-baseline.
         assert_eq!(s.cycle_at(SimTime::EPOCH + SimDuration::weeks(5)), Some(0));
         // Mid-cycle 3.
-        assert_eq!(
-            s.cycle_at(s.cycle_start(3) + SimDuration::days(5)),
-            Some(3)
-        );
+        assert_eq!(s.cycle_at(s.cycle_start(3) + SimDuration::days(5)), Some(3));
         assert_eq!(s.cycle_at(s.end()), None);
     }
 
@@ -318,8 +315,7 @@ mod tests {
         let announces: Vec<_> = actions
             .iter()
             .filter(|a| {
-                a.at == boundary + SimDuration::days(1)
-                    && a.kind == ScheduleActionKind::Announce
+                a.at == boundary + SimDuration::days(1) && a.kind == ScheduleActionKind::Announce
             })
             .collect();
         assert_eq!(announces.len(), 2);

@@ -245,7 +245,9 @@ mod tests {
     #[test]
     fn empty_capture_yields_no_sessions() {
         let cap = capture_with(vec![]);
-        assert!(Sessionizer::paper(AggLevel::Addr128).sessionize(&cap).is_empty());
+        assert!(Sessionizer::paper(AggLevel::Addr128)
+            .sessionize(&cap)
+            .is_empty());
     }
 
     #[test]

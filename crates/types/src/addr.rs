@@ -101,8 +101,7 @@ mod tests {
     #[test]
     fn subnet_bits_extracts_middle_range() {
         // 2001:db8:abcd:1234::/64 — take 32 bits after a /32.
-        let addr: u128 =
-            u128::from("2001:db8:abcd:1234::".parse::<Ipv6Addr>().unwrap());
+        let addr: u128 = u128::from("2001:db8:abcd:1234::".parse::<Ipv6Addr>().unwrap());
         assert_eq!(subnet_bits(addr, 32, 32), 0xabcd_1234);
         // Whole address.
         assert_eq!(subnet_bits(addr, 0, 128), addr);

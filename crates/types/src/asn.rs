@@ -89,7 +89,10 @@ impl CountryCode {
     /// Panics if `s` is not exactly two ASCII bytes.
     pub fn new(s: &str) -> Self {
         let b = s.as_bytes();
-        assert!(b.len() == 2 && b.is_ascii(), "country code must be 2 ASCII chars");
+        assert!(
+            b.len() == 2 && b.is_ascii(),
+            "country code must be 2 ASCII chars"
+        );
         CountryCode([b[0].to_ascii_uppercase(), b[1].to_ascii_uppercase()])
     }
 }

@@ -7,6 +7,8 @@
 //! * [`trie::PrefixTrie`] — binary radix trie with longest-prefix match,
 //! * [`time::SimTime`] / [`time::SimDuration`] — simulated wall clock,
 //! * [`rng::Xoshiro256pp`] — deterministic, splittable PRNG,
+//! * [`parallel::map_indexed`] — order-preserving fork-join map behind the
+//!   parallel execution engine (byte-identical at any thread count),
 //! * [`asn::Asn`] and network metadata used to label scan sources.
 //!
 //! Everything here is `std`-only and deterministic; the simulation and the
@@ -16,6 +18,7 @@
 pub mod addr;
 pub mod asn;
 pub mod error;
+pub mod parallel;
 pub mod ports;
 pub mod prefix;
 pub mod rng;
@@ -25,6 +28,7 @@ pub mod trie;
 pub use addr::{iid, nibble, set_nibble, subnet_bits};
 pub use asn::{AsInfo, Asn, CountryCode, NetworkType};
 pub use error::TypeError;
+pub use parallel::{chunk_ranges, map_indexed, num_threads};
 pub use prefix::Ipv6Prefix;
 pub use rng::{SplitMix64, Xoshiro256pp};
 pub use time::{SimDuration, SimTime};

@@ -266,7 +266,12 @@ mod tests {
 
     #[test]
     fn parse_and_display_round_trip() {
-        for s in ["2001:db8::/32", "::/0", "2001:db8:8000::/33", "2001:db8::1/128"] {
+        for s in [
+            "2001:db8::/32",
+            "::/0",
+            "2001:db8:8000::/33",
+            "2001:db8::1/128",
+        ] {
             assert_eq!(p(s).to_string(), s);
         }
     }
@@ -364,7 +369,9 @@ mod tests {
         assert_eq!(p48.address_count(), 1u128 << 80);
         assert_eq!(
             p48.last_address(),
-            "2001:db8:1234:ffff:ffff:ffff:ffff:ffff".parse::<Ipv6Addr>().unwrap()
+            "2001:db8:1234:ffff:ffff:ffff:ffff:ffff"
+                .parse::<Ipv6Addr>()
+                .unwrap()
         );
         assert_eq!(Ipv6Prefix::default_route().address_count(), u128::MAX);
     }
@@ -388,9 +395,18 @@ mod tests {
     #[test]
     fn nth_address_wraps_within_prefix() {
         let p126 = p("2001:db8::/126");
-        assert_eq!(p126.nth_address(0), "2001:db8::".parse::<Ipv6Addr>().unwrap());
-        assert_eq!(p126.nth_address(3), "2001:db8::3".parse::<Ipv6Addr>().unwrap());
-        assert_eq!(p126.nth_address(4), "2001:db8::".parse::<Ipv6Addr>().unwrap());
+        assert_eq!(
+            p126.nth_address(0),
+            "2001:db8::".parse::<Ipv6Addr>().unwrap()
+        );
+        assert_eq!(
+            p126.nth_address(3),
+            "2001:db8::3".parse::<Ipv6Addr>().unwrap()
+        );
+        assert_eq!(
+            p126.nth_address(4),
+            "2001:db8::".parse::<Ipv6Addr>().unwrap()
+        );
     }
 
     #[test]
@@ -412,11 +428,19 @@ mod tests {
 
     #[test]
     fn ordering_is_by_network_then_length() {
-        let mut v = vec![p("2001:db8:8000::/33"), p("2001:db8::/32"), p("2001:db8::/33")];
+        let mut v = vec![
+            p("2001:db8:8000::/33"),
+            p("2001:db8::/32"),
+            p("2001:db8::/33"),
+        ];
         v.sort();
         assert_eq!(
             v,
-            vec![p("2001:db8::/32"), p("2001:db8::/33"), p("2001:db8:8000::/33")]
+            vec![
+                p("2001:db8::/32"),
+                p("2001:db8::/33"),
+                p("2001:db8:8000::/33")
+            ]
         );
     }
 }

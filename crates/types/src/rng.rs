@@ -203,7 +203,10 @@ impl Xoshiro256pp {
     /// heavy-tailed distribution behind per-scanner packet volumes (a few
     /// heavy hitters dominate packets, as in §4.2 of the paper).
     pub fn pareto(&mut self, xm: f64, alpha: f64) -> f64 {
-        assert!(xm > 0.0 && alpha > 0.0, "pareto parameters must be positive");
+        assert!(
+            xm > 0.0 && alpha > 0.0,
+            "pareto parameters must be positive"
+        );
         xm / (1.0 - self.f64()).powf(1.0 / alpha)
     }
 
@@ -315,9 +318,15 @@ mod tests {
         let mut rng = Xoshiro256pp::seed_from_u64(5);
         let n = 20_000;
         let mean_small: f64 = (0..n).map(|_| rng.poisson(3.0) as f64).sum::<f64>() / n as f64;
-        assert!((mean_small - 3.0).abs() < 0.1, "small mean was {mean_small}");
+        assert!(
+            (mean_small - 3.0).abs() < 0.1,
+            "small mean was {mean_small}"
+        );
         let mean_large: f64 = (0..n).map(|_| rng.poisson(100.0) as f64).sum::<f64>() / n as f64;
-        assert!((mean_large - 100.0).abs() < 1.0, "large mean was {mean_large}");
+        assert!(
+            (mean_large - 100.0).abs() < 1.0,
+            "large mean was {mean_large}"
+        );
     }
 
     #[test]

@@ -133,7 +133,14 @@ impl fmt::Display for SimTime {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let d = self.0 / 86_400;
         let rem = self.0 % 86_400;
-        write!(f, "d{:03} {:02}:{:02}:{:02}", d, rem / 3600, (rem % 3600) / 60, rem % 60)
+        write!(
+            f,
+            "d{:03} {:02}:{:02}:{:02}",
+            d,
+            rem / 3600,
+            (rem % 3600) / 60,
+            rem % 60
+        )
     }
 }
 
@@ -180,7 +187,10 @@ mod tests {
 
     #[test]
     fn display_forms() {
-        assert_eq!(SimTime::from_secs(86_400 + 3661).to_string(), "d001 01:01:01");
+        assert_eq!(
+            SimTime::from_secs(86_400 + 3661).to_string(),
+            "d001 01:01:01"
+        );
         assert_eq!(SimDuration::days(14).to_string(), "14d");
         assert_eq!(SimDuration::hours(5).to_string(), "5h");
         assert_eq!(SimDuration::secs(61).to_string(), "61s");
@@ -188,8 +198,19 @@ mod tests {
 
     #[test]
     fn ordering_is_chronological() {
-        let mut v = vec![SimTime::from_secs(5), SimTime::from_secs(1), SimTime::from_secs(3)];
+        let mut v = vec![
+            SimTime::from_secs(5),
+            SimTime::from_secs(1),
+            SimTime::from_secs(3),
+        ];
         v.sort();
-        assert_eq!(v, vec![SimTime::from_secs(1), SimTime::from_secs(3), SimTime::from_secs(5)]);
+        assert_eq!(
+            v,
+            vec![
+                SimTime::from_secs(1),
+                SimTime::from_secs(3),
+                SimTime::from_secs(5)
+            ]
+        );
     }
 }

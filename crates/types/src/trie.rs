@@ -228,7 +228,14 @@ mod tests {
             .into_iter()
             .map(|(p, _)| *p)
             .collect();
-        assert_eq!(under, vec![p("2001:db8::/32"), p("2001:db8::/33"), p("2001:db8:8000::/33")]);
+        assert_eq!(
+            under,
+            vec![
+                p("2001:db8::/32"),
+                p("2001:db8::/33"),
+                p("2001:db8:8000::/33")
+            ]
+        );
         assert!(t.covered_by(&p("3fff::/20")).is_empty());
     }
 
@@ -252,10 +259,16 @@ mod tests {
     #[test]
     fn iter_returns_everything_sorted_by_position() {
         let mut t = PrefixTrie::new();
-        for (i, s) in ["3fff::/20", "2001:db8::/32", "2001:db8:8000::/33"].iter().enumerate() {
+        for (i, s) in ["3fff::/20", "2001:db8::/32", "2001:db8:8000::/33"]
+            .iter()
+            .enumerate()
+        {
             t.insert(p(s), i);
         }
         let all: Vec<_> = t.iter().into_iter().map(|(p, _)| *p).collect();
-        assert_eq!(all, vec![p("2001:db8::/32"), p("2001:db8:8000::/33"), p("3fff::/20")]);
+        assert_eq!(
+            all,
+            vec![p("2001:db8::/32"), p("2001:db8:8000::/33"), p("3fff::/20")]
+        );
     }
 }

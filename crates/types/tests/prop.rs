@@ -32,7 +32,7 @@ proptest! {
         prop_assert_eq!(hi.parent().unwrap(), p);
         // Address counts add up.
         prop_assert_eq!(lo.address_count(), hi.address_count());
-        if p.len() > 0 {
+        if !p.is_empty() {
             prop_assert_eq!(lo.address_count() + hi.address_count(), p.address_count());
         }
     }

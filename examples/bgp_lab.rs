@@ -79,7 +79,10 @@ fn main() {
     }
 
     // Sample withdrawal event timing.
-    if let Some(withdraw) = events.iter().find(|e| matches!(e.kind, RouteEventKind::Withdraw)) {
+    if let Some(withdraw) = events
+        .iter()
+        .find(|e| matches!(e.kind, RouteEventKind::Withdraw))
+    {
         println!(
             "\nfirst withdrawal seen at the collector: {} at t={}",
             withdraw.prefix, withdraw.ts

@@ -42,7 +42,10 @@ fn main() {
     for i in 1u128..=150 {
         lowbyte_session.push_bits(i, 64);
     }
-    println!("  {:<10} {:>14} {:>14}", "test", "random scan", "low-byte scan");
+    println!(
+        "  {:<10} {:>14} {:>14}",
+        "test", "random scan", "low-byte scan"
+    );
     for test in NistTest::ALL {
         let r = random_session.run(test);
         let l = lowbyte_session.run(test);

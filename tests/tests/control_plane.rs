@@ -64,8 +64,7 @@ fn live_monitors_react_within_thirty_minutes() {
     for cycle in 1..=schedule.cycles {
         let announce_at = schedule.cycle_start(cycle) + SimDuration::days(1);
         let window_end = announce_at + SimDuration::mins(35);
-        fast_reactions += result
-            .captures[&sixscope_telescope::TelescopeId::T1]
+        fast_reactions += result.captures[&sixscope_telescope::TelescopeId::T1]
             .packets()
             .iter()
             .filter(|pkt| pkt.ts >= announce_at && pkt.ts < window_end)

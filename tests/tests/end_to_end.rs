@@ -42,7 +42,11 @@ fn one_off_scanners_dominate_scanner_counts() {
     let t = tables::table6(corpus());
     let one_off = &t.temporal[0];
     assert_eq!(one_off.label, "One-off");
-    assert!((55.0..90.0).contains(&one_off.scanner_pct), "{}", one_off.scanner_pct);
+    assert!(
+        (55.0..90.0).contains(&one_off.scanner_pct),
+        "{}",
+        one_off.scanner_pct
+    );
     let periodic = t.temporal.iter().find(|r| r.label == "Periodic").unwrap();
     assert!(periodic.session_pct > 2.0 * periodic.scanner_pct);
 }
@@ -54,7 +58,11 @@ fn single_prefix_scanning_dominates_network_selection() {
     assert_eq!(single.label, "Single-prefix scanning");
     assert!(single.scanner_pct > 70.0, "{}", single.scanner_pct);
     // Size-independent scanners are few but session-heavy.
-    let si = t.network.iter().find(|r| r.label == "Network-size independent").unwrap();
+    let si = t
+        .network
+        .iter()
+        .find(|r| r.label == "Network-size independent")
+        .unwrap();
     assert!(si.session_pct > si.scanner_pct);
 }
 

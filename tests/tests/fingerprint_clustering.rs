@@ -90,7 +90,11 @@ fn same_tool_payloads_share_a_cluster() {
         .take(30)
         .map(|p| p.payload.to_vec())
         .collect();
-    assert!(yarrp.len() >= 10, "need enough Yarrp probes, got {}", yarrp.len());
+    assert!(
+        yarrp.len() >= 10,
+        "need enough Yarrp probes, got {}",
+        yarrp.len()
+    );
     let refs: Vec<&[u8]> = yarrp.iter().map(Vec::as_slice).collect();
     let assignments = cluster_payloads(&refs, 0.12, 3);
     let first = assignments[0].cluster().expect("clustered");

@@ -1,0 +1,54 @@
+//! The parallel-determinism contract (DESIGN.md §6): the experiment's
+//! output is byte-identical at any worker-thread count. Generation fans
+//! scanners out to workers and delivery shards the probe list, but the
+//! merged captures, drop counters and T4 responses must not move by a
+//! single bit between `threads = 1`, `2` and `8`.
+
+use sixscope_sim::{ExperimentResult, Scenario, ScenarioConfig};
+use sixscope_telescope::TelescopeId;
+
+fn run_with(threads: usize) -> ExperimentResult {
+    let mut config = ScenarioConfig::new(20_230_824, 0.008);
+    config.threads = Some(threads);
+    Scenario::new(config).run()
+}
+
+#[test]
+fn captures_are_byte_identical_across_thread_counts() {
+    let serial = run_with(1);
+    assert!(
+        serial.total_packets() > 1000,
+        "reference run too small to be meaningful ({} packets)",
+        serial.total_packets()
+    );
+    for threads in [2, 8] {
+        let parallel = run_with(threads);
+        for id in TelescopeId::ALL {
+            let a = serial.capture(id);
+            let b = parallel.capture(id);
+            assert_eq!(
+                a.packets(),
+                b.packets(),
+                "{id:?} capture diverged at {threads} threads"
+            );
+            assert_eq!(a.filtered(), b.filtered(), "{id:?} filter counter diverged");
+            assert_eq!(
+                a.malformed(),
+                b.malformed(),
+                "{id:?} malformed counter diverged"
+            );
+        }
+        assert_eq!(
+            serial.dropped_unrouted, parallel.dropped_unrouted,
+            "unrouted-drop count diverged at {threads} threads"
+        );
+        assert_eq!(
+            serial.t4_responses, parallel.t4_responses,
+            "T4 response count diverged at {threads} threads"
+        );
+        assert_eq!(
+            serial.truncated_probes, parallel.truncated_probes,
+            "truncation count diverged at {threads} threads"
+        );
+    }
+}

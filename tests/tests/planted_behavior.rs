@@ -29,7 +29,11 @@ fn ctx(announced: Vec<Ipv6Prefix>) -> StaticContext {
     }
 }
 
-fn run_and_sessionize(spec: &ScannerSpec, context: &StaticContext, seed: u64) -> (Capture, Vec<ScanSession>) {
+fn run_and_sessionize(
+    spec: &ScannerSpec,
+    context: &StaticContext,
+    seed: u64,
+) -> (Capture, Vec<ScanSession>) {
     let mut capture = Capture::new(TelescopeConfig::t1(t1_prefix()));
     let mut rng = Xoshiro256pp::seed_from_u64(seed);
     let mut probes = spec.generate(context, &mut rng);
@@ -139,7 +143,10 @@ fn planted_network_selection_classes_are_recovered() {
             sessions: vec![7, 6, 7],
         },
     ];
-    assert_eq!(network_selection(&si), Some(NetworkSelection::SizeIndependent));
+    assert_eq!(
+        network_selection(&si),
+        Some(NetworkSelection::SizeIndependent)
+    );
     // Single-prefix in both cycles.
     let sp = vec![
         CycleCounts {
@@ -163,7 +170,10 @@ fn planted_network_selection_classes_are_recovered() {
             sessions: vec![4, 0, 0],
         },
     ];
-    assert_eq!(network_selection(&inc), Some(NetworkSelection::Inconsistent));
+    assert_eq!(
+        network_selection(&inc),
+        Some(NetworkSelection::Inconsistent)
+    );
 }
 
 #[test]

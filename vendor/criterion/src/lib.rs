@@ -1,0 +1,362 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The workspace must build and bench without registry access, so the
+//! external dependency is replaced by this minimal harness implementing the
+//! subset the `pipeline` bench uses: `Criterion` with `bench_function` and
+//! `benchmark_group`, `Bencher::{iter, iter_batched}`, `Throughput`,
+//! `BatchSize`, `BenchmarkId`, and the `criterion_group!`/`criterion_main!`
+//! macros (both the plain and the `name/config/targets` forms).
+//!
+//! Statistics are deliberately simple: each benchmark runs a warm-up, then
+//! `sample_size` timed samples within roughly `measurement_time`, and the
+//! median per-iteration time is printed together with min/max. There is no
+//! HTML report, outlier analysis, or baseline comparison.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// How per-iteration throughput is reported.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// Batch sizing hint for `iter_batched` (ignored beyond a batch of one).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration setup output.
+    SmallInput,
+    /// Large per-iteration setup output.
+    LargeInput,
+    /// One setup per timed invocation.
+    PerIteration,
+}
+
+/// A benchmark identifier combining a function name and a parameter.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds `"{name}/{parameter}"`.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Builds an id from the parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Measurement settings shared by a group or the whole run.
+#[derive(Clone, Copy)]
+struct Settings {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Settings {
+    fn default() -> Settings {
+        Settings {
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_millis(800),
+        }
+    }
+}
+
+/// Times closures handed to `bench_function`.
+pub struct Bencher<'a> {
+    settings: Settings,
+    samples: &'a mut Vec<Duration>,
+}
+
+impl Bencher<'_> {
+    /// Times `routine`, batching iterations so cheap closures still produce
+    /// measurable samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up, and calibrate how many iterations fit in one sample.
+        let warm_until = Instant::now() + self.settings.warm_up_time;
+        let mut warm_iters: u64 = 0;
+        let warm_start = Instant::now();
+        loop {
+            std::hint::black_box(routine());
+            warm_iters += 1;
+            if Instant::now() >= warm_until {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        let budget =
+            self.settings.measurement_time.as_secs_f64() / self.settings.sample_size as f64;
+        let iters_per_sample = ((budget / per_iter.max(1e-9)) as u64).clamp(1, 1 << 20);
+
+        for _ in 0..self.settings.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(routine());
+            }
+            self.samples.push(start.elapsed() / iters_per_sample as u32);
+        }
+    }
+
+    /// Times `routine` over fresh `setup` output each invocation; only the
+    /// routine is timed.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let warm_until = Instant::now() + self.settings.warm_up_time;
+        loop {
+            let input = setup();
+            std::hint::black_box(routine(input));
+            if Instant::now() >= warm_until {
+                break;
+            }
+        }
+        let deadline = Instant::now() + self.settings.measurement_time;
+        for _ in 0..self.settings.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            self.samples.push(start.elapsed());
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+    }
+}
+
+fn report(name: &str, samples: &mut [Duration], throughput: Option<Throughput>) {
+    if samples.is_empty() {
+        println!("{name:<44} (no samples)");
+        return;
+    }
+    samples.sort();
+    let median = samples[samples.len() / 2];
+    let min = samples[0];
+    let max = samples[samples.len() - 1];
+    let rate = match throughput {
+        Some(Throughput::Bytes(n)) if median > Duration::ZERO => {
+            let mbps = n as f64 / median.as_secs_f64() / 1e6;
+            format!("  {mbps:10.1} MB/s")
+        }
+        Some(Throughput::Elements(n)) if median > Duration::ZERO => {
+            let keps = n as f64 / median.as_secs_f64() / 1e3;
+            format!("  {keps:10.1} Kelem/s")
+        }
+        _ => String::new(),
+    };
+    println!("{name:<44} median {median:>12.3?}  [{min:.3?} .. {max:.3?}]{rate}");
+}
+
+/// A named collection of benchmarks sharing settings and throughput.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    settings: Settings,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the measurement budget for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up budget for this group.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.warm_up_time = d;
+        self
+    }
+
+    /// Sets the per-iteration throughput used in reports.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let mut samples = Vec::new();
+        f(&mut Bencher {
+            settings: self.settings,
+            samples: &mut samples,
+        });
+        report(
+            &format!("{}/{}", self.name, id),
+            &mut samples,
+            self.throughput,
+        );
+        self
+    }
+
+    /// Runs one benchmark parameterised by a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl fmt::Display,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        let mut samples = Vec::new();
+        f(
+            &mut Bencher {
+                settings: self.settings,
+                samples: &mut samples,
+            },
+            input,
+        );
+        report(
+            &format!("{}/{}", self.name, id),
+            &mut samples,
+            self.throughput,
+        );
+        self
+    }
+
+    /// Ends the group (reporting already happened per-function).
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Criterion {
+    /// Sets the default sample count.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.settings.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the default warm-up budget.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.settings.warm_up_time = d;
+        self
+    }
+
+    /// Sets the default measurement budget.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.settings.measurement_time = d;
+        self
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let mut samples = Vec::new();
+        f(&mut Bencher {
+            settings: self.settings,
+            samples: &mut samples,
+        });
+        report(&id.to_string(), &mut samples, None);
+        self
+    }
+
+    /// Opens a named benchmark group inheriting the current settings.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let settings = self.settings;
+        BenchmarkGroup {
+            name: name.into(),
+            settings,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Final-summary hook (no-op here).
+    pub fn final_summary(&mut self) {}
+}
+
+/// Declares a group of benchmark targets, with or without custom config.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench entry point running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_collects_samples() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn group_batched_runs() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Elements(4));
+        g.bench_function("sum", |b| {
+            b.iter_batched(
+                || vec![1u64, 2, 3, 4],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+        g.finish();
+    }
+}

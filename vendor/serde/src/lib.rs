@@ -1,0 +1,17 @@
+//! Offline stand-in for `serde`.
+//!
+//! sixscope hand-rolls its JSON output (`core::json`) and never calls
+//! serde's serialization machinery; the derives on public types exist for
+//! API compatibility. In environments without registry access this path
+//! crate supplies the trait names and re-exports no-op derives so all
+//! `use serde::{Serialize, Deserialize}` statements and `#[derive(...)]`
+//! attributes compile unchanged.
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

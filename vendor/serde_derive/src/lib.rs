@@ -1,0 +1,21 @@
+//! No-op derive macros for the offline `serde` stand-in.
+//!
+//! sixscope derives `Serialize`/`Deserialize` on its public types for
+//! downstream consumers but performs all of its own serialization by hand
+//! (`core::json` is a deliberate no-`serde_json` implementation). In the
+//! offline build the derives therefore expand to nothing; they exist so the
+//! `#[derive(...)]` attributes keep compiling unchanged.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; accepted wherever `#[derive(Serialize)]` appears.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; accepted wherever `#[derive(Deserialize)]` appears.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
