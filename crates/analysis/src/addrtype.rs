@@ -61,6 +61,29 @@ impl AddressType {
     pub fn is_structured(self) -> bool {
         self != AddressType::Randomized
     }
+
+    /// Dense code of the class: its index in [`AddressType::ALL`]. Used by
+    /// the columnar corpus index to store classifications as `u8`.
+    pub fn code(self) -> u8 {
+        match self {
+            AddressType::Randomized => 0,
+            AddressType::LowByte => 1,
+            AddressType::PatternBytes => 2,
+            AddressType::EmbeddedIpv4 => 3,
+            AddressType::SubnetAnycast => 4,
+            AddressType::EmbeddedPort => 5,
+            AddressType::IeeeDerived => 6,
+            AddressType::Isatap => 7,
+        }
+    }
+
+    /// Inverse of [`AddressType::code`].
+    ///
+    /// # Panics
+    /// Panics on codes ≥ 8.
+    pub fn from_code(code: u8) -> AddressType {
+        AddressType::ALL[code as usize]
+    }
 }
 
 impl fmt::Display for AddressType {
@@ -85,6 +108,45 @@ const SERVICE_PORTS: [u16; 16] = [
     21, 22, 23, 25, 53, 80, 110, 123, 143, 161, 443, 500, 993, 3306, 8080, 8443,
 ];
 
+/// A service port re-read as hex digits: decimal 443 becomes IID value
+/// 0x443, so `2001:db8::443` *displays* as "443". Returns `None` when a
+/// decimal digit of the port is ≥ 10 in some position — impossible by
+/// construction (decimal digits are 0–9) — or when the hex spelling would
+/// not fit 16 bits (ports ≥ 10000, whose spelling needs five nibbles).
+const fn hex_spelling(port: u16) -> Option<u16> {
+    if port >= 10_000 {
+        return None;
+    }
+    let mut value: u16 = 0;
+    let mut shift = 0u32;
+    let mut rest = port;
+    loop {
+        value |= (rest % 10) << shift;
+        rest /= 10;
+        if rest == 0 {
+            return Some(value);
+        }
+        shift += 4;
+    }
+}
+
+/// IID values whose *hex rendering* spells a well-known service port
+/// (`::443` = 0x443 renders as "443"). Precomputed from [`SERVICE_PORTS`]
+/// at compile time so [`classify`] never formats or parses strings on the
+/// per-packet hot path.
+const HEX_SPELLED_PORTS: [u16; 16] = {
+    let mut table = [0u16; 16];
+    let mut i = 0;
+    while i < SERVICE_PORTS.len() {
+        table[i] = match hex_spelling(SERVICE_PORTS[i]) {
+            Some(v) => v,
+            None => SERVICE_PORTS[i], // spelling overflow: decimal entry covers it
+        };
+        i += 1;
+    }
+    table
+};
+
 /// Hex words commonly used in manually configured "wordy" addresses.
 const HEX_WORDS: [u16; 12] = [
     0xcafe, 0xbabe, 0xdead, 0xbeef, 0xf00d, 0xfeed, 0xface, 0xc0de, 0xb00b, 0xd00d, 0xabba, 0xaffe,
@@ -107,12 +169,10 @@ pub fn classify(addr: Ipv6Addr) -> AddressType {
     }
     if iid <= 0xffff {
         let low = iid as u16;
-        // Hex spelling: 0x443 *displays* as "443".
-        let as_hex_digits = format!("{low:x}");
-        let hex_as_decimal: Option<u16> = as_hex_digits.parse().ok();
-        if SERVICE_PORTS.contains(&low)
-            || hex_as_decimal.is_some_and(|p| SERVICE_PORTS.contains(&p))
-        {
+        // Hex spelling: 0x443 *displays* as "443". The precomputed table
+        // replaces the former format!+parse round-trip (a heap allocation
+        // per low-IID packet on the Table-3 hot path).
+        if SERVICE_PORTS.contains(&low) || HEX_SPELLED_PORTS.contains(&low) {
             return AddressType::EmbeddedPort;
         }
         return AddressType::LowByte;
@@ -246,6 +306,38 @@ mod tests {
             c("2001:db8:1:2:211:22ff:fe33:4455"),
             c("3fff::211:22ff:fe33:4455")
         );
+    }
+
+    #[test]
+    fn hex_spelled_table_matches_string_round_trip() {
+        // The const table must agree with the format!+parse definition it
+        // replaced, for every possible low IID value.
+        for low in 0..=u16::MAX {
+            let rendered = format!("{low:x}");
+            let parsed: Option<u16> = rendered.parse().ok();
+            let string_based = parsed.is_some_and(|p| SERVICE_PORTS.contains(&p));
+            assert_eq!(
+                HEX_SPELLED_PORTS.contains(&low),
+                string_based,
+                "table diverges from string check at 0x{low:x}"
+            );
+        }
+    }
+
+    #[test]
+    fn hex_spelling_of_known_ports() {
+        assert_eq!(hex_spelling(443), Some(0x443));
+        assert_eq!(hex_spelling(80), Some(0x80));
+        assert_eq!(hex_spelling(8443), Some(0x8443));
+        assert_eq!(hex_spelling(10_000), None, "five nibbles overflow u16");
+    }
+
+    #[test]
+    fn codes_round_trip_in_table_order() {
+        for (i, &ty) in AddressType::ALL.iter().enumerate() {
+            assert_eq!(ty.code() as usize, i);
+            assert_eq!(AddressType::from_code(ty.code()), ty);
+        }
     }
 
     #[test]

@@ -32,21 +32,36 @@ pub fn heavy_hitters(capture: &Capture) -> Vec<HeavyHitter> {
 
 /// Detection with an explicit share threshold (for ablations).
 pub fn heavy_hitters_with_threshold(capture: &Capture, threshold: f64) -> Vec<HeavyHitter> {
-    let total = capture.len() as u64;
-    if total == 0 {
-        return Vec::new();
-    }
     let mut counts: BTreeMap<SourceKey, u64> = BTreeMap::new();
     for p in capture.packets() {
         *counts
             .entry(SourceKey::new(p.src, AggLevel::Addr128))
             .or_default() += 1;
     }
+    heavy_hitters_from_counts(capture.config().id, capture.len() as u64, counts, threshold)
+}
+
+/// Detection from pre-aggregated per-source packet counts — the corpus
+/// index already holds these, so re-walking the capture is unnecessary.
+///
+/// `counts` must yield sources in ascending [`SourceKey`] order (a
+/// `BTreeMap` iteration, or interned ids walked in id order) so the output
+/// order — descending packets, key order on ties — matches
+/// [`heavy_hitters`] exactly.
+pub fn heavy_hitters_from_counts(
+    telescope: TelescopeId,
+    total: u64,
+    counts: impl IntoIterator<Item = (SourceKey, u64)>,
+    threshold: f64,
+) -> Vec<HeavyHitter> {
+    if total == 0 {
+        return Vec::new();
+    }
     let mut out: Vec<HeavyHitter> = counts
         .into_iter()
         .filter(|&(_, c)| c as f64 / total as f64 > threshold)
         .map(|(source, packets)| HeavyHitter {
-            telescope: capture.config().id,
+            telescope,
             source,
             packets,
             share: packets as f64 / total as f64,

@@ -75,12 +75,22 @@ pub struct UpSet {
 impl UpSet {
     /// Builds the decomposition from per-item observation sets.
     pub fn from_observations<I: Ord>(observations: &BTreeMap<I, TelescopeSet>) -> UpSet {
+        Self::from_sets(observations.values().copied())
+    }
+
+    /// Builds the decomposition from bare per-item telescope sets.
+    ///
+    /// The corpus index stores each source's membership as a
+    /// [`TelescopeSet`] keyed by interned id; iterating those in id order
+    /// yields the same multiset of sets as a `BTreeMap` of keys, so both
+    /// constructors produce identical decompositions.
+    pub fn from_sets(sets: impl IntoIterator<Item = TelescopeSet>) -> UpSet {
         let mut upset = UpSet::default();
-        for set in observations.values() {
+        for set in sets {
             if set.is_empty() {
                 continue;
             }
-            *upset.exclusive.entry(*set).or_default() += 1;
+            *upset.exclusive.entry(set).or_default() += 1;
             for t in set.members() {
                 *upset.totals.entry(t).or_default() += 1;
             }

@@ -1,0 +1,87 @@
+//! The `analyze` group: corpus-index construction and the full
+//! tables+figures phase end-to-end.
+//!
+//! `analyze_tables_figures` regenerates every table and every figure from
+//! the shared corpus in one iteration — the exact per-report work `repro`
+//! performs after the simulation finishes — so before/after numbers for the
+//! columnar-index rewrite are directly comparable. `analyze_index_build`
+//! times rebuilding the derived columns from raw captures and sessions.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sixscope::index::CorpusIndex;
+use sixscope::{figures, tables};
+use sixscope_bench::bench_corpus;
+use std::hint::black_box;
+
+/// Every table of the report, in report order.
+fn all_tables(a: &sixscope::Analyzed) {
+    let start = sixscope_types::SimTime::EPOCH;
+    let boundary = a.split_start();
+    let end = a.result.layout.end;
+    black_box(tables::corpus_overview(a, start, boundary));
+    black_box(tables::corpus_overview(a, start, end));
+    black_box(tables::table2(a));
+    black_box(tables::table3(a));
+    black_box(tables::table4(a));
+    black_box(tables::table5(a));
+    black_box(tables::table6(a));
+    black_box(tables::table7(a));
+    black_box(tables::table8(a));
+    black_box(tables::headline(a));
+}
+
+/// Every figure of the report, in report order.
+fn all_figures(a: &sixscope::Analyzed) {
+    black_box(figures::fig3(a));
+    black_box(figures::fig4(a));
+    black_box(figures::fig5(a));
+    black_box(figures::fig7a(a));
+    black_box(figures::fig7b(a));
+    black_box(figures::fig8(a));
+    black_box(figures::fig9(a));
+    black_box(figures::fig10(a));
+    black_box(figures::fig11(a));
+    black_box(figures::fig12(a));
+    black_box(figures::fig13(a));
+    black_box(figures::fig14(a));
+    black_box(figures::fig15(a));
+    black_box(figures::fig16a(a));
+    black_box(figures::fig16b(a));
+    black_box(figures::fig17(a));
+}
+
+fn bench_tables_figures(c: &mut Criterion) {
+    let a = bench_corpus();
+    // Shape sanity before timing.
+    let t2 = tables::table2(a);
+    assert_eq!(t2.rows.len(), 3);
+    assert!(!figures::fig4(a).is_empty());
+    c.bench_function("analyze_tables_figures", |b| {
+        b.iter(|| {
+            all_tables(a);
+            all_figures(a);
+        })
+    });
+}
+
+fn bench_index_build(c: &mut Criterion) {
+    let a = bench_corpus();
+    assert!(!a
+        .index
+        .telescope(sixscope_telescope::TelescopeId::T1)
+        .ts
+        .is_empty());
+    c.bench_function("analyze_index_build", |b| {
+        b.iter(|| black_box(CorpusIndex::build(&a.result, &a.sessions128, &a.sessions64)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800));
+    targets = bench_tables_figures, bench_index_build
+}
+criterion_main!(benches);

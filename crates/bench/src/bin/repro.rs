@@ -1,26 +1,38 @@
 //! `repro` — regenerates every table and figure of the paper and writes
 //! EXPERIMENTS.md with paper-vs-measured comparisons.
 //!
-//! Usage: `cargo run -p sixscope-bench --bin repro --release [-- scale]`
+//! Usage: `cargo run -p sixscope-bench --bin repro --release [-- [scale] [--timing]]`
+//!
+//! With `--timing`, prints a per-stage wall-clock breakdown (generate,
+//! deliver, sessionize, index build, tables, figures) and writes it to
+//! BENCH_repro.json for machine consumption.
 
-use sixscope::tables::{self, Headline};
-use sixscope::{figures, render, Analyzed, Experiment};
-use sixscope_analysis::classify::TemporalClass;
-use sixscope_bench::{comparisons_markdown, record, take_comparisons, SEED};
-use sixscope_telescope::TelescopeId;
+use sixscope::json::Json;
+use sixscope::Experiment;
+use sixscope_bench::report::{figures_section, tables_section};
+use sixscope_bench::{comparisons_markdown, take_comparisons, SEED};
 use std::fmt::Write as _;
+use std::time::Instant;
 
 fn main() {
-    let scale: f64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(sixscope_bench::SCALE);
+    let mut scale = sixscope_bench::SCALE;
+    let mut timing = false;
+    for arg in std::env::args().skip(1) {
+        if arg == "--timing" {
+            timing = true;
+        } else if let Ok(s) = arg.parse::<f64>() {
+            scale = s;
+        } else {
+            eprintln!("usage: repro [scale] [--timing]");
+            std::process::exit(2);
+        }
+    }
     let threads = sixscope_types::num_threads(None);
     eprintln!(
         "running experiment: seed={SEED} scale={scale} (paper = 1.0), {threads} worker thread(s) …"
     );
-    let t0 = std::time::Instant::now();
-    let a = Experiment::new(SEED, scale).run();
+    let t0 = Instant::now();
+    let (a, sim) = Experiment::new(SEED, scale).run_timed();
     eprintln!(
         "experiment done in {:.1?}: {} packets captured, {} dropped unrouted, {} T4 responses",
         t0.elapsed(),
@@ -46,8 +58,12 @@ fn main() {
     )
     .unwrap();
 
+    let tables_start = Instant::now();
     tables_section(&a, &mut out);
+    let tables_secs = tables_start.elapsed().as_secs_f64();
+    let figures_start = Instant::now();
     figures_section(&a, &mut out);
+    let figures_secs = figures_start.elapsed().as_secs_f64();
 
     writeln!(out, "\n## Comparison summary\n").unwrap();
     let rows = take_comparisons();
@@ -58,529 +74,40 @@ fn main() {
     std::fs::write("EXPERIMENTS.md", &out).expect("write EXPERIMENTS.md");
     println!("{out}");
     eprintln!("wrote EXPERIMENTS.md ({holds}/{} checks hold)", rows.len());
-}
 
-fn tables_section(a: &Analyzed, out: &mut String) {
-    writeln!(out, "## Tables\n").unwrap();
-
-    // §4 corpus overview: initial period and full period.
-    let start = sixscope_types::SimTime::EPOCH;
-    let boundary = a.split_start();
-    let end = a.result.layout.end;
-    let initial = tables::corpus_overview(a, start, boundary);
-    let full = tables::corpus_overview(a, start, end);
-    writeln!(out, "```").unwrap();
-    out.push_str(&render::render_overview("initial 12 weeks", &initial));
-    out.push_str(&render::render_overview("full period", &full));
-    writeln!(out, "```").unwrap();
-    record(
-        "§4",
-        "full/initial packet ratio",
-        "~11x (51M vs 4.6M)",
-        format!(
-            "{:.1}x",
-            full.packets as f64 / initial.packets.max(1) as f64
-        ),
-        full.packets > 3 * initial.packets,
-    );
-    record(
-        "§4",
-        "/128 sessions exceed /64 sessions",
-        "754k vs 151k",
-        format!("{} vs {}", full.sessions128, full.sessions64),
-        full.sessions128 >= full.sessions64,
-    );
-
-    let t2 = tables::table2(a);
-    writeln!(out, "```\n{}```", render::render_table2(&t2)).unwrap();
-    let icmp = &t2.rows[0];
-    let udp = &t2.rows[1];
-    let tcp = &t2.rows[2];
-    record(
-        "Table 2",
-        "ICMPv6 packet share",
-        "66.2%",
-        format!("{:.1}%", icmp.packet_pct),
-        icmp.packet_pct > udp.packet_pct && icmp.packet_pct > tcp.packet_pct,
-    );
-    record(
-        "Table 2",
-        "TCP session share",
-        "92.8%",
-        format!("{:.1}%", tcp.session_pct),
-        tcp.session_pct > 50.0 && tcp.session_pct > icmp.session_pct,
-    );
-    record(
-        "Table 2",
-        "UDP packet share",
-        "23.4%",
-        format!("{:.1}%", udp.packet_pct),
-        udp.packet_pct > tcp.packet_pct,
-    );
-
-    let t3 = tables::table3(a);
-    writeln!(out, "```\n{}```", render::render_table3(&t3)).unwrap();
-    let randomized = t3
-        .iter()
-        .find(|r| r.address_type.to_string() == "randomized")
-        .unwrap();
-    let low_byte = t3
-        .iter()
-        .find(|r| r.address_type.to_string() == "low-byte")
-        .unwrap();
-    record(
-        "Table 3",
-        "randomized packet share",
-        "64.2%",
-        format!("{:.1}%", randomized.packet_pct),
-        randomized.packets > low_byte.packets,
-    );
-    record(
-        "Table 3",
-        "low-byte source share",
-        "89.7%",
-        format!("{:.1}%", low_byte.source_pct),
-        low_byte.source_pct > 50.0 && low_byte.source_pct > randomized.source_pct,
-    );
-
-    let t4 = tables::table4(a);
-    writeln!(out, "```\n{}```", render::render_table4(&t4)).unwrap();
-    record(
-        "Table 4",
-        "top TCP port",
-        "80 (87.2%)",
-        format!("{} ({:.1}%)", t4.tcp[0].port, t4.tcp[0].pct),
-        t4.tcp[0].port.to_string() == "80",
-    );
-    record(
-        "Table 4",
-        "top UDP label",
-        "Traceroute (71.4%)",
-        format!("{} ({:.1}%)", t4.udp[0].port, t4.udp[0].pct),
-        t4.udp[0].port.to_string() == "Traceroute",
-    );
-
-    let t5 = tables::table5(a);
-    writeln!(out, "```\n{}```", render::render_table5(&t5)).unwrap();
-    let col = |id: TelescopeId| t5.a.iter().find(|c| c.telescope == id).unwrap();
-    record(
-        "Table 5a",
-        "T1/T3 packet ratio (orders of magnitude)",
-        "~50,000x",
-        format!(
-            "{:.0}x",
-            col(TelescopeId::T1).packets as f64 / col(TelescopeId::T3).packets.max(1) as f64
-        ),
-        col(TelescopeId::T1).packets > 100 * col(TelescopeId::T3).packets.max(1),
-    );
-    record(
-        "Table 5a",
-        "T4/T3 packet ratio",
-        "~80x (two orders)",
-        format!(
-            "{:.0}x",
-            col(TelescopeId::T4).packets as f64 / col(TelescopeId::T3).packets.max(1) as f64
-        ),
-        col(TelescopeId::T4).packets > col(TelescopeId::T3).packets,
-    );
-    record(
-        "Table 5a",
-        "T2 vs T1 /128 sources",
-        "+380% (6611 vs 1386)",
-        format!(
-            "{} vs {}",
-            col(TelescopeId::T2).sources128,
-            col(TelescopeId::T1).sources128
-        ),
-        col(TelescopeId::T2).sources128 > col(TelescopeId::T1).sources128,
-    );
-    let ratio = |id: TelescopeId| col(id).sources128 as f64 / col(id).sources64.max(1) as f64;
-    record(
-        "Table 5a",
-        "T2 /128-to-/64 source ratio vs T1",
-        "~3x vs ~1.2x",
-        format!(
-            "{:.1}x vs {:.1}x",
-            ratio(TelescopeId::T2),
-            ratio(TelescopeId::T1)
-        ),
-        ratio(TelescopeId::T2) > ratio(TelescopeId::T1),
-    );
-
-    let t6 = tables::table6(a);
-    writeln!(out, "```\n{}```", render::render_table6(&t6)).unwrap();
-    let one_off = &t6.temporal[0];
-    let periodic = t6.temporal.iter().find(|r| r.label == "Periodic").unwrap();
-    record(
-        "Table 6",
-        "one-off scanner share",
-        "69.7%",
-        format!("{:.1}%", one_off.scanner_pct),
-        one_off.scanner_pct > 50.0,
-    );
-    record(
-        "Table 6",
-        "periodic session share",
-        "72.8%",
-        format!("{:.1}%", periodic.session_pct),
-        periodic.session_pct > periodic.scanner_pct && periodic.session_pct > 40.0,
-    );
-    let single = &t6.network[0];
-    record(
-        "Table 6",
-        "single-prefix scanner share",
-        "90.5%",
-        format!("{:.1}%", single.scanner_pct),
-        single.scanner_pct > 60.0,
-    );
-
-    let t7 = tables::table7(a);
-    writeln!(out, "```\n{}```", render::render_table7(&t7)).unwrap();
-    record(
-        "Table 7",
-        "top tool",
-        "RIPEAtlasProbe (54.8% of scanners)",
-        t7.first()
-            .map(|r| format!("{} ({:.1}%)", r.tool, r.scanner_pct))
-            .unwrap_or_default(),
-        t7.first().map(|r| r.tool.to_string()) == Some("RIPEAtlasProbe".into()),
-    );
-    record(
-        "Table 7",
-        "tools identified",
-        "7 public tools",
-        format!("{}", t7.len()),
-        t7.len() >= 5,
-    );
-
-    let t8 = tables::table8(a);
-    writeln!(out, "```\n{}```", render::render_table8(&t8)).unwrap();
-    let hosting = t8
-        .iter()
-        .find(|r| r.network_type.to_string() == "Hosting" && !r.without_heavy_hitters)
-        .unwrap();
-    let isp = t8
-        .iter()
-        .find(|r| r.network_type.to_string() == "ISP" && !r.without_heavy_hitters)
-        .unwrap();
-    record(
-        "Table 8",
-        "hosting + ISP scanner share",
-        "95.6%",
-        format!("{:.1}%", hosting.scanner_pct + isp.scanner_pct),
-        hosting.scanner_pct + isp.scanner_pct > 80.0,
-    );
-
-    let h: Headline = tables::headline(a);
-    writeln!(out, "```\n{}```", render::render_headline(&h)).unwrap();
-    record(
-        "§7.1",
-        "split /33 vs companion packets",
-        "+286%",
-        format!("{:+.0}%", h.split_vs_companion_packets_pct),
-        h.split_vs_companion_packets_pct > 50.0,
-    );
-    record(
-        "§7.1",
-        "weekly sources growth",
-        "+275%",
-        format!("{:+.0}%", h.weekly_sources_growth_pct),
-        h.weekly_sources_growth_pct > 50.0,
-    );
-    record(
-        "§7.1",
-        "weekly sessions growth",
-        "+555%",
-        format!("{:+.0}%", h.weekly_sessions_growth_pct),
-        h.weekly_sessions_growth_pct > 50.0,
-    );
-    record(
-        "§4.2",
-        "heavy hitters: count / packet share / session share",
-        "10 / 73% / 0.04%",
-        format!(
-            "{} / {:.0}% / {:.2}%",
-            h.heavy_hitters.len(),
-            h.heavy_packet_pct,
-            h.heavy_session_pct
-        ),
-        (5..=20).contains(&h.heavy_hitters.len())
-            && h.heavy_packet_pct > 40.0
-            && h.heavy_session_pct < 5.0,
-    );
-}
-
-fn figures_section(a: &Analyzed, out: &mut String) {
-    writeln!(out, "## Figures\n").unwrap();
-
-    let f3 = figures::fig3(a);
-    writeln!(
-        out,
-        "### Fig. 3 — new source /64 prefixes per baseline week\n```"
-    )
-    .unwrap();
-    for (week, n) in &f3 {
-        writeln!(out, "week {week:>2}: {n}").unwrap();
+    if timing {
+        let stages = [
+            ("setup", sim.setup),
+            ("generate", sim.generate),
+            ("deliver", sim.deliver),
+            ("sessionize", a.timings.sessionize),
+            ("index_build", a.timings.index_build),
+            ("tables", tables_secs),
+            ("figures", figures_secs),
+        ];
+        let total = t0.elapsed().as_secs_f64();
+        eprintln!("timing breakdown ({threads} worker thread(s)):");
+        for (name, secs) in stages {
+            eprintln!("  {name:<12} {secs:>8.3} s");
+        }
+        eprintln!("  {:<12} {total:>8.3} s", "total");
+        let json = Json::obj([
+            ("seed", Json::u(SEED)),
+            ("scale", Json::Num(scale)),
+            ("threads", Json::u(threads as u64)),
+            ("packets", Json::u(a.result.total_packets() as u64)),
+            (
+                "stages",
+                Json::Obj(
+                    stages
+                        .iter()
+                        .map(|&(name, secs)| (name.to_string(), Json::Num(secs)))
+                        .collect(),
+                ),
+            ),
+            ("total", Json::Num(total)),
+        ]);
+        std::fs::write("BENCH_repro.json", json.render() + "\n").expect("write BENCH_repro.json");
+        eprintln!("wrote BENCH_repro.json");
     }
-    writeln!(out, "```").unwrap();
-    let first_two: u64 = f3.iter().filter(|&&(w, _)| w < 2).map(|&(_, n)| n).sum();
-    let total: u64 = f3.iter().map(|&(_, n)| n).sum();
-    record(
-        "Fig. 3",
-        "new prefixes concentrate early (first 2 weeks share)",
-        "majority in ~2 weeks",
-        format!("{:.0}%", first_two as f64 / total.max(1) as f64 * 100.0),
-        first_two * 3 > total,
-    );
-
-    let f4 = figures::fig4(a);
-    writeln!(out, "### Fig. 4 — relative growth (quartile samples)\n```").unwrap();
-    out.push_str(&render::render_growth(&f4));
-    writeln!(out, "```").unwrap();
-    let packets = f4.iter().find(|c| c.label == "packets").unwrap();
-    let mid = packets.points[packets.points.len() / 2].1;
-    record(
-        "Fig. 4",
-        "packet growth is discontinuous (mid-run share)",
-        "step-like, < linear at midpoint",
-        format!("{:.0}% at half time", mid * 100.0),
-        mid < 0.75,
-    );
-
-    let f5 = figures::fig5(a);
-    writeln!(
-        out,
-        "### Fig. 5 — heavy-hitter daily activity: {} bubbles across {} sources\n",
-        f5.len(),
-        f5.iter()
-            .map(|b| b.source)
-            .collect::<std::collections::BTreeSet<_>>()
-            .len()
-    )
-    .unwrap();
-    record(
-        "Fig. 5",
-        "heavy hitters burst in short windows",
-        "few active days each",
-        format!("{} bubbles", f5.len()),
-        !f5.is_empty(),
-    );
-
-    let f7a = figures::fig7a(a);
-    let sum = |id: TelescopeId| f7a[&id].iter().map(|&(_, n)| n).sum::<u64>();
-    writeln!(
-        out,
-        "### Fig. 7a — initial-period packets/hour totals: T1={} T2={} T3={} T4={}\n",
-        sum(TelescopeId::T1),
-        sum(TelescopeId::T2),
-        sum(TelescopeId::T3),
-        sum(TelescopeId::T4)
-    )
-    .unwrap();
-    record(
-        "Fig. 7a",
-        "announced telescopes dwarf covered ones",
-        "4–6 orders of magnitude",
-        format!(
-            "T1/T3 = {:.0}x",
-            sum(TelescopeId::T1) as f64 / sum(TelescopeId::T3).max(1) as f64
-        ),
-        sum(TelescopeId::T1) > 100 * sum(TelescopeId::T3).max(1),
-    );
-
-    let f7b = figures::fig7b(a);
-    writeln!(out, "### Fig. 7b — taxonomy (initial period)\n```").unwrap();
-    out.push_str(&render::render_taxonomy(&f7b));
-    writeln!(out, "```").unwrap();
-    let structured: u64 = f7b
-        .iter()
-        .filter(|c| c.addr_selection.to_string() == "structured")
-        .map(|c| c.sessions)
-        .sum();
-    let total7b: u64 = f7b.iter().map(|c| c.sessions).sum();
-    record(
-        "Fig. 7b",
-        "structured address selection dominates",
-        "most sessions structured",
-        format!("{:.0}%", structured as f64 / total7b.max(1) as f64 * 100.0),
-        structured * 2 > total7b,
-    );
-
-    let (as_upset, src_upset) = figures::fig8(a);
-    writeln!(
-        out,
-        "### Fig. 8 — UpSet: {} ASes, {} sources; exclusive source share {:.0}%\n",
-        as_upset.universe,
-        src_upset.universe,
-        src_upset.exclusive_share() * 100.0
-    )
-    .unwrap();
-    record(
-        "Fig. 8",
-        "sources exclusive to one telescope",
-        "≈90%",
-        format!("{:.0}%", src_upset.exclusive_share() * 100.0),
-        src_upset.exclusive_share() > 0.6,
-    );
-
-    let f9 = figures::fig9(a);
-    let weekly_sum = |id: TelescopeId, lo: u64, hi: u64| {
-        f9[&id]
-            .iter()
-            .filter(|&&(w, _)| w >= lo && w < hi)
-            .map(|&(_, n)| n)
-            .sum::<u64>()
-    };
-    writeln!(out, "### Fig. 9 — weekly sessions per telescope (totals)\n").unwrap();
-    record(
-        "Fig. 9",
-        "T1 weekly sessions rise after the split begins",
-        "stable → rising",
-        format!(
-            "baseline {} vs split {}",
-            weekly_sum(TelescopeId::T1, 0, 13),
-            weekly_sum(TelescopeId::T1, 13, 45)
-        ),
-        weekly_sum(TelescopeId::T1, 13, 45) > weekly_sum(TelescopeId::T1, 0, 13),
-    );
-
-    let f10 = figures::fig10(a);
-    writeln!(out, "### Fig. 10 — cumulative sessions per prefix\n```").unwrap();
-    for g in &f10 {
-        let last = g.points.last().map_or(0, |&(_, n)| n);
-        writeln!(out, "{:<28} {:>8} sessions", g.prefix.to_string(), last).unwrap();
-    }
-    writeln!(out, "```").unwrap();
-    let deep = f10.iter().filter(|g| g.prefix.len() >= 40).count();
-    record(
-        "Fig. 10",
-        "more-specific prefixes attract sessions once announced",
-        "every announced prefix gains",
-        format!("{} prefixes ≥/40 with sessions", deep),
-        deep >= 2,
-    );
-
-    let f11 = figures::fig11(a);
-    writeln!(out, "### Fig. 11 — bi-weekly T1 vs rest\n```").unwrap();
-    out.push_str(&render::render_biweekly(&f11));
-    writeln!(out, "```").unwrap();
-    let t1_first: u64 = f11.t1.iter().take(3).map(|&(_, n, _)| n).sum();
-    let t1_last: u64 = f11.t1.iter().rev().take(3).map(|&(_, n, _)| n).sum();
-    record(
-        "Fig. 11",
-        "T1 sessions grow across split cycles",
-        "monotone-ish growth",
-        format!("first 3 buckets {} vs last 3 {}", t1_first, t1_last),
-        t1_last > t1_first,
-    );
-
-    let (structured_m, random_m) = figures::fig12(a);
-    writeln!(out, "### Fig. 12/13 — nibble matrices\n```").unwrap();
-    if let Some(m) = &structured_m {
-        writeln!(out, "structured sample:").unwrap();
-        out.push_str(&render::render_nibbles(m, 8));
-    }
-    if let Some(m) = &random_m {
-        writeln!(out, "random sample:").unwrap();
-        out.push_str(&render::render_nibbles(m, 8));
-    }
-    if let Some(m) = figures::fig13(a) {
-        writeln!(out, "structured sample, sorted (Fig. 13):").unwrap();
-        out.push_str(&render::render_nibbles(&m, 8));
-    }
-    writeln!(out, "```").unwrap();
-    record(
-        "Fig. 12",
-        "a structured and a random large session exist",
-        "both shown",
-        format!(
-            "structured: {}, random: {}",
-            structured_m.is_some(),
-            random_m.is_some()
-        ),
-        structured_m.is_some() && random_m.is_some(),
-    );
-
-    let f14 = figures::fig14(a);
-    writeln!(
-        out,
-        "### Fig. 14 — packets per scanner type across /48 subnets\n```"
-    )
-    .unwrap();
-    for (class, counts) in &f14 {
-        writeln!(
-            out,
-            "{:<14} {} subnets, top {:?}",
-            class.to_string(),
-            counts.len(),
-            &counts[..counts.len().min(5)]
-        )
-        .unwrap();
-    }
-    writeln!(out, "```").unwrap();
-    let breadth = |c: TemporalClass| f14.get(&c).map_or(0, |v| v.len());
-    record(
-        "Fig. 14",
-        "intermittent scanners cover subnets more evenly than one-off",
-        "intermittent widest",
-        format!(
-            "one-off {} vs intermittent {} subnets",
-            breadth(TemporalClass::OneOff),
-            breadth(TemporalClass::Intermittent)
-        ),
-        breadth(TemporalClass::Intermittent) >= breadth(TemporalClass::OneOff),
-    );
-
-    let f15 = figures::fig15(a);
-    writeln!(out, "### Fig. 15 — taxonomy (T1, split period)\n```").unwrap();
-    out.push_str(&render::render_taxonomy(&f15));
-    writeln!(out, "```").unwrap();
-
-    let f16a = figures::fig16a(a);
-    let f16b = figures::fig16b(a);
-    writeln!(
-        out,
-        "### Fig. 16 — cross-telescope sources: {} all-telescope bubbles; T1∩T2 overlap {}\n",
-        f16a.len(),
-        f16b.total
-    )
-    .unwrap();
-    record(
-        "Fig. 16b",
-        "T1∩T2 source overlap exists and most co-observations cluster",
-        "75% same-day initially, declining",
-        format!("{} overlapping sources", f16b.total),
-        f16b.total > 0,
-    );
-
-    let f17 = figures::fig17(a);
-    writeln!(
-        out,
-        "### Fig. 17 — NIST outcomes (T1, ≥100-packet sessions)\n```"
-    )
-    .unwrap();
-    let rate = |iid: bool| {
-        let (p, f) = f17
-            .iter()
-            .filter(|c| c.iid_part == iid)
-            .fold((0u64, 0u64), |(p, f), c| (p + c.pass, f + c.fail));
-        (p, f, p as f64 / (p + f).max(1) as f64)
-    };
-    let (ip, if_, irate) = rate(true);
-    let (sp, sf, srate) = rate(false);
-    writeln!(
-        out,
-        "IID    : pass {ip}, fail {if_} ({:.0}%)",
-        irate * 100.0
-    )
-    .unwrap();
-    writeln!(out, "subnet : pass {sp}, fail {sf} ({:.0}%)", srate * 100.0).unwrap();
-    writeln!(out, "```").unwrap();
-    record(
-        "Fig. 17",
-        "IIDs pass NIST more often than subnet bits",
-        "IID > subnet pass rate",
-        format!("{:.0}% vs {:.0}%", irate * 100.0, srate * 100.0),
-        irate >= srate,
-    );
 }

@@ -5,6 +5,8 @@
 use sixscope::{Analyzed, Experiment};
 use std::sync::{Mutex, OnceLock};
 
+pub mod report;
+
 /// The default repro seed.
 pub const SEED: u64 = 20230824; // the day T1 was first announced in the study
 

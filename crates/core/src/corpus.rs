@@ -1,12 +1,14 @@
-//! The analyzed corpus: experiment output plus pre-computed sessions and
-//! metadata join helpers.
+//! The analyzed corpus: experiment output plus pre-computed sessions, the
+//! columnar corpus index and metadata join helpers.
 
-use sixscope_analysis::classify::{profile_scanners, ScannerProfile};
-use sixscope_sim::{ExperimentResult, Scenario, ScenarioConfig};
+use crate::index::CorpusIndex;
+use sixscope_analysis::classify::ScannerProfile;
+use sixscope_sim::{ExperimentResult, Scenario, ScenarioConfig, ScenarioTimings};
 use sixscope_telescope::{AggLevel, Capture, ScanSession, Sessionizer, SourceKey, TelescopeId};
 use sixscope_types::{map_indexed, num_threads, AsInfo, Asn, PrefixTrie, SimTime};
 use std::collections::BTreeMap;
 use std::net::Ipv6Addr;
+use std::time::Instant;
 
 /// The entry point: configures and runs the full study.
 pub struct Experiment {
@@ -31,9 +33,24 @@ impl Experiment {
 
     /// Runs the experiment and builds the analyzed corpus.
     pub fn run(&self) -> Analyzed {
-        let result = Scenario::new(self.config.clone()).run();
-        Analyzed::from_result(result)
+        self.run_timed().0
     }
+
+    /// Runs the experiment and reports per-stage simulation wall-clock
+    /// (analysis timings live on [`Analyzed::timings`]).
+    pub fn run_timed(&self) -> (Analyzed, ScenarioTimings) {
+        let (result, timings) = Scenario::new(self.config.clone()).run_timed();
+        (Analyzed::from_result(result), timings)
+    }
+}
+
+/// Wall-clock seconds of the analysis stages in [`Analyzed::from_result`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AnalysisTimings {
+    /// The eight sessionization passes.
+    pub sessionize: f64,
+    /// The corpus-index build.
+    pub index_build: f64,
 }
 
 /// Experiment output with sessions, scanner profiles and metadata joins.
@@ -44,6 +61,10 @@ pub struct Analyzed {
     pub sessions128: BTreeMap<TelescopeId, Vec<ScanSession>>,
     /// Scan sessions at /64 aggregation, per telescope.
     pub sessions64: BTreeMap<TelescopeId, Vec<ScanSession>>,
+    /// The columnar corpus index the tables and figures reduce over.
+    pub index: CorpusIndex,
+    /// Wall-clock of the analysis stages that built this corpus.
+    pub timings: AnalysisTimings,
     /// Source /64-subnet → origin AS (the IP-to-AS join of the study).
     asn_by_subnet: PrefixTrie<Asn>,
 }
@@ -56,6 +77,7 @@ impl Analyzed {
     /// on worker threads (`SIXSCOPE_THREADS` caps them; 1 forces serial).
     /// Results are keyed by telescope, so scheduling cannot affect output.
     pub fn from_result(result: ExperimentResult) -> Analyzed {
+        let sessionize_start = Instant::now();
         let jobs: Vec<(TelescopeId, AggLevel)> = TelescopeId::ALL
             .into_iter()
             .flat_map(|id| [(id, AggLevel::Addr128), (id, AggLevel::Subnet64)])
@@ -72,6 +94,10 @@ impl Analyzed {
                 other => unreachable!("no {other:?} sessionization job scheduled"),
             };
         }
+        let sessionize = sessionize_start.elapsed().as_secs_f64();
+        let index_start = Instant::now();
+        let index = CorpusIndex::build(&result, &sessions128, &sessions64);
+        let index_build = index_start.elapsed().as_secs_f64();
         let mut asn_by_subnet = PrefixTrie::new();
         for scanner in &result.population.scanners {
             asn_by_subnet.insert(scanner.source.subnet(), scanner.asn);
@@ -80,6 +106,11 @@ impl Analyzed {
             result,
             sessions128,
             sessions64,
+            index,
+            timings: AnalysisTimings {
+                sessionize,
+                index_build,
+            },
             asn_by_subnet,
         }
     }
@@ -146,25 +177,26 @@ impl Analyzed {
             .collect()
     }
 
-    /// Temporal scanner profiles of the T1 split period (owned clone of
-    /// the relevant sessions, indices referencing the returned vector).
-    pub fn t1_split_profiles(&self) -> (Vec<ScanSession>, Vec<ScannerProfile>) {
-        let sessions: Vec<ScanSession> = self.t1_split_sessions().into_iter().cloned().collect();
-        let profiles = profile_scanners(&sessions);
-        (sessions, profiles)
+    /// Temporal scanner profiles of the T1 split period. The profiles are
+    /// pre-computed on the corpus index; `session_indices` reference the
+    /// returned slice.
+    pub fn t1_split_profiles(&self) -> (&[ScanSession], &[ScannerProfile]) {
+        let window = &self.index.split().window;
+        (
+            &self.sessions128[&TelescopeId::T1][window.range.clone()],
+            &window.profiles,
+        )
     }
 
-    /// Distinct /128 sources at one telescope over a time range.
+    /// Distinct /128 sources at one telescope over a time range (ascending).
     pub fn sources128(&self, id: TelescopeId, from: SimTime, until: SimTime) -> Vec<SourceKey> {
-        let mut out: Vec<SourceKey> = self.result.captures[&id]
-            .packets()
-            .iter()
-            .filter(|p| p.ts >= from && p.ts < until)
-            .map(|p| SourceKey::new(p.src, AggLevel::Addr128))
-            .collect();
-        out.sort();
-        out.dedup();
-        out
+        let col = self.index.telescope(id);
+        let mut ids: Vec<u32> = col.src128[col.range(from, until)].to_vec();
+        ids.sort_unstable();
+        ids.dedup();
+        ids.into_iter()
+            .map(|i| self.index.sources.key128(i))
+            .collect()
     }
 }
 

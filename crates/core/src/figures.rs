@@ -4,12 +4,12 @@
 //! plain structs — the same values the paper's plotting scripts consumed.
 
 use crate::corpus::Analyzed;
-use sixscope_analysis::classify::{addr_selection, AddrSelection, TemporalClass};
-use sixscope_analysis::heavy::heavy_hitters;
+use crate::index::{ProfiledWindow, NO_ID};
+use sixscope_analysis::classify::{AddrSelection, TemporalClass};
 use sixscope_analysis::intersect::{TelescopeSet, UpSet};
 use sixscope_analysis::nist::{BitSequence, NistTest};
 use sixscope_analysis::stats::{bucket_counts, cumulative_distinct};
-use sixscope_telescope::{AggLevel, ScanSession, SourceKey, TelescopeId};
+use sixscope_telescope::{ScanSession, SourceKey, TelescopeId};
 use sixscope_types::{nibble, Ipv6Prefix, SimDuration, SimTime};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -17,20 +17,22 @@ use std::collections::{BTreeMap, BTreeSet};
 /// the initial observation period.
 pub fn fig3(a: &Analyzed) -> Vec<(u64, u64)> {
     let boundary = a.split_start();
-    let mut seen: BTreeSet<SourceKey> = BTreeSet::new();
+    let idx = &a.index;
     let mut per_week: BTreeMap<u64, u64> = BTreeMap::new();
-    // Iterate all telescopes in time order.
-    let mut events: Vec<(SimTime, SourceKey)> = Vec::new();
+    // Iterate all telescopes in time order (/64 ids order like their keys,
+    // so the sort tie-break matches the key-based one).
+    let mut events: Vec<(SimTime, u32)> = Vec::new();
     for id in TelescopeId::ALL {
-        for p in a.capture(id).packets() {
-            if p.ts < boundary {
-                events.push((p.ts, SourceKey::new(p.src, AggLevel::Subnet64)));
-            }
+        let col = idx.telescope(id);
+        for i in col.range_until(boundary) {
+            events.push((col.ts[i], col.src64[i]));
         }
     }
     events.sort();
+    let mut seen = vec![false; idx.sources.len64()];
     for (ts, key) in events {
-        if seen.insert(key) {
+        if !seen[key as usize] {
+            seen[key as usize] = true;
             *per_week.entry(ts.week()).or_default() += 1;
         }
     }
@@ -52,11 +54,13 @@ pub fn fig4(a: &Analyzed) -> Vec<GrowthCurve> {
     let week = SimDuration::weeks(1);
     let mut curves = Vec::new();
 
+    let idx = &a.index;
     // Packets: cumulative count per week.
     let mut per_week: BTreeMap<u64, u64> = BTreeMap::new();
     for id in TelescopeId::ALL {
-        for p in a.capture(id).packets() {
-            *per_week.entry(p.ts.week()).or_default() += 1;
+        let col = idx.telescope(id);
+        for &w in &col.week {
+            *per_week.entry(w as u64).or_default() += 1;
         }
     }
     let mut cum = 0u64;
@@ -69,17 +73,22 @@ pub fn fig4(a: &Analyzed) -> Vec<GrowthCurve> {
         .collect();
     curves.push(normalize("packets", packet_pts));
 
-    // Distinct ASes, /128 and /64 sources over time.
+    // Distinct ASes, /128 and /64 sources over time. Event order (telescope
+    // order, arrival order within) decides which occurrence is "first" —
+    // it must stay exactly as the per-packet walk produced it.
     let mut as_events = Vec::new();
     let mut s128_events = Vec::new();
     let mut s64_events = Vec::new();
     for id in TelescopeId::ALL {
-        for p in a.capture(id).packets() {
-            if let Some(asn) = a.asn_of(p.src) {
-                as_events.push((p.ts, asn.get()));
+        let col = idx.telescope(id);
+        for i in 0..col.len() {
+            let src = col.src128[i];
+            let asn = idx.sources.asn(src);
+            if asn != NO_ID {
+                as_events.push((col.ts[i], asn));
             }
-            s128_events.push((p.ts, SourceKey::new(p.src, AggLevel::Addr128)));
-            s64_events.push((p.ts, SourceKey::new(p.src, AggLevel::Subnet64)));
+            s128_events.push((col.ts[i], src));
+            s64_events.push((col.ts[i], col.src64[i]));
         }
     }
     curves.push(normalize("ASes", cumulative_distinct(as_events, week)));
@@ -96,13 +105,13 @@ pub fn fig4(a: &Analyzed) -> Vec<GrowthCurve> {
     for (label, sel) in [("sessions /128", true), ("sessions /64", false)] {
         let mut per_week: BTreeMap<u64, u64> = BTreeMap::new();
         for id in TelescopeId::ALL {
-            let sessions: &[ScanSession] = if sel {
-                a.sessions128(id)
+            let cols = if sel {
+                idx.sessions128(id)
             } else {
-                a.sessions64(id)
+                idx.sessions64(id)
             };
-            for s in sessions {
-                *per_week.entry(s.start.week()).or_default() += 1;
+            for &start in &cols.start {
+                *per_week.entry(start.week()).or_default() += 1;
             }
         }
         let mut cum = 0u64;
@@ -141,28 +150,34 @@ pub struct ActivityBubble {
 
 /// Fig. 5: daily activity of the heavy hitters across telescopes.
 pub fn fig5(a: &Analyzed) -> Vec<ActivityBubble> {
-    let heavy: BTreeSet<SourceKey> = TelescopeId::ALL
-        .iter()
-        .flat_map(|&id| heavy_hitters(a.capture(id)))
-        .map(|h| h.source)
-        .collect();
-    daily_activity(a, &heavy)
+    let mut member = vec![false; a.index.sources.len128()];
+    for id in TelescopeId::ALL {
+        for h in a.index.heavy(id) {
+            let src = a.index.sources.id128(&h.source).expect("interned");
+            member[src as usize] = true;
+        }
+    }
+    daily_activity(a, &member)
 }
 
-fn daily_activity(a: &Analyzed, sources: &BTreeSet<SourceKey>) -> Vec<ActivityBubble> {
-    let mut counts: BTreeMap<(SourceKey, TelescopeId, u64), u64> = BTreeMap::new();
+/// Daily (source, telescope, day) packet counts for the sources whose id
+/// is flagged in `member`. Id-keyed grouping iterates exactly like the
+/// key-based map it replaces.
+fn daily_activity(a: &Analyzed, member: &[bool]) -> Vec<ActivityBubble> {
+    let mut counts: BTreeMap<(u32, TelescopeId, u64), u64> = BTreeMap::new();
     for id in TelescopeId::ALL {
-        for p in a.capture(id).packets() {
-            let key = SourceKey::new(p.src, AggLevel::Addr128);
-            if sources.contains(&key) {
-                *counts.entry((key, id, p.ts.day())).or_default() += 1;
+        let col = a.index.telescope(id);
+        for i in 0..col.len() {
+            let src = col.src128[i];
+            if member[src as usize] {
+                *counts.entry((src, id, col.day[i] as u64)).or_default() += 1;
             }
         }
     }
     counts
         .into_iter()
         .map(|((source, telescope, day), packets)| ActivityBubble {
-            source,
+            source: a.index.sources.key128(source),
             telescope,
             day,
             packets,
@@ -176,12 +191,8 @@ pub fn fig7a(a: &Analyzed) -> BTreeMap<TelescopeId, Vec<(u64, u64)>> {
     TelescopeId::ALL
         .into_iter()
         .map(|id| {
-            let times = a
-                .capture(id)
-                .packets()
-                .iter()
-                .filter(|p| p.ts < boundary)
-                .map(|p| p.ts);
+            let col = a.index.telescope(id);
+            let times = col.ts[col.range_until(boundary)].iter().copied();
             (id, bucket_counts(times, SimDuration::hours(1)))
         })
         .collect()
@@ -203,39 +214,40 @@ pub struct TaxonomyCell {
 
 /// Fig. 7(b): taxonomy classification of all telescopes, initial period.
 pub fn fig7b(a: &Analyzed) -> Vec<TaxonomyCell> {
-    let boundary = a.split_start();
-    taxonomy_cells(a, SimTime::EPOCH, boundary, &TelescopeId::ALL)
+    let mut cells: BTreeMap<(TelescopeId, TemporalClass, AddrSelection), u64> = BTreeMap::new();
+    for id in TelescopeId::ALL {
+        window_cells(a, id, a.index.initial(id), &mut cells);
+    }
+    collect_cells(cells)
 }
 
 /// Fig. 15: taxonomy classification of T1 during the split period.
 pub fn fig15(a: &Analyzed) -> Vec<TaxonomyCell> {
-    taxonomy_cells(a, a.split_start(), a.result.layout.end, &[TelescopeId::T1])
+    let mut cells: BTreeMap<(TelescopeId, TemporalClass, AddrSelection), u64> = BTreeMap::new();
+    window_cells(a, TelescopeId::T1, a.index.split_bounded(), &mut cells);
+    collect_cells(cells)
 }
 
-fn taxonomy_cells(
+/// Accumulates one profiled window's (temporal, address selection) cells
+/// from the cached per-session address selections.
+fn window_cells(
     a: &Analyzed,
-    from: SimTime,
-    until: SimTime,
-    telescopes: &[TelescopeId],
-) -> Vec<TaxonomyCell> {
-    let mut cells: BTreeMap<(TelescopeId, TemporalClass, AddrSelection), u64> = BTreeMap::new();
-    for &id in telescopes {
-        let capture = a.capture(id);
-        let sessions: Vec<ScanSession> = a
-            .sessions128(id)
-            .iter()
-            .filter(|s| s.start >= from && s.start < until)
-            .cloned()
-            .collect();
-        let profiles = sixscope_analysis::classify::profile_scanners(&sessions);
-        let prefix_len = capture.config().prefix.len();
-        for profile in &profiles {
-            for &idx in &profile.session_indices {
-                let sel = addr_selection(&sessions[idx], capture, prefix_len);
-                *cells.entry((id, profile.temporal, sel)).or_default() += 1;
-            }
+    id: TelescopeId,
+    window: &ProfiledWindow,
+    cells: &mut BTreeMap<(TelescopeId, TemporalClass, AddrSelection), u64>,
+) {
+    let sel = a.index.addr_sel(id);
+    for profile in &window.profiles {
+        for &idx in &profile.session_indices {
+            let sel = sel[window.range.start + idx];
+            *cells.entry((id, profile.temporal, sel)).or_default() += 1;
         }
     }
+}
+
+fn collect_cells(
+    cells: BTreeMap<(TelescopeId, TemporalClass, AddrSelection), u64>,
+) -> Vec<TaxonomyCell> {
     cells
         .into_iter()
         .map(|((telescope, temporal, sel), sessions)| TaxonomyCell {
@@ -251,26 +263,21 @@ fn taxonomy_cells(
 /// across the four telescopes, over the initial period.
 pub fn fig8(a: &Analyzed) -> (UpSet, UpSet) {
     let boundary = a.split_start();
+    let idx = &a.index;
     let mut as_obs: BTreeMap<u32, TelescopeSet> = BTreeMap::new();
-    let mut src_obs: BTreeMap<SourceKey, TelescopeSet> = BTreeMap::new();
+    let mut src_obs: Vec<TelescopeSet> = vec![TelescopeSet::default(); idx.sources.len128()];
     for id in TelescopeId::ALL {
-        for p in a.capture(id).packets() {
-            if p.ts >= boundary {
-                continue;
+        let col = idx.telescope(id);
+        for i in col.range_until(boundary) {
+            let src = col.src128[i];
+            let asn = idx.sources.asn(src);
+            if asn != NO_ID {
+                as_obs.entry(asn).or_default().insert(id);
             }
-            if let Some(asn) = a.asn_of(p.src) {
-                as_obs.entry(asn.get()).or_default().insert(id);
-            }
-            src_obs
-                .entry(SourceKey::new(p.src, AggLevel::Addr128))
-                .or_default()
-                .insert(id);
+            src_obs[src as usize].insert(id);
         }
     }
-    (
-        UpSet::from_observations(&as_obs),
-        UpSet::from_observations(&src_obs),
-    )
+    (UpSet::from_observations(&as_obs), UpSet::from_sets(src_obs))
 }
 
 /// Fig. 9: weekly scan sessions per telescope (full period).
@@ -278,7 +285,7 @@ pub fn fig9(a: &Analyzed) -> BTreeMap<TelescopeId, Vec<(u64, u64)>> {
     TelescopeId::ALL
         .into_iter()
         .map(|id| {
-            let times = a.sessions128(id).iter().map(|s| s.start);
+            let times = a.index.sessions128(id).start.iter().copied();
             (id, bucket_counts(times, SimDuration::weeks(1)))
         })
         .collect()
@@ -357,12 +364,13 @@ pub fn fig11(a: &Analyzed) -> BiweeklySeries {
         (&[TelescopeId::T2, TelescopeId::T3, TelescopeId::T4][..], 1),
     ] {
         let mut sessions: BTreeMap<u64, u64> = BTreeMap::new();
-        let mut sources: BTreeMap<u64, BTreeSet<SourceKey>> = BTreeMap::new();
+        let mut sources: BTreeMap<u64, BTreeSet<u32>> = BTreeMap::new();
         for &id in ids {
-            for s in a.sessions128(id) {
-                let bucket = s.start.as_secs() / two_weeks;
+            let cols = a.index.sessions128(id);
+            for i in 0..cols.len() {
+                let bucket = cols.start[i].as_secs() / two_weeks;
                 *sessions.entry(bucket).or_default() += 1;
-                sources.entry(bucket).or_default().insert(s.source);
+                sources.entry(bucket).or_default().insert(cols.source[i]);
             }
         }
         let series: Vec<(u64, u64, u64)> = sessions
@@ -391,29 +399,35 @@ pub struct NibbleMatrix {
 /// Fig. 12: nibble matrices of (a) the largest structured and (b) the
 /// largest random session at T1, targets in arrival order.
 pub fn fig12(a: &Analyzed) -> (Option<NibbleMatrix>, Option<NibbleMatrix>) {
-    let capture = a.capture(TelescopeId::T1);
-    let prefix_len = capture.config().prefix.len();
-    let mut best_structured: Option<&ScanSession> = None;
-    let mut best_random: Option<&ScanSession> = None;
-    for s in a.sessions128(TelescopeId::T1) {
-        if s.packet_count() < 100 {
+    let cols = a.index.sessions128(TelescopeId::T1);
+    let sel = a.index.addr_sel(TelescopeId::T1);
+    let mut best_structured: Option<usize> = None;
+    let mut best_random: Option<usize> = None;
+    for (i, &selection) in sel.iter().enumerate() {
+        if cols.packets[i] < 100 {
             continue;
         }
-        match addr_selection(s, capture, prefix_len) {
+        match selection {
             AddrSelection::Structured => {
-                if best_structured.is_none_or(|b| s.packet_count() > b.packet_count()) {
-                    best_structured = Some(s);
+                if best_structured.is_none_or(|b| cols.packets[i] > cols.packets[b]) {
+                    best_structured = Some(i);
                 }
             }
             AddrSelection::Random => {
-                if best_random.is_none_or(|b| s.packet_count() > b.packet_count()) {
-                    best_random = Some(s);
+                if best_random.is_none_or(|b| cols.packets[i] > cols.packets[b]) {
+                    best_random = Some(i);
                 }
             }
             AddrSelection::Unknown => {}
         }
     }
-    let matrix = |s: &ScanSession| NibbleMatrix {
+    let matrix = |i: usize| matrix_of(&a.sessions128(TelescopeId::T1)[i], a);
+    (best_structured.map(matrix), best_random.map(matrix))
+}
+
+fn matrix_of(s: &ScanSession, a: &Analyzed) -> NibbleMatrix {
+    let capture = a.capture(TelescopeId::T1);
+    NibbleMatrix {
         source: s.source,
         rows: s
             .packets(capture)
@@ -422,8 +436,7 @@ pub fn fig12(a: &Analyzed) -> (Option<NibbleMatrix>, Option<NibbleMatrix>) {
                 std::array::from_fn(|i| nibble(bits, i))
             })
             .collect(),
-    };
-    (best_structured.map(matrix), best_random.map(matrix))
+    }
 }
 
 /// Fig. 13: the structured matrix of Fig. 12(a) with rows sorted
@@ -443,7 +456,7 @@ pub fn fig14(a: &Analyzed) -> BTreeMap<TemporalClass, Vec<u64>> {
     let capture = a.capture(TelescopeId::T1);
     let mut per_class_subnet: BTreeMap<TemporalClass, BTreeMap<u16, u64>> = BTreeMap::new();
     let t1 = a.result.layout.t1;
-    for profile in &profiles {
+    for profile in profiles {
         let class_map = per_class_subnet.entry(profile.temporal).or_default();
         for &idx in &profile.session_indices {
             for p in sessions[idx].packets(capture) {
@@ -468,20 +481,15 @@ pub fn fig14(a: &Analyzed) -> BTreeMap<TemporalClass, Vec<u64>> {
 /// Fig. 16(a): daily activity of the /128 sources observed at *all four*
 /// telescopes over the full period.
 pub fn fig16a(a: &Analyzed) -> Vec<ActivityBubble> {
-    let mut obs: BTreeMap<SourceKey, TelescopeSet> = BTreeMap::new();
+    let idx = &a.index;
+    let mut obs: Vec<TelescopeSet> = vec![TelescopeSet::default(); idx.sources.len128()];
     for id in TelescopeId::ALL {
-        for p in a.capture(id).packets() {
-            obs.entry(SourceKey::new(p.src, AggLevel::Addr128))
-                .or_default()
-                .insert(id);
+        for &src in &idx.telescope(id).src128 {
+            obs[src as usize].insert(id);
         }
     }
-    let everywhere: BTreeSet<SourceKey> = obs
-        .into_iter()
-        .filter(|(_, set)| set.len() == 4)
-        .map(|(k, _)| k)
-        .collect();
-    daily_activity(a, &everywhere)
+    let member: Vec<bool> = obs.iter().map(|set| set.len() == 4).collect();
+    daily_activity(a, &member)
 }
 
 /// Fig. 16(b): cumulative share of T1∩T2 sources first co-observed on the
@@ -496,22 +504,25 @@ pub struct OverlapShares {
 
 /// Computes Fig. 16(b).
 pub fn fig16b(a: &Analyzed) -> OverlapShares {
-    let days = |id: TelescopeId| -> BTreeMap<SourceKey, BTreeSet<u64>> {
-        let mut m: BTreeMap<SourceKey, BTreeSet<u64>> = BTreeMap::new();
-        for p in a.capture(id).packets() {
-            m.entry(SourceKey::new(p.src, AggLevel::Addr128))
-                .or_default()
-                .insert(p.ts.day());
+    let idx = &a.index;
+    let days = |id: TelescopeId| -> Vec<BTreeSet<u64>> {
+        let mut m: Vec<BTreeSet<u64>> = vec![BTreeSet::new(); idx.sources.len128()];
+        let col = idx.telescope(id);
+        for i in 0..col.len() {
+            m[col.src128[i] as usize].insert(col.day[i] as u64);
         }
         m
     };
     let d1 = days(TelescopeId::T1);
     let d2 = days(TelescopeId::T2);
-    // For each overlapping source: the first day it was seen at both, and
-    // whether any day is shared.
+    // For each overlapping source (ascending id ≡ ascending key): the
+    // first day it was seen at both, and whether any day is shared.
     let mut events: Vec<(u64, bool)> = Vec::new();
-    for (key, days1) in &d1 {
-        let Some(days2) = d2.get(key) else { continue };
+    for (i, days1) in d1.iter().enumerate() {
+        if days1.is_empty() || d2[i].is_empty() {
+            continue;
+        }
+        let days2 = &d2[i];
         let same_day = days1.intersection(days2).next().is_some();
         let first_both = (*days1.iter().next().unwrap()).max(*days2.iter().next().unwrap());
         events.push((first_both, same_day));
@@ -558,7 +569,7 @@ pub fn fig17(a: &Analyzed) -> Vec<NistFigureCell> {
     let (sessions, profiles) = a.t1_split_profiles();
     let capture = a.capture(TelescopeId::T1);
     let mut cells: BTreeMap<(NistTest, bool, TemporalClass), (u64, u64)> = BTreeMap::new();
-    for profile in &profiles {
+    for profile in profiles {
         for &idx in &profile.session_indices {
             let s = &sessions[idx];
             if s.packet_count() < 100 {

@@ -11,7 +11,8 @@
 //!   T4 — against a calibrated scanner ecosystem, entirely in-process and
 //!   deterministic from one seed;
 //! * [`Analyzed`] holds the captures with pre-computed scan sessions at
-//!   /128 and /64 source aggregation;
+//!   /128 and /64 source aggregation, plus the columnar [`CorpusIndex`]
+//!   every table and figure reduces over;
 //! * [`tables`] and [`figures`] regenerate every table and figure of the
 //!   paper's evaluation from an [`Analyzed`] corpus;
 //! * [`render`] prints them as aligned text for EXPERIMENTS.md.
@@ -30,11 +31,13 @@
 
 pub mod corpus;
 pub mod figures;
+pub mod index;
 pub mod json;
 pub mod render;
 pub mod tables;
 
 pub use corpus::{Analyzed, Experiment};
+pub use index::CorpusIndex;
 
 // Re-export the workspace surface so downstream users need one dependency.
 pub use sixscope_analysis as analysis;

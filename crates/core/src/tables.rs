@@ -3,14 +3,15 @@
 //! prints them in the paper's row format.
 
 use crate::corpus::Analyzed;
-use sixscope_analysis::addrtype::{classify, AddressType};
+use crate::index::{decode_port, proto_code, NO_ID, PORT_NONE, PROTO_TCP, PROTO_UDP};
+use sixscope_analysis::addrtype::AddressType;
 use sixscope_analysis::classify::{
     network_selection, CycleCounts, NetworkSelection, TemporalClass,
 };
 use sixscope_analysis::fingerprint::{identify, KnownTool, ToolMatch};
-use sixscope_analysis::heavy::{heavy_hitters, HeavyHitter};
+use sixscope_analysis::heavy::HeavyHitter;
 use sixscope_analysis::stats::percent_change;
-use sixscope_telescope::{AggLevel, Protocol, ScanSession, SourceKey, TelescopeId};
+use sixscope_telescope::{Protocol, SourceKey, TelescopeId};
 use sixscope_types::ports::PortLabel;
 use sixscope_types::{Ipv6Prefix, NetworkType};
 use std::collections::{BTreeMap, BTreeSet};
@@ -41,41 +42,39 @@ pub fn corpus_overview(
     from: sixscope_types::SimTime,
     until: sixscope_types::SimTime,
 ) -> CorpusOverview {
+    let idx = &a.index;
     let mut packets = 0u64;
-    let mut s128: BTreeSet<SourceKey> = BTreeSet::new();
-    let mut s64: BTreeSet<SourceKey> = BTreeSet::new();
-    let mut ases: BTreeSet<u32> = BTreeSet::new();
-    let mut countries: BTreeSet<String> = BTreeSet::new();
+    let mut seen128 = vec![false; idx.sources.len128()];
+    let mut seen64 = vec![false; idx.sources.len64()];
     for id in TelescopeId::ALL {
-        for p in a.capture(id).packets() {
-            if p.ts < from || p.ts >= until {
-                continue;
-            }
-            packets += 1;
-            s128.insert(SourceKey::new(p.src, AggLevel::Addr128));
-            s64.insert(SourceKey::new(p.src, AggLevel::Subnet64));
-            if let Some(info) = a.as_info_of(p.src) {
-                ases.insert(info.asn.get());
-                countries.insert(info.country.to_string());
-            }
+        let col = idx.telescope(id);
+        let range = col.range(from, until);
+        packets += range.len() as u64;
+        for i in range {
+            seen128[col.src128[i] as usize] = true;
+            seen64[col.src64[i] as usize] = true;
         }
     }
-    let count = |sessions: &[ScanSession]| {
-        sessions
-            .iter()
-            .filter(|s| s.start >= from && s.start < until)
-            .count() as u64
-    };
+    // AS metadata is a function of the source, so distinct ASes/countries
+    // over packets equal distinct ASes/countries over the seen sources.
+    let mut ases: BTreeSet<u32> = BTreeSet::new();
+    let mut countries: BTreeSet<u32> = BTreeSet::new();
+    for (i, &seen) in seen128.iter().enumerate() {
+        if seen && idx.sources.info_asn(i as u32) != NO_ID {
+            ases.insert(idx.sources.info_asn(i as u32));
+            countries.insert(idx.sources.country(i as u32));
+        }
+    }
     let mut sessions128 = 0;
     let mut sessions64 = 0;
     for id in TelescopeId::ALL {
-        sessions128 += count(a.sessions128(id));
-        sessions64 += count(a.sessions64(id));
+        sessions128 += idx.sessions128(id).range(from, until).len() as u64;
+        sessions64 += idx.sessions64(id).range(from, until).len() as u64;
     }
     CorpusOverview {
         packets,
-        sources128: s128.len() as u64,
-        sources64: s64.len() as u64,
+        sources128: seen128.iter().filter(|&&s| s).count() as u64,
+        sources64: seen64.iter().filter(|&&s| s).count() as u64,
         sessions128,
         sessions64,
         ases: ases.len() as u64,
@@ -117,44 +116,53 @@ pub struct Table2 {
 
 /// Computes Table 2 over the full corpus (all telescopes, full period).
 pub fn table2(a: &Analyzed) -> Table2 {
-    let mut packets: BTreeMap<Protocol, u64> = BTreeMap::new();
+    let idx = &a.index;
+    let mut packets = [0u64; 4];
     let mut total_packets = 0u64;
-    let mut sources_by_proto: BTreeMap<Protocol, BTreeSet<SourceKey>> = BTreeMap::new();
-    let mut all_sources: BTreeSet<SourceKey> = BTreeSet::new();
+    let mut src_mask = vec![0u8; idx.sources.len128()];
     for id in TelescopeId::ALL {
-        for p in a.capture(id).packets() {
-            *packets.entry(p.protocol).or_default() += 1;
-            total_packets += 1;
-            let key = SourceKey::new(p.src, AggLevel::Addr128);
-            sources_by_proto.entry(p.protocol).or_default().insert(key);
-            all_sources.insert(key);
+        let col = idx.telescope(id);
+        total_packets += col.len() as u64;
+        for i in 0..col.len() {
+            packets[col.proto[i] as usize] += 1;
+            src_mask[col.src128[i] as usize] |= 1 << col.proto[i];
         }
     }
-    let mut sessions_by_proto: BTreeMap<Protocol, u64> = BTreeMap::new();
+    let mut sessions = [0u64; 4];
     let mut total_sessions = 0u64;
     for id in TelescopeId::ALL {
-        let capture = a.capture(id);
-        for session in a.sessions128(id) {
-            total_sessions += 1;
-            for proto in session.protocols(capture) {
-                *sessions_by_proto.entry(proto).or_default() += 1;
+        let cols = idx.sessions128(id);
+        total_sessions += cols.len() as u64;
+        for &mask in &cols.proto_mask {
+            for (code, count) in sessions.iter_mut().enumerate() {
+                if mask & (1 << code) != 0 {
+                    *count += 1;
+                }
             }
         }
     }
+    let mut sources = [0u64; 4];
+    for &mask in &src_mask {
+        for (code, count) in sources.iter_mut().enumerate() {
+            if mask & (1 << code) != 0 {
+                *count += 1;
+            }
+        }
+    }
+    // The source table is exactly the set of sources seen in any packet.
+    let total_sources = idx.sources.len128() as u64;
     let rows = Protocol::REPORTED
         .iter()
         .map(|&proto| {
-            let pk = packets.get(&proto).copied().unwrap_or(0);
-            let se = sessions_by_proto.get(&proto).copied().unwrap_or(0);
-            let so = sources_by_proto.get(&proto).map_or(0, |s| s.len() as u64);
+            let code = proto_code(proto) as usize;
             ProtocolRow {
                 protocol: proto,
-                packets: pk,
-                packet_pct: pct(pk, total_packets),
-                sessions: se,
-                session_pct: pct(se, total_sessions),
-                sources: so,
-                source_pct: pct(so, all_sources.len() as u64),
+                packets: packets[code],
+                packet_pct: pct(packets[code], total_packets),
+                sessions: sessions[code],
+                session_pct: pct(sessions[code], total_sessions),
+                sources: sources[code],
+                source_pct: pct(sources[code], total_sources),
             }
         })
         .collect();
@@ -162,7 +170,7 @@ pub fn table2(a: &Analyzed) -> Table2 {
         rows,
         total_packets,
         total_sessions,
-        total_sources: all_sources.len() as u64,
+        total_sources,
     }
 }
 
@@ -191,31 +199,37 @@ pub struct AddressTypeRow {
 
 /// Table 3: distribution of target types, sorted by packets descending.
 pub fn table3(a: &Analyzed) -> Vec<AddressTypeRow> {
-    let mut packets: BTreeMap<AddressType, u64> = BTreeMap::new();
-    let mut sources: BTreeMap<AddressType, BTreeSet<SourceKey>> = BTreeMap::new();
-    let mut all_sources: BTreeSet<SourceKey> = BTreeSet::new();
+    let idx = &a.index;
+    let mut packets = [0u64; AddressType::ALL.len()];
+    let mut class_mask = vec![0u8; idx.sources.len128()];
     let mut total_packets = 0u64;
     for id in TelescopeId::ALL {
-        for p in a.capture(id).packets() {
-            let ty = classify(p.dst);
-            *packets.entry(ty).or_default() += 1;
-            total_packets += 1;
-            let key = SourceKey::new(p.src, AggLevel::Addr128);
-            sources.entry(ty).or_default().insert(key);
-            all_sources.insert(key);
+        let col = idx.telescope(id);
+        total_packets += col.len() as u64;
+        for i in 0..col.len() {
+            packets[col.class[i] as usize] += 1;
+            class_mask[col.src128[i] as usize] |= 1 << col.class[i];
         }
     }
+    let mut sources = [0u64; AddressType::ALL.len()];
+    for &mask in &class_mask {
+        for (code, count) in sources.iter_mut().enumerate() {
+            if mask & (1 << code) != 0 {
+                *count += 1;
+            }
+        }
+    }
+    let total_sources = idx.sources.len128() as u64;
     let mut rows: Vec<AddressTypeRow> = AddressType::ALL
         .iter()
         .map(|&ty| {
-            let pk = packets.get(&ty).copied().unwrap_or(0);
-            let so = sources.get(&ty).map_or(0, |s| s.len() as u64);
+            let code = ty.code() as usize;
             AddressTypeRow {
                 address_type: ty,
-                packets: pk,
-                packet_pct: pct(pk, total_packets),
-                sources: so,
-                source_pct: pct(so, all_sources.len() as u64),
+                packets: packets[code],
+                packet_pct: pct(packets[code], total_packets),
+                sources: sources[code],
+                source_pct: pct(sources[code], total_sources),
             }
         })
         .collect();
@@ -251,50 +265,56 @@ pub struct Table4 {
 
 /// Computes Table 4 over /64 sessions of all telescopes.
 pub fn table4(a: &Analyzed) -> Table4 {
-    let mut tcp_sessions: BTreeMap<PortLabel, u64> = BTreeMap::new();
-    let mut udp_sessions: BTreeMap<PortLabel, u64> = BTreeMap::new();
+    // Port codes order like port labels, so code-keyed maps iterate in
+    // label order and sorted code vectors dedup like label sets.
+    let mut tcp_sessions: BTreeMap<u32, u64> = BTreeMap::new();
+    let mut udp_sessions: BTreeMap<u32, u64> = BTreeMap::new();
     let mut tcp_total = 0u64;
     let mut udp_total = 0u64;
     for id in TelescopeId::ALL {
-        let capture = a.capture(id);
+        let col = a.index.telescope(id);
         for session in a.sessions64(id) {
-            let mut tcp_ports: BTreeSet<PortLabel> = BTreeSet::new();
-            let mut udp_ports: BTreeSet<PortLabel> = BTreeSet::new();
-            for p in session.packets(capture) {
-                match (p.protocol, p.dst_port) {
-                    (Protocol::Tcp, Some(port)) => {
-                        tcp_ports.insert(PortLabel::classify_tcp(port));
-                    }
-                    (Protocol::Udp, Some(port)) => {
-                        udp_ports.insert(PortLabel::classify_udp(port));
-                    }
+            let mut tcp_ports: Vec<u32> = Vec::new();
+            let mut udp_ports: Vec<u32> = Vec::new();
+            for &pi in &session.packet_indices {
+                let i = pi as usize;
+                if col.port[i] == PORT_NONE {
+                    continue;
+                }
+                match col.proto[i] {
+                    PROTO_TCP => tcp_ports.push(col.port[i]),
+                    PROTO_UDP => udp_ports.push(col.port[i]),
                     _ => {}
                 }
             }
+            tcp_ports.sort_unstable();
+            tcp_ports.dedup();
+            udp_ports.sort_unstable();
+            udp_ports.dedup();
             if !tcp_ports.is_empty() {
                 tcp_total += 1;
-                for label in tcp_ports {
-                    *tcp_sessions.entry(label).or_default() += 1;
+                for code in tcp_ports {
+                    *tcp_sessions.entry(code).or_default() += 1;
                 }
             }
             if !udp_ports.is_empty() {
                 udp_total += 1;
-                for label in udp_ports {
-                    *udp_sessions.entry(label).or_default() += 1;
+                for code in udp_ports {
+                    *udp_sessions.entry(code).or_default() += 1;
                 }
             }
         }
     }
-    let top = |counts: &BTreeMap<PortLabel, u64>, total: u64| -> Vec<PortRow> {
-        let mut entries: Vec<(PortLabel, u64)> = counts.iter().map(|(l, &c)| (*l, c)).collect();
+    let top = |counts: &BTreeMap<u32, u64>, total: u64| -> Vec<PortRow> {
+        let mut entries: Vec<(u32, u64)> = counts.iter().map(|(c, &n)| (*c, n)).collect();
         entries.sort_by(|x, y| y.1.cmp(&x.1).then(x.0.cmp(&y.0)));
         entries
             .into_iter()
             .take(5)
             .enumerate()
-            .map(|(i, (port, sessions))| PortRow {
+            .map(|(i, (code, sessions))| PortRow {
                 rank: i + 1,
-                port,
+                port: decode_port(code).expect("counted ports are labeled"),
                 sessions,
                 pct: pct(sessions, total),
             })
@@ -345,43 +365,50 @@ pub struct Table5 {
 
 /// Computes Table 5 over the initial observation period.
 pub fn table5(a: &Analyzed) -> Table5 {
+    let idx = &a.index;
     let boundary = a.split_start();
     let mut part_a = Vec::new();
     let mut part_b = Vec::new();
     for id in TelescopeId::ALL {
-        let mut s128: BTreeSet<SourceKey> = BTreeSet::new();
-        let mut s64: BTreeSet<SourceKey> = BTreeSet::new();
-        let mut asns: BTreeSet<u32> = BTreeSet::new();
-        let mut dsts: BTreeSet<u128> = BTreeSet::new();
-        let mut packets = 0u64;
-        let mut per_proto: BTreeMap<Protocol, BTreeSet<SourceKey>> = BTreeMap::new();
-        for p in a.capture(id).packets() {
-            if p.ts >= boundary {
-                continue;
-            }
-            packets += 1;
-            let key = SourceKey::new(p.src, AggLevel::Addr128);
-            s128.insert(key);
-            s64.insert(SourceKey::new(p.src, AggLevel::Subnet64));
-            if let Some(asn) = a.asn_of(p.src) {
-                asns.insert(asn.get());
-            }
-            dsts.insert(u128::from(p.dst));
-            per_proto.entry(p.protocol).or_default().insert(key);
+        let col = idx.telescope(id);
+        let hi = col.range_until(boundary).end;
+        let mut seen128 = vec![false; idx.sources.len128()];
+        let mut seen64 = vec![false; idx.sources.len64()];
+        let mut proto_mask = vec![0u8; idx.sources.len128()];
+        for i in 0..hi {
+            seen128[col.src128[i] as usize] = true;
+            seen64[col.src64[i] as usize] = true;
+            proto_mask[col.src128[i] as usize] |= 1 << col.proto[i];
         }
+        let s128 = seen128.iter().filter(|&&s| s).count() as u64;
+        let mut asns: BTreeSet<u32> = BTreeSet::new();
+        for (i, &seen) in seen128.iter().enumerate() {
+            if seen && idx.sources.asn(i as u32) != NO_ID {
+                asns.insert(idx.sources.asn(i as u32));
+            }
+        }
+        // Destinations are not interned (the randomized-target space is
+        // nearly all-distinct); dedup them from the raw capture window.
+        let mut dsts: Vec<u128> = a.capture(id).packets()[..hi]
+            .iter()
+            .map(|p| u128::from(p.dst))
+            .collect();
+        dsts.sort_unstable();
+        dsts.dedup();
         part_a.push(Table5aColumn {
             telescope: id,
-            sources128: s128.len() as u64,
-            sources64: s64.len() as u64,
+            sources128: s128,
+            sources64: seen64.iter().filter(|&&s| s).count() as u64,
             asns: asns.len() as u64,
             destinations: dsts.len() as u64,
-            packets,
+            packets: hi as u64,
         });
         let rows = [Protocol::Icmpv6, Protocol::Tcp, Protocol::Udp]
             .iter()
             .map(|&proto| {
-                let n = per_proto.get(&proto).map_or(0, |s| s.len() as u64);
-                (proto, n, pct(n, s128.len() as u64))
+                let bit = 1 << proto_code(proto);
+                let n = proto_mask.iter().filter(|&&m| m & bit != 0).count() as u64;
+                (proto, n, pct(n, s128))
             })
             .collect();
         part_b.push(Table5bColumn {
@@ -419,30 +446,10 @@ pub struct Table6 {
     pub network: Vec<ClassRow>,
 }
 
-/// Attributes a session to the most-specific announced prefix of its
-/// cycle for every packet; returns per-prefix session counts.
-fn session_prefixes(
-    session: &ScanSession,
-    capture: &sixscope_telescope::Capture,
-    announced: &[Ipv6Prefix],
-) -> BTreeSet<Ipv6Prefix> {
-    let mut hit = BTreeSet::new();
-    for p in session.packets(capture) {
-        let best = announced
-            .iter()
-            .filter(|pre| pre.contains(p.dst))
-            .max_by_key(|pre| pre.len());
-        if let Some(pre) = best {
-            hit.insert(*pre);
-        }
-    }
-    hit
-}
-
 /// Computes Table 6.
 pub fn table6(a: &Analyzed) -> Table6 {
     let (sessions, profiles) = a.t1_split_profiles();
-    let capture = a.capture(TelescopeId::T1);
+    let split = a.index.split();
     let schedule = &a.result.schedule;
     let total_scanners = profiles.len() as u64;
     let total_sessions = sessions.len() as u64;
@@ -465,16 +472,17 @@ pub fn table6(a: &Analyzed) -> Table6 {
         });
     }
 
-    // Network selection: per scanner, per announcement cycle.
+    // Network selection: per scanner, per announcement cycle. Cycle
+    // attribution and per-session prefix hits come pre-computed from the
+    // split cache (window-relative indices).
     let mut by_class: BTreeMap<NetworkSelection, (u64, u64)> = BTreeMap::new();
-    for profile in &profiles {
+    for profile in profiles {
         // Group this scanner's sessions by cycle.
-        let mut per_cycle: BTreeMap<u32, Vec<&ScanSession>> = BTreeMap::new();
+        let mut per_cycle: BTreeMap<u32, Vec<usize>> = BTreeMap::new();
         for &idx in &profile.session_indices {
-            let s = &sessions[idx];
-            if let Some(cycle) = schedule.cycle_at(s.start) {
+            if let Some(cycle) = split.cycles[idx] {
                 if cycle >= 1 {
-                    per_cycle.entry(cycle).or_default().push(s);
+                    per_cycle.entry(cycle).or_default().push(idx);
                 }
             }
         }
@@ -483,9 +491,9 @@ pub fn table6(a: &Analyzed) -> Table6 {
             .map(|(&cycle, sess)| {
                 let announced = schedule.announced_set(cycle);
                 let mut counts = vec![0u64; announced.len()];
-                for s in sess {
-                    for prefix in session_prefixes(s, capture, &announced) {
-                        let i = announced.iter().position(|p| *p == prefix).unwrap();
+                for &si in sess {
+                    for prefix in &split.prefix_hits[si] {
+                        let i = announced.iter().position(|p| p == prefix).unwrap();
                         counts[i] += 1;
                     }
                 }
@@ -546,7 +554,7 @@ pub fn table7(a: &Analyzed) -> Vec<ToolRow> {
     let total_scanners = profiles.len() as u64;
     let total_sessions = sessions.len() as u64;
     let mut by_tool: BTreeMap<KnownTool, (u64, u64)> = BTreeMap::new();
-    for profile in &profiles {
+    for profile in profiles {
         // Identify the scanner by its first recognizable payload + rDNS.
         let src = profile.source.prefix.network();
         let rdns = a.rdns_of(src);
@@ -606,7 +614,7 @@ pub fn table8(a: &Analyzed) -> Vec<NetworkTypeRow> {
     let (sessions, profiles) = a.t1_split_profiles();
     let heavy: BTreeSet<SourceKey> = TelescopeId::ALL
         .iter()
-        .flat_map(|&id| heavy_hitters(a.capture(id)))
+        .flat_map(|&id| a.index.heavy(id))
         .map(|h| h.source)
         .collect();
     let total_scanners = profiles.len() as u64;
@@ -623,7 +631,7 @@ pub fn table8(a: &Analyzed) -> Vec<NetworkTypeRow> {
         has_heavy: bool,
     }
     let mut acc: BTreeMap<NetworkType, Acc> = BTreeMap::new();
-    for profile in &profiles {
+    for profile in profiles {
         let ty = a
             .as_info_of(profile.source.prefix.network())
             .map_or(NetworkType::Unknown, |i| i.network_type);
@@ -701,23 +709,50 @@ pub struct Headline {
 
 /// Computes the headline numbers.
 pub fn headline(a: &Analyzed) -> Headline {
+    let idx = &a.index;
     let schedule = &a.result.schedule;
     let boundary = a.split_start();
-    let capture = a.capture(TelescopeId::T1);
 
-    // Split side vs. companion packets during the split period.
+    // Split side vs. companion packets during the split period. Each
+    // packet's announced prefix is pre-resolved; a prefix inside one /33
+    // decides the side directly. Packets whose longest match is NOT inside
+    // either /33 (withdraw gaps route them via the covering prefix) fall
+    // back to the raw containment check on the destination.
     let companion = schedule.companion();
     let split_side = schedule.split_side();
+    let col = idx.telescope(TelescopeId::T1);
+    let sides: Vec<u8> = col
+        .prefixes()
+        .iter()
+        .map(|p| {
+            if companion.covers(p) {
+                1
+            } else if split_side.covers(p) {
+                2
+            } else {
+                0
+            }
+        })
+        .collect();
     let mut companion_packets = 0u64;
     let mut split_packets = 0u64;
-    for p in capture.packets() {
-        if p.ts < boundary {
-            continue;
-        }
-        if companion.contains(p.dst) {
-            companion_packets += 1;
-        } else if split_side.contains(p.dst) {
-            split_packets += 1;
+    let t1_packets = a.capture(TelescopeId::T1).packets();
+    for i in col.range_from(boundary) {
+        let side = match col.prefix[i] {
+            NO_ID => 0,
+            pid => sides[pid as usize],
+        };
+        match side {
+            1 => companion_packets += 1,
+            2 => split_packets += 1,
+            _ => {
+                let dst = t1_packets[i].dst;
+                if companion.contains(dst) {
+                    companion_packets += 1;
+                } else if split_side.contains(dst) {
+                    split_packets += 1;
+                }
+            }
         }
     }
 
@@ -726,23 +761,20 @@ pub fn headline(a: &Analyzed) -> Headline {
     let split_weeks = (schedule.end() - boundary).as_secs() as f64 / 604_800.0;
     // Average number of distinct weekly sources (sum of per-week distinct
     // source counts divided by the number of weeks in the range).
+    let t1_sessions = idx.sessions128(TelescopeId::T1);
     let weekly_sources = |from, until, weeks: f64| -> f64 {
-        let mut per_week: BTreeMap<u64, BTreeSet<SourceKey>> = BTreeMap::new();
-        for s in a.sessions128(TelescopeId::T1) {
-            if s.start >= from && s.start < until {
-                per_week.entry(s.start.week()).or_default().insert(s.source);
-            }
+        let mut per_week: BTreeMap<u64, BTreeSet<u32>> = BTreeMap::new();
+        for i in t1_sessions.range(from, until) {
+            per_week
+                .entry(t1_sessions.start[i].week())
+                .or_default()
+                .insert(t1_sessions.source[i]);
         }
         let sources: u64 = per_week.values().map(|v| v.len() as u64).sum();
         sources as f64 / weeks.max(1e-9)
     };
     let weekly_sessions = |from, until, weeks: f64| -> f64 {
-        let n = a
-            .sessions128(TelescopeId::T1)
-            .iter()
-            .filter(|s| s.start >= from && s.start < until)
-            .count();
-        n as f64 / weeks.max(1e-9)
+        t1_sessions.range(from, until).len() as f64 / weeks.max(1e-9)
     };
     let base_sources = weekly_sources(schedule.cycle_start(0), boundary, baseline_weeks);
     let split_sources = weekly_sources(boundary, schedule.end(), split_weeks);
@@ -751,6 +783,7 @@ pub fn headline(a: &Analyzed) -> Headline {
 
     // One-off share and final-cycle /48 share.
     let (sessions, profiles) = a.t1_split_profiles();
+    let split = idx.split();
     let one_off = profiles
         .iter()
         .filter(|p| p.temporal == TemporalClass::OneOff)
@@ -765,13 +798,16 @@ pub fn headline(a: &Analyzed) -> Headline {
     let final_start = schedule.cycle_start(final_cycle);
     // Per-prefix session counting (as in Fig. 10): a session counts toward
     // every announced prefix it probes; the /48 share is the share of those
-    // (session, prefix) incidences that land on the two /48s.
+    // (session, prefix) incidences that land on the two /48s. The cached
+    // prefix hits of final-cycle sessions were evaluated against the final
+    // announced set, exactly what this counter needs.
     let mut incidences = 0u64;
     let mut in_48 = 0u64;
-    for s in sessions.iter().filter(|s| s.start >= final_start) {
-        for prefix in session_prefixes(s, capture, &final_set) {
+    let lo = sessions.partition_point(|s| s.start < final_start);
+    for hits in &split.prefix_hits[lo..] {
+        for prefix in hits {
             incidences += 1;
-            if final_48s.contains(&prefix) {
+            if final_48s.contains(prefix) {
                 in_48 += 1;
             }
         }
@@ -781,16 +817,21 @@ pub fn headline(a: &Analyzed) -> Headline {
     // Heavy hitters across all telescopes.
     let mut heavy: Vec<HeavyHitter> = TelescopeId::ALL
         .iter()
-        .flat_map(|&id| heavy_hitters(a.capture(id)))
+        .flat_map(|&id| idx.heavy(id).to_vec())
         .collect();
     heavy.sort_by_key(|h| std::cmp::Reverse(h.packets));
-    let heavy_sources: BTreeSet<SourceKey> = heavy.iter().map(|h| h.source).collect();
+    let mut is_heavy = vec![false; idx.sources.len128()];
+    for h in &heavy {
+        let id = idx.sources.id128(&h.source).expect("heavy source interned");
+        is_heavy[id as usize] = true;
+    }
     let mut total_packets = 0u64;
     let mut heavy_packets = 0u64;
     for id in TelescopeId::ALL {
-        for p in a.capture(id).packets() {
-            total_packets += 1;
-            if heavy_sources.contains(&SourceKey::new(p.src, AggLevel::Addr128)) {
+        let col = idx.telescope(id);
+        total_packets += col.len() as u64;
+        for &src in &col.src128 {
+            if is_heavy[src as usize] {
                 heavy_packets += 1;
             }
         }
@@ -798,9 +839,10 @@ pub fn headline(a: &Analyzed) -> Headline {
     let mut total_sessions = 0u64;
     let mut heavy_sessions = 0u64;
     for id in TelescopeId::ALL {
-        for s in a.sessions128(id) {
-            total_sessions += 1;
-            if heavy_sources.contains(&s.source) {
+        let cols = idx.sessions128(id);
+        total_sessions += cols.len() as u64;
+        for &src in &cols.source {
+            if is_heavy[src as usize] {
                 heavy_sessions += 1;
             }
         }

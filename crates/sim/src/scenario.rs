@@ -112,6 +112,17 @@ impl ScenarioConfig {
     }
 }
 
+/// Per-stage wall-clock seconds of one [`Scenario::run_timed`] call.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ScenarioTimings {
+    /// Control plane, visibility, hitlist and population construction.
+    pub setup: f64,
+    /// Probe generation (RNG stream split + parallel generate + merge/sort).
+    pub generate: f64,
+    /// Delivery into telescope captures (LPM gate + encode + ingest).
+    pub deliver: f64,
+}
+
 /// Everything the experiment produced.
 pub struct ExperimentResult {
     /// The address plan.
@@ -246,6 +257,15 @@ impl Scenario {
 
     /// Runs the full experiment.
     pub fn run(&self) -> ExperimentResult {
+        self.run_timed().0
+    }
+
+    /// Runs the full experiment and reports per-stage wall-clock times.
+    ///
+    /// Timings are observational only — they never feed back into the
+    /// simulation, so the result stays byte-identical to [`Scenario::run`].
+    pub fn run_timed(&self) -> (ExperimentResult, ScenarioTimings) {
+        let stage_start = std::time::Instant::now();
         let layout = self.config.layout.clone();
         let events = self.run_control_plane();
         let visibility = Visibility::from_events(&events);
@@ -270,6 +290,8 @@ impl Scenario {
             end: layout.end,
         };
         let threads = num_threads(self.config.threads);
+        let setup_secs = stage_start.elapsed().as_secs_f64();
+        let stage_start = std::time::Instant::now();
 
         // Generate probes. Each scanner gets its own RNG stream so the
         // population composition never perturbs individual behavior. The
@@ -296,6 +318,8 @@ impl Scenario {
             truncated_probes += truncated;
         }
         probes.sort_by_key(|p| p.ts);
+        let generate_secs = stage_start.elapsed().as_secs_f64();
+        let stage_start = std::time::Instant::now();
 
         // Deliver. Shards are contiguous ranges of the time-sorted probe
         // list; each worker fills shard-local captures (reusing one encode
@@ -345,18 +369,27 @@ impl Scenario {
             dropped_unrouted += shard_dropped;
         }
 
-        ExperimentResult {
-            schedule: self.config.schedule(),
-            captures,
-            events,
-            visibility: world.visibility,
-            population,
-            hitlist: world.hitlist,
-            t4_responses,
-            dropped_unrouted,
-            truncated_probes,
-            layout,
-        }
+        let deliver_secs = stage_start.elapsed().as_secs_f64();
+
+        (
+            ExperimentResult {
+                schedule: self.config.schedule(),
+                captures,
+                events,
+                visibility: world.visibility,
+                population,
+                hitlist: world.hitlist,
+                t4_responses,
+                dropped_unrouted,
+                truncated_probes,
+                layout,
+            },
+            ScenarioTimings {
+                setup: setup_secs,
+                generate: generate_secs,
+                deliver: deliver_secs,
+            },
+        )
     }
 
     /// One empty capture per telescope.

@@ -174,6 +174,13 @@ impl Capture {
         self.malformed += other.malformed;
     }
 
+    /// True when packets are in non-decreasing time order. Simulation
+    /// delivery produces sorted captures by construction; the sessionizer
+    /// and the corpus index use this to skip their sort fallbacks.
+    pub fn is_time_sorted(&self) -> bool {
+        self.packets.windows(2).all(|w| w[0].ts <= w[1].ts)
+    }
+
     /// All captured packets in arrival order.
     pub fn packets(&self) -> &[CapturedPacket] {
         &self.packets

@@ -24,6 +24,7 @@ pub mod schedule;
 pub mod session;
 pub mod source;
 
+pub use bytes::Bytes;
 pub use capture::{Capture, CapturedPacket, Protocol};
 pub use config::{TelescopeConfig, TelescopeId, TelescopeKind};
 pub use reactive::respond;

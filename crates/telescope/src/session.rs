@@ -103,16 +103,9 @@ impl Sessionizer {
     /// are sorted first.
     pub fn sessionize(&self, capture: &Capture) -> Vec<ScanSession> {
         let packets = capture.packets();
-        // Index list in time order (stable to preserve arrival order on ties).
-        let mut order: Vec<u32> = (0..packets.len() as u32).collect();
-        let sorted = packets.windows(2).all(|w| w[0].ts <= w[1].ts);
-        if !sorted {
-            order.sort_by_key(|&i| packets[i as usize].ts);
-        }
-
         let mut open: HashMap<SourceKey, usize> = HashMap::new();
         let mut sessions: Vec<ScanSession> = Vec::new();
-        for &idx in &order {
+        let mut step = |idx: u32| {
             let pkt = &packets[idx as usize];
             let key = SourceKey::new(pkt.src, self.level);
             match open.get(&key) {
@@ -132,6 +125,21 @@ impl Sessionizer {
                     });
                     open.insert(key, sid);
                 }
+            }
+        };
+        if capture.is_time_sorted() {
+            // Fast path — always taken for simulated captures — iterates
+            // indices directly with no side allocation.
+            for idx in 0..packets.len() as u32 {
+                step(idx);
+            }
+        } else {
+            // Fallback: index list in time order (stable to preserve
+            // arrival order on ties).
+            let mut order: Vec<u32> = (0..packets.len() as u32).collect();
+            order.sort_by_key(|&i| packets[i as usize].ts);
+            for &idx in &order {
+                step(idx);
             }
         }
         sessions
@@ -227,6 +235,41 @@ mod tests {
             cap_packets[sessions[0].packet_indices[0] as usize].ts
                 <= cap_packets[sessions[0].packet_indices[1] as usize].ts
         );
+    }
+
+    #[test]
+    fn out_of_order_matches_sorted_equivalent() {
+        // The sort fallback must produce sessions identical (up to the
+        // index permutation) to sessionizing the same packets pre-sorted.
+        let shuffled = vec![
+            (50, "2001:db8:f00::2", "2001:db8:3::1"),
+            (0, "2001:db8:f00::1", "2001:db8:3::1"),
+            (7000, "2001:db8:f00::1", "2001:db8:3::4"),
+            (10, "2001:db8:f00::1", "2001:db8:3::2"),
+            (60, "2001:db8:f00::2", "2001:db8:3::3"),
+            (9000, "2001:db8:f00::2", "2001:db8:3::2"),
+        ];
+        let mut in_order = shuffled.clone();
+        in_order.sort_by_key(|&(ts, _, _)| ts);
+        let cap_shuffled = capture_with(shuffled);
+        let cap_sorted = capture_with(in_order);
+        assert!(!cap_shuffled.is_time_sorted());
+        assert!(cap_sorted.is_time_sorted());
+        for level in [AggLevel::Addr128, AggLevel::Subnet64] {
+            let a = Sessionizer::paper(level).sessionize(&cap_shuffled);
+            let b = Sessionizer::paper(level).sessionize(&cap_sorted);
+            assert_eq!(a.len(), b.len());
+            for (sa, sb) in a.iter().zip(&b) {
+                assert_eq!(sa.source, sb.source);
+                assert_eq!(sa.start, sb.start);
+                assert_eq!(sa.end, sb.end);
+                // Same packets in the same time order, modulo the index
+                // permutation between the two captures.
+                let times_a: Vec<_> = sa.packets(&cap_shuffled).map(|p| (p.ts, p.dst)).collect();
+                let times_b: Vec<_> = sb.packets(&cap_sorted).map(|p| (p.ts, p.dst)).collect();
+                assert_eq!(times_a, times_b);
+            }
+        }
     }
 
     #[test]
