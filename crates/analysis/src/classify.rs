@@ -12,7 +12,7 @@
 
 use crate::addrtype;
 use crate::autocorr::PeriodDetector;
-use crate::dbscan::{cluster_count, dbscan};
+use crate::dbscan::{cluster_count, dbscan_indexed};
 use crate::nist::{BitSequence, NistTest};
 use serde::{Deserialize, Serialize};
 use sixscope_telescope::{Capture, ScanSession, SourceKey};
@@ -259,7 +259,9 @@ impl CycleCounts {
         let counts: Vec<f64> = self.sessions.iter().map(|&c| c as f64).collect();
         let mean = counts.iter().sum::<f64>() / counts.len() as f64;
         let eps = (mean * eps_factor).max(1.0);
-        let assignment = dbscan(&counts, eps, 2, |a, b| (a - b).abs());
+        // 1-D counts with |a - b| distance: the identity projection makes
+        // the sorted-projection index exact.
+        let assignment = dbscan_indexed(&counts, eps, 2, |&c| c, |a, b| (a - b).abs());
         let all_hit = hit.len() == self.announced.len();
         if all_hit
             && cluster_count(&assignment) == 1

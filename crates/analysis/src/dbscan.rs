@@ -30,6 +30,11 @@ impl Assignment {
 /// threshold `min_pts` (the point itself counts toward `min_pts`, matching
 /// the original formulation).
 ///
+/// Region queries scan all points, so this is O(n²) in distance calls; for
+/// points with a cheap 1-Lipschitz projection use [`dbscan_indexed`], which
+/// produces identical labels. Retained as the ground-truth reference for the
+/// property tests and the `kernels` criterion group.
+///
 /// Returns one [`Assignment`] per input point.
 pub fn dbscan<P>(
     points: &[P],
@@ -37,15 +42,75 @@ pub fn dbscan<P>(
     min_pts: usize,
     dist: impl Fn(&P, &P) -> f64,
 ) -> Vec<Assignment> {
-    const UNVISITED: usize = usize::MAX;
-    const NOISE: usize = usize::MAX - 1;
     let n = points.len();
-    let mut labels = vec![UNVISITED; n];
-    let neighbors = |i: usize| -> Vec<usize> {
+    expand_clusters(n, min_pts, |i| {
         (0..n)
             .filter(|&j| dist(&points[i], &points[j]) <= eps)
             .collect()
-    };
+    })
+}
+
+/// DBSCAN with a sorted-projection neighbor index.
+///
+/// `proj` maps each point to a scalar key that must be 1-Lipschitz with
+/// respect to `dist` — `|proj(a) - proj(b)| <= dist(a, b)` for all pairs —
+/// so every `eps`-neighbor of a point lies within `eps` of its key. Region
+/// queries then binary-search the sorted key array and verify `dist` only
+/// inside that window, instead of scanning all n points. For 1-D data with
+/// absolute-difference distance the identity projection is exact and the
+/// window *is* the neighborhood; for higher-dimensional Euclidean points any
+/// single coordinate works as the projection.
+///
+/// Labels are identical to [`dbscan`]: neighbor sets are the same point
+/// sets, returned in the same ascending-index order, and the expansion loop
+/// is shared.
+pub fn dbscan_indexed<P>(
+    points: &[P],
+    eps: f64,
+    min_pts: usize,
+    proj: impl Fn(&P) -> f64,
+    dist: impl Fn(&P, &P) -> f64,
+) -> Vec<Assignment> {
+    let n = points.len();
+    // Point indices sorted by projection key (index-tiebreak keeps the sort
+    // fully deterministic under equal keys).
+    let mut order: Vec<usize> = (0..n).collect();
+    let keys: Vec<f64> = points.iter().map(&proj).collect();
+    order.sort_unstable_by(|&a, &b| keys[a].total_cmp(&keys[b]).then(a.cmp(&b)));
+    let sorted_keys: Vec<f64> = order.iter().map(|&i| keys[i]).collect();
+    expand_clusters(n, min_pts, |i| {
+        let lo = sorted_keys.partition_point(|&k| k < keys[i] - eps);
+        let hi = sorted_keys.partition_point(|&k| k <= keys[i] + eps);
+        let mut nbrs: Vec<usize> = order[lo..hi]
+            .iter()
+            .copied()
+            .filter(|&j| dist(&points[i], &points[j]) <= eps)
+            .collect();
+        // The window is in key order; the linear-scan reference emits
+        // ascending indices, and label assignment depends on that order.
+        nbrs.sort_unstable();
+        nbrs
+    })
+}
+
+/// The shared worklist expansion: visits points in input order, grows each
+/// core point's cluster breadth-first. `neighbors(i)` must return the indices
+/// of all points within `eps` of point `i` (including `i`), ascending.
+///
+/// An `enqueued` bitset keeps the worklist duplicate-free: without it,
+/// `queue.extend(jn)` re-pushes already-labeled indices and the queue can
+/// grow O(n²) on dense clusters. Filtering is behavior-preserving — a
+/// duplicate entry is always labeled by the time it would be popped, so the
+/// original loop skipped it anyway.
+fn expand_clusters(
+    n: usize,
+    min_pts: usize,
+    mut neighbors: impl FnMut(usize) -> Vec<usize>,
+) -> Vec<Assignment> {
+    const UNVISITED: usize = usize::MAX;
+    const NOISE: usize = usize::MAX - 1;
+    let mut labels = vec![UNVISITED; n];
+    let mut enqueued = vec![false; n];
     let mut next_cluster = 0usize;
     for i in 0..n {
         if labels[i] != UNVISITED {
@@ -60,7 +125,13 @@ pub fn dbscan<P>(
         next_cluster += 1;
         labels[i] = cluster;
         // Expand the cluster via a worklist.
-        let mut queue: Vec<usize> = nbrs;
+        let mut queue: Vec<usize> = Vec::with_capacity(nbrs.len());
+        for x in nbrs {
+            if !enqueued[x] {
+                enqueued[x] = true;
+                queue.push(x);
+            }
+        }
         let mut qi = 0;
         while qi < queue.len() {
             let j = queue[qi];
@@ -74,7 +145,12 @@ pub fn dbscan<P>(
             labels[j] = cluster;
             let jn = neighbors(j);
             if jn.len() >= min_pts {
-                queue.extend(jn);
+                for x in jn {
+                    if !enqueued[x] {
+                        enqueued[x] = true;
+                        queue.push(x);
+                    }
+                }
             }
         }
     }
@@ -166,6 +242,38 @@ mod tests {
         let a = dbscan(&points, 0.5, 2, d1);
         let b = dbscan(&points, 0.5, 2, d1);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn indexed_matches_scan_on_1d() {
+        let cases: [&[f64]; 4] = [
+            &[0.0, 0.1, 0.2, 10.0, 10.1, 3.0],
+            &[0.0, 0.4, 0.8, 1.2],
+            &[5.0, 5.0, 5.0, 5.0], // equal keys
+            &[],
+        ];
+        for points in cases {
+            for min_pts in [1, 2, 3] {
+                let scan = dbscan(points, 0.5, min_pts, d1);
+                let indexed = dbscan_indexed(points, 0.5, min_pts, |&x| x, d1);
+                assert_eq!(scan, indexed);
+            }
+        }
+    }
+
+    #[test]
+    fn indexed_matches_scan_with_coordinate_projection() {
+        let points = vec![[0.0, 0.0], [0.0, 0.1], [5.0, 5.0], [5.0, 5.1], [0.1, 0.05]];
+        let dist = |a: &[f64; 2], b: &[f64; 2]| -> f64 {
+            a.iter()
+                .zip(b)
+                .map(|(x, y)| (x - y) * (x - y))
+                .sum::<f64>()
+                .sqrt()
+        };
+        let scan = dbscan(&points, 0.5, 2, dist);
+        let indexed = dbscan_indexed(&points, 0.5, 2, |p| p[1], dist);
+        assert_eq!(scan, indexed);
     }
 
     #[test]

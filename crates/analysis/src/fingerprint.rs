@@ -7,7 +7,7 @@
 //! reading the tools' source code; the simulation's tool models emit the
 //! same bytes, exactly as the real tools do.
 
-use crate::dbscan::{dbscan, Assignment};
+use crate::dbscan::{dbscan_indexed, Assignment};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -188,13 +188,22 @@ pub fn payload_features(payload: &[u8]) -> [f64; 17] {
 /// same (possibly unknown) tool across sources.
 pub fn cluster_payloads(payloads: &[&[u8]], eps: f64, min_pts: usize) -> Vec<Assignment> {
     let features: Vec<[f64; 17]> = payloads.iter().map(|p| payload_features(p)).collect();
-    dbscan(&features, eps, min_pts, |a, b| {
-        a.iter()
-            .zip(b)
-            .map(|(x, y)| (x - y) * (x - y))
-            .sum::<f64>()
-            .sqrt()
-    })
+    // Any single coordinate of a Euclidean feature vector is 1-Lipschitz;
+    // the length feature spreads payloads of different sizes apart, which is
+    // exactly what narrows the candidate window here.
+    dbscan_indexed(
+        &features,
+        eps,
+        min_pts,
+        |f| f[16],
+        |a, b| {
+            a.iter()
+                .zip(b)
+                .map(|(x, y)| (x - y) * (x - y))
+                .sum::<f64>()
+                .sqrt()
+        },
+    )
 }
 
 #[cfg(test)]

@@ -10,7 +10,16 @@
 //!   cusum;
 //! * the spectral test processes the largest power-of-two prefix of the
 //!   sequence (the reference code's DFT is also applied to fixed-size
-//!   blocks; thresholding constants follow the revised 0.95·n/2 form).
+//!   blocks; thresholding constants follow the revised 0.95·n/2 form);
+//! * bits are stored packed, 64 per `u64` word, MSB first. Frequency is a
+//!   popcount, runs counting is an XOR against the shifted word, cusum
+//!   walks the words through a per-byte prefix-extreme table without
+//!   allocating, and the spectral test runs a real-input split FFT over a
+//!   caller-provided scratch buffer with per-size twiddle tables. The
+//!   statistics they feed into the p-value formulas (bit counts, run
+//!   counts, peak partial sums, below-threshold bin counts) are integers,
+//!   so the packed kernels reproduce the scalar [`reference`] p-values
+//!   bit for bit — which the property tests in `tests/prop.rs` pin.
 
 use crate::special::{erfc, normal_cdf};
 use serde::{Deserialize, Serialize};
@@ -69,10 +78,13 @@ impl NistOutcome {
     }
 }
 
-/// A packed bit sequence under test.
+/// A packed bit sequence under test: 64 bits per word, MSB first, so
+/// sequence bit `i` lives at bit `63 - i % 64` of `words[i / 64]`.
+/// Unused low bits of the last word are always zero.
 #[derive(Debug, Clone, Default)]
 pub struct BitSequence {
-    bits: Vec<bool>,
+    words: Vec<u64>,
+    len: usize,
 }
 
 impl BitSequence {
@@ -84,34 +96,61 @@ impl BitSequence {
     /// Appends the `count` least significant bits of `value`, MSB first.
     pub fn push_bits(&mut self, value: u128, count: u32) {
         assert!(count <= 128);
-        for i in (0..count).rev() {
-            self.bits.push((value >> i) & 1 == 1);
+        let mut remaining = count;
+        while remaining > 0 {
+            let used = (self.len % 64) as u32;
+            if used == 0 {
+                self.words.push(0);
+            }
+            let avail = 64 - used;
+            let take = remaining.min(avail);
+            let chunk = (value >> (remaining - take)) as u64 & mask_low(take);
+            let last = self.words.last_mut().expect("word pushed above");
+            *last |= chunk << (avail - take);
+            self.len += take as usize;
+            remaining -= take;
         }
     }
 
     /// Number of bits.
     pub fn len(&self) -> usize {
-        self.bits.len()
+        self.len
     }
 
     /// True when empty.
     pub fn is_empty(&self) -> bool {
-        self.bits.is_empty()
+        self.len == 0
     }
 
-    /// Raw access.
-    pub fn bits(&self) -> &[bool] {
-        &self.bits
+    /// Raw packed words (MSB-first; trailing bits of the last word zero).
+    pub fn words(&self) -> &[u64] {
+        &self.words
     }
 
-    /// Runs one test.
+    /// The `i`-th bit of the sequence.
+    pub fn bit(&self, i: usize) -> bool {
+        assert!(i < self.len);
+        (self.words[i / 64] >> (63 - i % 64)) & 1 == 1
+    }
+
+    /// Unpacks to a `bool` vector (for the [`reference`] kernels/tests).
+    pub fn to_bools(&self) -> Vec<bool> {
+        (0..self.len).map(|i| self.bit(i)).collect()
+    }
+
+    /// Runs one test, allocating spectral scratch internally.
     pub fn run(&self, test: NistTest) -> NistOutcome {
+        self.run_with(test, &mut FftScratch::new())
+    }
+
+    /// Runs one test reusing the caller's spectral scratch buffer.
+    pub fn run_with(&self, test: NistTest, scratch: &mut FftScratch) -> NistOutcome {
         let p_value = match test {
-            NistTest::Frequency => frequency_p(&self.bits),
-            NistTest::Runs => runs_p(&self.bits),
-            NistTest::Fft => fft_p(&self.bits),
-            NistTest::CusumForward => cusum_p(&self.bits, false),
-            NistTest::CusumBackward => cusum_p(&self.bits, true),
+            NistTest::Frequency => frequency_p(&self.words, self.len),
+            NistTest::Runs => runs_p(&self.words, self.len),
+            NistTest::Fft => fft_p(&self.words, self.len, scratch),
+            NistTest::CusumForward => cusum_p(&self.words, self.len, false),
+            NistTest::CusumBackward => cusum_p(&self.words, self.len, true),
         };
         // The rational erfc approximation can overshoot 1 by ~1e-7.
         NistOutcome {
@@ -122,133 +161,753 @@ impl BitSequence {
 
     /// Runs all five tests.
     pub fn run_all(&self) -> Vec<NistOutcome> {
-        NistTest::ALL.iter().map(|&t| self.run(t)).collect()
+        self.run_all_with(&mut FftScratch::new())
+    }
+
+    /// Runs all five tests reusing the caller's spectral scratch buffer.
+    pub fn run_all_with(&self, scratch: &mut FftScratch) -> Vec<NistOutcome> {
+        NistTest::ALL
+            .iter()
+            .map(|&t| self.run_with(t, scratch))
+            .collect()
     }
 }
 
-/// SP 800-22 §2.1 — frequency (monobit).
-fn frequency_p(bits: &[bool]) -> f64 {
-    let n = bits.len();
-    if n == 0 {
+fn mask_low(bits: u32) -> u64 {
+    if bits >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << bits) - 1
+    }
+}
+
+/// SP 800-22 §2.1 — frequency (monobit), via popcount.
+fn frequency_p(words: &[u64], len: usize) -> f64 {
+    if len == 0 {
         return 0.0;
     }
-    let s: i64 = bits.iter().map(|&b| if b { 1i64 } else { -1 }).sum();
-    let s_obs = (s.abs() as f64) / (n as f64).sqrt();
+    let ones: i64 = words.iter().map(|w| w.count_ones() as i64).sum();
+    // Σ(±1) = ones - zeros.
+    let s = 2 * ones - len as i64;
+    let s_obs = (s.abs() as f64) / (len as f64).sqrt();
     erfc(s_obs / std::f64::consts::SQRT_2)
 }
 
+/// Number of adjacent unequal bit pairs, via XOR against the 1-shifted word.
+fn transitions(words: &[u64], len: usize) -> u64 {
+    let mut trans = 0u64;
+    let mut prev_last: Option<u64> = None;
+    for (wi, &w) in words.iter().enumerate() {
+        let m = if wi + 1 == words.len() {
+            (len - wi * 64) as u32
+        } else {
+            64
+        };
+        if m >= 2 {
+            // Bit v of w ^ (w << 1) is bit v xor bit v+1 of w; the pairs
+            // internal to this word sit in the top m-1 value bits.
+            let d = w ^ (w << 1);
+            trans += (d & (!0u64 << (65 - m))).count_ones() as u64;
+        }
+        if let Some(p) = prev_last {
+            trans += (p ^ (w >> 63)) & 1;
+        }
+        prev_last = Some((w >> (64 - m)) & 1);
+    }
+    trans
+}
+
 /// SP 800-22 §2.3 — runs.
-fn runs_p(bits: &[bool]) -> f64 {
-    let n = bits.len();
-    if n < 2 {
+fn runs_p(words: &[u64], len: usize) -> f64 {
+    if len < 2 {
         return 0.0;
     }
-    let pi = bits.iter().filter(|&&b| b).count() as f64 / n as f64;
+    let ones: u64 = words.iter().map(|w| w.count_ones() as u64).sum();
+    let pi = ones as f64 / len as f64;
     // Prerequisite frequency check.
-    if (pi - 0.5).abs() >= 2.0 / (n as f64).sqrt() {
+    if (pi - 0.5).abs() >= 2.0 / (len as f64).sqrt() {
         return 0.0;
     }
-    let v_obs = 1 + bits.windows(2).filter(|w| w[0] != w[1]).count();
-    let n = n as f64;
+    let v_obs = 1 + transitions(words, len);
+    let n = len as f64;
     let num = (v_obs as f64 - 2.0 * n * pi * (1.0 - pi)).abs();
     let den = 2.0 * (2.0 * n).sqrt() * pi * (1.0 - pi);
     erfc(num / den)
 }
 
 /// SP 800-22 §2.6 — discrete Fourier transform (spectral).
-fn fft_p(bits: &[bool]) -> f64 {
-    // Use the largest power-of-two prefix (see module docs).
-    let n = bits.len();
-    if n < 16 {
+///
+/// The ±1 samples are real, so the largest power-of-two prefix `n2` is
+/// packed even/odd into a complex array of length `n2/2`, transformed once,
+/// and the first `n2/2` bins of the full DFT reconstructed — half the
+/// butterflies of the complex transform the [`reference`] kernel runs. The
+/// p-value depends only on the *count* of bins below the (irrational)
+/// threshold, so the ~1e-12 relative drift this reordering introduces in
+/// the magnitudes never reaches the p-value bits.
+fn fft_p(words: &[u64], len: usize, scratch: &mut FftScratch) -> f64 {
+    if len < 16 {
         return 0.0;
     }
-    let n2 = 1usize << (usize::BITS - 1 - n.leading_zeros());
-    let mut re: Vec<f64> = bits[..n2]
-        .iter()
-        .map(|&b| if b { 1.0 } else { -1.0 })
-        .collect();
-    let mut im = vec![0.0f64; n2];
-    fft_in_place(&mut re, &mut im);
+    let n2 = 1usize << (usize::BITS - 1 - len.leading_zeros());
+    let m = n2 / 2;
+    scratch.load_even_odd(words, n2);
+    scratch.re2.resize(m, 0.0);
+    scratch.im2.resize(m, 0.0);
+    let tables = scratch
+        .tables
+        .entry(m)
+        .or_insert_with(|| SizeTables::new(m));
+    let in_first = stockham_fft(
+        &mut scratch.re,
+        &mut scratch.im,
+        &mut scratch.re2,
+        &mut scratch.im2,
+        tables,
+    );
     let n = n2 as f64;
     let threshold = ((1.0 / 0.05f64).ln() * n).sqrt();
-    let half = n2 / 2;
-    let n1 = (0..half)
-        .filter(|&k| (re[k] * re[k] + im[k] * im[k]).sqrt() < threshold)
-        .count() as f64;
-    let n0 = 0.95 * half as f64;
+    let (re, im) = if in_first {
+        (&scratch.re, &scratch.im)
+    } else {
+        (&scratch.re2, &scratch.im2)
+    };
+    let n1 = if wide_lanes_available() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `wide_lanes_available` checked for AVX support.
+        unsafe {
+            spectral_count_avx(re, im, &tables.recon_re, &tables.recon_im, threshold)
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        unreachable!()
+    } else {
+        spectral_count(re, im, &tables.recon_re, &tables.recon_im, threshold)
+    };
+    let n1 = n1 as f64;
+    let n0 = 0.95 * m as f64;
     let d = (n1 - n0) / (n * 0.95 * 0.05 / 4.0).sqrt();
     erfc(d.abs() / std::f64::consts::SQRT_2)
 }
 
-/// Iterative radix-2 Cooley–Tukey FFT (length must be a power of two).
-fn fft_in_place(re: &mut [f64], im: &mut [f64]) {
-    let n = re.len();
-    debug_assert!(n.is_power_of_two());
-    // Bit-reversal permutation.
-    let mut j = 0usize;
-    for i in 1..n {
-        let mut bit = n >> 1;
-        while j & bit != 0 {
-            j ^= bit;
-            bit >>= 1;
-        }
-        j |= bit;
-        if i < j {
-            re.swap(i, j);
-            im.swap(i, j);
-        }
+/// Reusable spectral-test scratch: ping-pong data buffers plus per-size
+/// twiddle tables (keyed by half-transform length, each built once).
+#[derive(Debug, Default)]
+pub struct FftScratch {
+    re: Vec<f64>,
+    im: Vec<f64>,
+    re2: Vec<f64>,
+    im2: Vec<f64>,
+    tables: std::collections::BTreeMap<usize, SizeTables>,
+}
+
+impl FftScratch {
+    /// Empty scratch; buffers and tables grow on first use.
+    pub fn new() -> Self {
+        Self::default()
     }
-    let mut len = 2;
-    while len <= n {
-        let ang = -std::f64::consts::TAU / len as f64;
-        let (w_re, w_im) = (ang.cos(), ang.sin());
-        let mut i = 0;
-        while i < n {
-            let (mut cur_re, mut cur_im) = (1.0f64, 0.0f64);
-            for k in 0..len / 2 {
-                let (u_re, u_im) = (re[i + k], im[i + k]);
-                let (v_re, v_im) = (
-                    re[i + k + len / 2] * cur_re - im[i + k + len / 2] * cur_im,
-                    re[i + k + len / 2] * cur_im + im[i + k + len / 2] * cur_re,
-                );
-                re[i + k] = u_re + v_re;
-                im[i + k] = u_im + v_im;
-                re[i + k + len / 2] = u_re - v_re;
-                im[i + k + len / 2] = u_im - v_im;
-                let next_re = cur_re * w_re - cur_im * w_im;
-                cur_im = cur_re * w_im + cur_im * w_re;
-                cur_re = next_re;
+
+    /// Splits the first `n2` bits into ±1 samples, even positions into
+    /// `re`, odd into `im` (`n2` is a power of two ≥ 16, so pairs never
+    /// straddle a word).
+    fn load_even_odd(&mut self, words: &[u64], n2: usize) {
+        let m = n2 / 2;
+        self.re.clear();
+        self.im.clear();
+        self.re.reserve(m);
+        self.im.reserve(m);
+        for &w in &words[..n2 / 64] {
+            for j in 0..32 {
+                self.re.push(pm1(w >> (63 - 2 * j)));
+                self.im.push(pm1(w >> (62 - 2 * j)));
             }
-            i += len;
         }
-        len <<= 1;
+        let rem = n2 % 64;
+        if rem > 0 {
+            let w = words[n2 / 64];
+            for j in 0..rem / 2 {
+                self.re.push(pm1(w >> (63 - 2 * j)));
+                self.im.push(pm1(w >> (62 - 2 * j)));
+            }
+        }
     }
 }
 
-/// SP 800-22 §2.13 — cumulative sums.
-fn cusum_p(bits: &[bool], backward: bool) -> f64 {
-    let n = bits.len();
-    if n == 0 {
-        return 0.0;
-    }
-    let xs: Vec<f64> = if backward {
-        bits.iter()
-            .rev()
-            .map(|&b| if b { 1.0 } else { -1.0 })
-            .collect()
+fn pm1(bit: u64) -> f64 {
+    if bit & 1 == 1 {
+        1.0
     } else {
-        bits.iter().map(|&b| if b { 1.0 } else { -1.0 }).collect()
-    };
-    let mut sum = 0.0f64;
-    let mut z: f64 = 0.0;
-    for x in xs {
-        sum += x;
-        z = z.max(sum.abs());
+        -1.0
     }
-    if z == 0.0 {
+}
+
+/// Twiddle tables for one half-transform size `m`: per-stage factors
+/// packed contiguously (`m - 1` entries across all stages) plus the
+/// `e^{-2πik/2m}` spectrum-reconstruction factors.
+#[derive(Debug)]
+struct SizeTables {
+    stage_re: Vec<f64>,
+    stage_im: Vec<f64>,
+    recon_re: Vec<f64>,
+    recon_im: Vec<f64>,
+}
+
+impl SizeTables {
+    fn new(m: usize) -> Self {
+        debug_assert!(m.is_power_of_two());
+        let mut t = SizeTables {
+            stage_re: Vec::with_capacity(m.saturating_sub(1)),
+            stage_im: Vec::with_capacity(m.saturating_sub(1)),
+            recon_re: vec![0.0; m],
+            recon_im: vec![0.0; m],
+        };
+        fill_twiddles(
+            &mut t.recon_re,
+            &mut t.recon_im,
+            -std::f64::consts::TAU / (2 * m) as f64,
+        );
+        // Every stage factor is a reconstruction factor: e^{-2πij/len} =
+        // recon[j · 2m/len]. Derive the largest stage from recon and each
+        // smaller stage from the next larger one (stride-2 each time), so
+        // every copy streams instead of striding across the whole table.
+        if m >= 2 {
+            t.stage_re.resize(m - 1, 0.0);
+            t.stage_im.resize(m - 1, 0.0);
+            for j in 0..m / 2 {
+                t.stage_re[m / 2 - 1 + j] = t.recon_re[2 * j];
+                t.stage_im[m / 2 - 1 + j] = t.recon_im[2 * j];
+            }
+            let mut l = m;
+            while l >= 4 {
+                // The table for length l/2 (offset l/4 - 1) is every other
+                // entry of the table for length l (offset l/2 - 1).
+                let (lo_re, hi_re) = t.stage_re.split_at_mut(l / 2 - 1);
+                let (lo_im, hi_im) = t.stage_im.split_at_mut(l / 2 - 1);
+                for j in 0..l / 4 {
+                    lo_re[l / 4 - 1 + j] = hi_re[2 * j];
+                    lo_im[l / 4 - 1 + j] = hi_im[2 * j];
+                }
+                l /= 2;
+            }
+        }
+        t
+    }
+}
+
+/// Fills `re[k] + i·im[k] = e^{i·ang·k}` via the same complex-multiply
+/// recurrence the in-loop twiddle update used, resynchronized against
+/// `sin_cos` every 32 entries to keep the accumulated error ~1 ulp.
+fn fill_twiddles(re: &mut [f64], im: &mut [f64], ang: f64) {
+    let (w_im, w_re) = ang.sin_cos();
+    let mut k = 0;
+    while k < re.len() {
+        let (s, c) = (ang * k as f64).sin_cos();
+        let (mut cur_re, mut cur_im) = (c, s);
+        let end = (k + 32).min(re.len());
+        for j in k..end {
+            re[j] = cur_re;
+            im[j] = cur_im;
+            let next_re = cur_re * w_re - cur_im * w_im;
+            cur_im = cur_re * w_im + cur_im * w_re;
+            cur_re = next_re;
+        }
+        k = end;
+    }
+}
+
+/// Iterative radix-2 FFT (length must be a power of two).
+///
+/// Builds its twiddle tables and ping-pong buffer on every call; hot paths
+/// that transform many sequences should go through
+/// [`BitSequence::run_with`]/[`FftScratch`], which cache both.
+pub fn fft_in_place(re: &mut [f64], im: &mut [f64]) {
+    let tables = SizeTables::new(re.len());
+    let mut re2 = vec![0.0; re.len()];
+    let mut im2 = vec![0.0; im.len()];
+    if !stockham_fft(re, im, &mut re2, &mut im2, &tables) {
+        re.copy_from_slice(&re2);
+        im.copy_from_slice(&im2);
+    }
+}
+
+/// Stockham autosort radix-2 FFT (decimation in frequency): natural-order
+/// input and output, no bit-reversal pass, contiguous reads/writes in the
+/// inner loop with a loop-invariant twiddle, so it vectorizes. Ping-pongs
+/// between the `x` and `y` buffers each stage; returns true when the
+/// result ends in `x`.
+///
+/// Stage with transform length `l` (halving from `n` to 2) and stride
+/// `s = n/l` computes, for `p < l/2`, `q < s`:
+/// `y[q + s·2p] = a + b` and `y[q + s·(2p+1)] = (a − b)·e^{-2πip/l}` with
+/// `a = x[q + s·p]`, `b = x[q + s·(p + l/2)]`.
+fn stockham_fft<'a>(
+    mut x_re: &'a mut [f64],
+    mut x_im: &'a mut [f64],
+    mut y_re: &'a mut [f64],
+    mut y_im: &'a mut [f64],
+    tables: &SizeTables,
+) -> bool {
+    let n = x_re.len();
+    debug_assert!(n.is_power_of_two());
+    let wide = wide_lanes_available();
+    let mut in_x = true;
+    let mut l = n;
+    let mut s = 1usize;
+    if n.trailing_zeros() % 2 == 1 && l >= 2 {
+        // Odd power of two: one radix-2 stage, then pure radix-4.
+        let m = l / 2;
+        // The packed stage tables hold e^{-2πip/len} for len = 2, 4, ...,
+        // so the table for length `len` starts at len/2 - 1.
+        let toff = m - 1;
+        let (tr, ti) = (
+            &tables.stage_re[toff..toff + m],
+            &tables.stage_im[toff..toff + m],
+        );
+        if wide {
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: `wide_lanes_available` checked for AVX support.
+            unsafe {
+                stockham_stage2_avx(x_re, x_im, y_re, y_im, tr, ti, s)
+            };
+        } else {
+            stockham_stage2(x_re, x_im, y_re, y_im, tr, ti, s);
+        }
+        std::mem::swap(&mut x_re, &mut y_re);
+        std::mem::swap(&mut x_im, &mut y_im);
+        in_x = !in_x;
+        l /= 2;
+        s *= 2;
+    }
+    while l >= 4 {
+        let m = l / 4;
+        let t1off = l / 2 - 1; // e^{-2πip/l}
+        let t2off = l / 4 - 1; // e^{-2πip/(l/2)} = e^{-2πi·2p/l}
+        let (t1r, t1i) = (
+            &tables.stage_re[t1off..t1off + m],
+            &tables.stage_im[t1off..t1off + m],
+        );
+        let (t2r, t2i) = (
+            &tables.stage_re[t2off..t2off + m],
+            &tables.stage_im[t2off..t2off + m],
+        );
+        if wide {
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: `wide_lanes_available` checked for AVX support.
+            unsafe {
+                stockham_stage4_avx(x_re, x_im, y_re, y_im, t1r, t1i, t2r, t2i, s)
+            };
+        } else {
+            stockham_stage4(x_re, x_im, y_re, y_im, t1r, t1i, t2r, t2i, s);
+        }
+        std::mem::swap(&mut x_re, &mut y_re);
+        std::mem::swap(&mut x_im, &mut y_im);
+        in_x = !in_x;
+        l /= 4;
+        s *= 4;
+    }
+    in_x
+}
+
+/// Reconstructs the first `n2/2` bins of the full real-input DFT from the
+/// half-size transform `Z` and counts magnitudes below `threshold`:
+/// `X[k] = E[k] + w^k · O[k]` with `E[k] = (Z[k] + conj(Z[m-k]))/2`,
+/// `O[k] = (Z[k] - conj(Z[m-k]))/(2i)` and `w = e^{-2πi/n2}`.
+#[inline(always)]
+fn spectral_count(re: &[f64], im: &[f64], recon_re: &[f64], recon_im: &[f64], t: f64) -> usize {
+    let m = re.len();
+    let mut n1 = 0usize;
+    for k in 0..m {
+        let mk = (m - k) & (m - 1);
+        let (zr, zi) = (re[k], im[k]);
+        let (yr, yi) = (re[mk], -im[mk]);
+        let (er, ei) = ((zr + yr) / 2.0, (zi + yi) / 2.0);
+        let (or, oi) = ((zi - yi) / 2.0, -(zr - yr) / 2.0);
+        let (c, s) = (recon_re[k], recon_im[k]);
+        let xr = er + c * or - s * oi;
+        let xi = ei + c * oi + s * or;
+        if (xr * xr + xi * xi).sqrt() < t {
+            n1 += 1;
+        }
+    }
+    n1
+}
+
+/// [`spectral_count`] compiled with 256-bit lanes; same operations, same
+/// results (see [`wide_lanes_available`]).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx")]
+unsafe fn spectral_count_avx(
+    re: &[f64],
+    im: &[f64],
+    recon_re: &[f64],
+    recon_im: &[f64],
+    t: f64,
+) -> usize {
+    spectral_count(re, im, recon_re, recon_im, t)
+}
+
+/// Whether 256-bit float lanes are available at runtime. AVX widens the
+/// auto-vectorized loops without changing any individual IEEE operation
+/// (no FMA contraction is enabled), so results are bit-identical to the
+/// baseline path and the choice cannot perturb the determinism contract.
+fn wide_lanes_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        static AVX: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+        *AVX.get_or_init(|| std::arch::is_x86_feature_detected!("avx"))
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// One radix-2 Stockham stage: `m` butterfly groups of contiguous width
+/// `s`.
+#[inline(always)]
+fn stockham_stage2(
+    x_re: &[f64],
+    x_im: &[f64],
+    y_re: &mut [f64],
+    y_im: &mut [f64],
+    tr: &[f64],
+    ti: &[f64],
+    s: usize,
+) {
+    let m = tr.len();
+    if s == 1 {
+        // First-stage special case: one butterfly per group, so skip the
+        // per-group slice setup (same operations in the same order, so the
+        // results are bit-identical to the general path).
+        for p in 0..m {
+            let (wr, wi) = (tr[p], ti[p]);
+            let (ar, ai) = (x_re[p], x_im[p]);
+            let (br, bi) = (x_re[p + m], x_im[p + m]);
+            y_re[2 * p] = ar + br;
+            y_im[2 * p] = ai + bi;
+            let (dr, di) = (ar - br, ai - bi);
+            y_re[2 * p + 1] = dr * wr - di * wi;
+            y_im[2 * p + 1] = dr * wi + di * wr;
+        }
+        return;
+    }
+    for p in 0..m {
+        let (wr, wi) = (tr[p], ti[p]);
+        let xa_re = &x_re[s * p..s * p + s];
+        let xa_im = &x_im[s * p..s * p + s];
+        let xb_re = &x_re[s * (p + m)..s * (p + m) + s];
+        let xb_im = &x_im[s * (p + m)..s * (p + m) + s];
+        let (ya_re, yb_re) = y_re[s * 2 * p..s * 2 * p + 2 * s].split_at_mut(s);
+        let (ya_im, yb_im) = y_im[s * 2 * p..s * 2 * p + 2 * s].split_at_mut(s);
+        for q in 0..s {
+            let (ar, ai) = (xa_re[q], xa_im[q]);
+            let (br, bi) = (xb_re[q], xb_im[q]);
+            ya_re[q] = ar + br;
+            ya_im[q] = ai + bi;
+            let (dr, di) = (ar - br, ai - bi);
+            yb_re[q] = dr * wr - di * wi;
+            yb_im[q] = dr * wi + di * wr;
+        }
+    }
+}
+
+/// [`stockham_stage2`] compiled with 256-bit lanes; same operations, same
+/// results (see [`wide_lanes_available`]).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx")]
+unsafe fn stockham_stage2_avx(
+    x_re: &[f64],
+    x_im: &[f64],
+    y_re: &mut [f64],
+    y_im: &mut [f64],
+    tr: &[f64],
+    ti: &[f64],
+    s: usize,
+) {
+    stockham_stage2(x_re, x_im, y_re, y_im, tr, ti, s);
+}
+
+/// One radix-4 Stockham stage (`m = l/4` groups of width `s`): for
+/// `a, b, c, d = x[s(p + km)]`, `k = 0..4`,
+/// `y[s·4p]     = (a+c) + (b+d)`,
+/// `y[s(4p+1)]  = w¹ₚ·((a−c) − i(b−d))`,
+/// `y[s(4p+2)]  = w²ₚ·((a+c) − (b+d))`,
+/// `y[s(4p+3)]  = w³ₚ·((a−c) + i(b−d))`, with `wₚ = e^{-2πip/l}`.
+/// `w¹` and `w²` come straight from the packed stage tables (`w²ₚ` is the
+/// length-`l/2` table entry); `w³ = w¹·w²` is formed per group.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn stockham_stage4(
+    x_re: &[f64],
+    x_im: &[f64],
+    y_re: &mut [f64],
+    y_im: &mut [f64],
+    t1r: &[f64],
+    t1i: &[f64],
+    t2r: &[f64],
+    t2i: &[f64],
+    s: usize,
+) {
+    let m = t1r.len();
+    if s == 1 {
+        // First-stage special case: one butterfly per group, so skip the
+        // per-group slice setup (same operations in the same order, so the
+        // results are bit-identical to the general path).
+        for p in 0..m {
+            let (w1r, w1i) = (t1r[p], t1i[p]);
+            let (w2r, w2i) = (t2r[p], t2i[p]);
+            let (w3r, w3i) = (w1r * w2r - w1i * w2i, w1r * w2i + w1i * w2r);
+            let (ar, ai) = (x_re[p], x_im[p]);
+            let (br, bi) = (x_re[p + m], x_im[p + m]);
+            let (cr, ci) = (x_re[p + 2 * m], x_im[p + 2 * m]);
+            let (dr, di) = (x_re[p + 3 * m], x_im[p + 3 * m]);
+            let (apcr, apci) = (ar + cr, ai + ci);
+            let (amcr, amci) = (ar - cr, ai - ci);
+            let (bpdr, bpdi) = (br + dr, bi + di);
+            let (bmdr, bmdi) = (br - dr, bi - di);
+            y_re[4 * p] = apcr + bpdr;
+            y_im[4 * p] = apci + bpdi;
+            let (t1re, t1im) = (amcr + bmdi, amci - bmdr);
+            y_re[4 * p + 1] = t1re * w1r - t1im * w1i;
+            y_im[4 * p + 1] = t1re * w1i + t1im * w1r;
+            let (t2re, t2im) = (apcr - bpdr, apci - bpdi);
+            y_re[4 * p + 2] = t2re * w2r - t2im * w2i;
+            y_im[4 * p + 2] = t2re * w2i + t2im * w2r;
+            let (t3re, t3im) = (amcr - bmdi, amci + bmdr);
+            y_re[4 * p + 3] = t3re * w3r - t3im * w3i;
+            y_im[4 * p + 3] = t3re * w3i + t3im * w3r;
+        }
+        return;
+    }
+    // Narrow groups (the second/third stages) spend more time on slice
+    // bookkeeping than arithmetic; a compile-time width lets the q-loop
+    // unroll completely. Same operations in the same order either way.
+    match s {
+        2 => return stockham_stage4_fixed::<2>(x_re, x_im, y_re, y_im, t1r, t1i, t2r, t2i),
+        4 => return stockham_stage4_fixed::<4>(x_re, x_im, y_re, y_im, t1r, t1i, t2r, t2i),
+        8 => return stockham_stage4_fixed::<8>(x_re, x_im, y_re, y_im, t1r, t1i, t2r, t2i),
+        _ => {}
+    }
+    for p in 0..m {
+        let (w1r, w1i) = (t1r[p], t1i[p]);
+        let (w2r, w2i) = (t2r[p], t2i[p]);
+        let (w3r, w3i) = (w1r * w2r - w1i * w2i, w1r * w2i + w1i * w2r);
+        let xa_re = &x_re[s * p..s * p + s];
+        let xa_im = &x_im[s * p..s * p + s];
+        let xb_re = &x_re[s * (p + m)..s * (p + m) + s];
+        let xb_im = &x_im[s * (p + m)..s * (p + m) + s];
+        let xc_re = &x_re[s * (p + 2 * m)..s * (p + 2 * m) + s];
+        let xc_im = &x_im[s * (p + 2 * m)..s * (p + 2 * m) + s];
+        let xd_re = &x_re[s * (p + 3 * m)..s * (p + 3 * m) + s];
+        let xd_im = &x_im[s * (p + 3 * m)..s * (p + 3 * m) + s];
+        let (y01_re, y23_re) = y_re[s * 4 * p..s * 4 * p + 4 * s].split_at_mut(2 * s);
+        let (y0_re, y1_re) = y01_re.split_at_mut(s);
+        let (y2_re, y3_re) = y23_re.split_at_mut(s);
+        let (y01_im, y23_im) = y_im[s * 4 * p..s * 4 * p + 4 * s].split_at_mut(2 * s);
+        let (y0_im, y1_im) = y01_im.split_at_mut(s);
+        let (y2_im, y3_im) = y23_im.split_at_mut(s);
+        for q in 0..s {
+            let (ar, ai) = (xa_re[q], xa_im[q]);
+            let (br, bi) = (xb_re[q], xb_im[q]);
+            let (cr, ci) = (xc_re[q], xc_im[q]);
+            let (dr, di) = (xd_re[q], xd_im[q]);
+            let (apcr, apci) = (ar + cr, ai + ci);
+            let (amcr, amci) = (ar - cr, ai - ci);
+            let (bpdr, bpdi) = (br + dr, bi + di);
+            let (bmdr, bmdi) = (br - dr, bi - di);
+            y0_re[q] = apcr + bpdr;
+            y0_im[q] = apci + bpdi;
+            let (t1re, t1im) = (amcr + bmdi, amci - bmdr);
+            y1_re[q] = t1re * w1r - t1im * w1i;
+            y1_im[q] = t1re * w1i + t1im * w1r;
+            let (t2re, t2im) = (apcr - bpdr, apci - bpdi);
+            y2_re[q] = t2re * w2r - t2im * w2i;
+            y2_im[q] = t2re * w2i + t2im * w2r;
+            let (t3re, t3im) = (amcr - bmdi, amci + bmdr);
+            y3_re[q] = t3re * w3r - t3im * w3i;
+            y3_im[q] = t3re * w3i + t3im * w3r;
+        }
+    }
+}
+
+/// [`stockham_stage4`] with the group width `S` fixed at compile time so
+/// the inner loop unrolls; identical operations and order, so identical
+/// results.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn stockham_stage4_fixed<const S: usize>(
+    x_re: &[f64],
+    x_im: &[f64],
+    y_re: &mut [f64],
+    y_im: &mut [f64],
+    t1r: &[f64],
+    t1i: &[f64],
+    t2r: &[f64],
+    t2i: &[f64],
+) {
+    let m = t1r.len();
+    let at = |v: &[f64], off: usize| -> [f64; S] { v[off..off + S].try_into().unwrap() };
+    for p in 0..m {
+        let (w1r, w1i) = (t1r[p], t1i[p]);
+        let (w2r, w2i) = (t2r[p], t2i[p]);
+        let (w3r, w3i) = (w1r * w2r - w1i * w2i, w1r * w2i + w1i * w2r);
+        let xa_re = at(x_re, S * p);
+        let xa_im = at(x_im, S * p);
+        let xb_re = at(x_re, S * (p + m));
+        let xb_im = at(x_im, S * (p + m));
+        let xc_re = at(x_re, S * (p + 2 * m));
+        let xc_im = at(x_im, S * (p + 2 * m));
+        let xd_re = at(x_re, S * (p + 3 * m));
+        let xd_im = at(x_im, S * (p + 3 * m));
+        let (y01_re, y23_re) = y_re[S * 4 * p..S * 4 * p + 4 * S].split_at_mut(2 * S);
+        let (y0_re, y1_re) = y01_re.split_at_mut(S);
+        let (y2_re, y3_re) = y23_re.split_at_mut(S);
+        let (y01_im, y23_im) = y_im[S * 4 * p..S * 4 * p + 4 * S].split_at_mut(2 * S);
+        let (y0_im, y1_im) = y01_im.split_at_mut(S);
+        let (y2_im, y3_im) = y23_im.split_at_mut(S);
+        for q in 0..S {
+            let (ar, ai) = (xa_re[q], xa_im[q]);
+            let (br, bi) = (xb_re[q], xb_im[q]);
+            let (cr, ci) = (xc_re[q], xc_im[q]);
+            let (dr, di) = (xd_re[q], xd_im[q]);
+            let (apcr, apci) = (ar + cr, ai + ci);
+            let (amcr, amci) = (ar - cr, ai - ci);
+            let (bpdr, bpdi) = (br + dr, bi + di);
+            let (bmdr, bmdi) = (br - dr, bi - di);
+            y0_re[q] = apcr + bpdr;
+            y0_im[q] = apci + bpdi;
+            let (t1re, t1im) = (amcr + bmdi, amci - bmdr);
+            y1_re[q] = t1re * w1r - t1im * w1i;
+            y1_im[q] = t1re * w1i + t1im * w1r;
+            let (t2re, t2im) = (apcr - bpdr, apci - bpdi);
+            y2_re[q] = t2re * w2r - t2im * w2i;
+            y2_im[q] = t2re * w2i + t2im * w2r;
+            let (t3re, t3im) = (amcr - bmdi, amci + bmdr);
+            y3_re[q] = t3re * w3r - t3im * w3i;
+            y3_im[q] = t3re * w3i + t3im * w3r;
+        }
+    }
+}
+
+/// [`stockham_stage4`] compiled with 256-bit lanes; same operations, same
+/// results (see [`wide_lanes_available`]).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn stockham_stage4_avx(
+    x_re: &[f64],
+    x_im: &[f64],
+    y_re: &mut [f64],
+    y_im: &mut [f64],
+    t1r: &[f64],
+    t1i: &[f64],
+    t2r: &[f64],
+    t2i: &[f64],
+    s: usize,
+) {
+    stockham_stage4(x_re, x_im, y_re, y_im, t1r, t1i, t2r, t2i, s);
+}
+
+/// Per-byte cusum steps: net ±1 total plus the prefix-sum extremes,
+/// MSB-first within the byte.
+#[derive(Clone, Copy)]
+struct ByteCusum {
+    total: i8,
+    min: i8,
+    max: i8,
+}
+
+static CUSUM_LUT: [ByteCusum; 256] = build_cusum_lut();
+
+const fn build_cusum_lut() -> [ByteCusum; 256] {
+    let mut t = [ByteCusum {
+        total: 0,
+        min: 0,
+        max: 0,
+    }; 256];
+    let mut b = 0usize;
+    while b < 256 {
+        let mut sum = 0i8;
+        let mut min = 0i8;
+        let mut max = 0i8;
+        let mut i = 0;
+        while i < 8 {
+            sum += if (b >> (7 - i)) & 1 == 1 { 1 } else { -1 };
+            if sum < min {
+                min = sum;
+            }
+            if sum > max {
+                max = sum;
+            }
+            i += 1;
+        }
+        t[b] = ByteCusum {
+            total: sum,
+            min,
+            max,
+        };
+        b += 1;
+    }
+    t
+}
+
+/// SP 800-22 §2.13 — cumulative sums, allocation-free.
+///
+/// The partial sums of ±1 steps are small integers, so the peak |sum| is
+/// tracked in `i64` by walking the packed words a byte at a time through
+/// [`CUSUM_LUT`] (in reverse, via `reverse_bits`, for the backward
+/// variant); `|sum + p|` over a byte's prefixes peaks at one of the two
+/// prefix extremes.
+fn cusum_step_byte(b: u8, sum: &mut i64, z: &mut i64) {
+    let e = CUSUM_LUT[b as usize];
+    *z = (*z)
+        .max((*sum + e.max as i64).abs())
+        .max((*sum + e.min as i64).abs());
+    *sum += e.total as i64;
+}
+
+fn cusum_step_bit(bit: u64, sum: &mut i64, z: &mut i64) {
+    *sum += if bit & 1 == 1 { 1 } else { -1 };
+    *z = (*z).max(sum.abs());
+}
+
+fn cusum_p(words: &[u64], len: usize, backward: bool) -> f64 {
+    if len == 0 {
         return 0.0;
     }
-    let n = n as f64;
+    let mut sum = 0i64;
+    let mut z = 0i64;
+    let last_m = len - (words.len() - 1) * 64;
+    if backward {
+        // The last word's valid bits, last bit first.
+        let w = words[words.len() - 1];
+        for i in (0..last_m).rev() {
+            cusum_step_bit(w >> (63 - i), &mut sum, &mut z);
+        }
+        for &w in words[..words.len() - 1].iter().rev() {
+            let r = w.reverse_bits();
+            for j in 0..8 {
+                cusum_step_byte((r >> (56 - 8 * j)) as u8, &mut sum, &mut z);
+            }
+        }
+    } else {
+        for &w in &words[..words.len() - 1] {
+            for j in 0..8 {
+                cusum_step_byte((w >> (56 - 8 * j)) as u8, &mut sum, &mut z);
+            }
+        }
+        let w = words[words.len() - 1];
+        let full_bytes = last_m / 8;
+        for j in 0..full_bytes {
+            cusum_step_byte((w >> (56 - 8 * j)) as u8, &mut sum, &mut z);
+        }
+        for i in full_bytes * 8..last_m {
+            cusum_step_bit(w >> (63 - i), &mut sum, &mut z);
+        }
+    }
+    if z == 0 {
+        return 0.0;
+    }
+    let n = len as f64;
+    let z = z as f64;
     let sqrt_n = n.sqrt();
     let mut p = 1.0;
     let k_lo = (((-n / z) + 1.0) / 4.0).floor() as i64;
@@ -264,6 +923,156 @@ fn cusum_p(bits: &[bool], backward: bool) -> f64 {
         p += normal_cdf((4.0 * k + 3.0) * z / sqrt_n) - normal_cdf((4.0 * k + 1.0) * z / sqrt_n);
     }
     p.clamp(0.0, 1.0)
+}
+
+/// The scalar `Vec<bool>` kernels the packed implementations replaced,
+/// retained verbatim as the ground truth for property tests and the
+/// `kernels` criterion group.
+pub mod reference {
+    use crate::special::{erfc, normal_cdf};
+
+    /// SP 800-22 §2.1 — frequency (monobit).
+    pub fn frequency_p(bits: &[bool]) -> f64 {
+        let n = bits.len();
+        if n == 0 {
+            return 0.0;
+        }
+        let s: i64 = bits.iter().map(|&b| if b { 1i64 } else { -1 }).sum();
+        let s_obs = (s.abs() as f64) / (n as f64).sqrt();
+        erfc(s_obs / std::f64::consts::SQRT_2)
+    }
+
+    /// SP 800-22 §2.3 — runs.
+    pub fn runs_p(bits: &[bool]) -> f64 {
+        let n = bits.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let pi = bits.iter().filter(|&&b| b).count() as f64 / n as f64;
+        // Prerequisite frequency check.
+        if (pi - 0.5).abs() >= 2.0 / (n as f64).sqrt() {
+            return 0.0;
+        }
+        let v_obs = 1 + bits.windows(2).filter(|w| w[0] != w[1]).count();
+        let n = n as f64;
+        let num = (v_obs as f64 - 2.0 * n * pi * (1.0 - pi)).abs();
+        let den = 2.0 * (2.0 * n).sqrt() * pi * (1.0 - pi);
+        erfc(num / den)
+    }
+
+    /// SP 800-22 §2.6 — discrete Fourier transform (spectral).
+    pub fn fft_p(bits: &[bool]) -> f64 {
+        // Use the largest power-of-two prefix (see module docs).
+        let n = bits.len();
+        if n < 16 {
+            return 0.0;
+        }
+        let n2 = 1usize << (usize::BITS - 1 - n.leading_zeros());
+        let mut re: Vec<f64> = bits[..n2]
+            .iter()
+            .map(|&b| if b { 1.0 } else { -1.0 })
+            .collect();
+        let mut im = vec![0.0f64; n2];
+        fft_in_place(&mut re, &mut im);
+        let n = n2 as f64;
+        let threshold = ((1.0 / 0.05f64).ln() * n).sqrt();
+        let half = n2 / 2;
+        let n1 = (0..half)
+            .filter(|&k| (re[k] * re[k] + im[k] * im[k]).sqrt() < threshold)
+            .count() as f64;
+        let n0 = 0.95 * half as f64;
+        let d = (n1 - n0) / (n * 0.95 * 0.05 / 4.0).sqrt();
+        erfc(d.abs() / std::f64::consts::SQRT_2)
+    }
+
+    /// Iterative radix-2 FFT with the per-block twiddle recurrence
+    /// (length must be a power of two).
+    pub fn fft_in_place(re: &mut [f64], im: &mut [f64]) {
+        let n = re.len();
+        debug_assert!(n.is_power_of_two());
+        // Bit-reversal permutation.
+        let mut j = 0usize;
+        for i in 1..n {
+            let mut bit = n >> 1;
+            while j & bit != 0 {
+                j ^= bit;
+                bit >>= 1;
+            }
+            j |= bit;
+            if i < j {
+                re.swap(i, j);
+                im.swap(i, j);
+            }
+        }
+        let mut len = 2;
+        while len <= n {
+            let ang = -std::f64::consts::TAU / len as f64;
+            let (w_re, w_im) = (ang.cos(), ang.sin());
+            let mut i = 0;
+            while i < n {
+                let (mut cur_re, mut cur_im) = (1.0f64, 0.0f64);
+                for k in 0..len / 2 {
+                    let (u_re, u_im) = (re[i + k], im[i + k]);
+                    let (v_re, v_im) = (
+                        re[i + k + len / 2] * cur_re - im[i + k + len / 2] * cur_im,
+                        re[i + k + len / 2] * cur_im + im[i + k + len / 2] * cur_re,
+                    );
+                    re[i + k] = u_re + v_re;
+                    im[i + k] = u_im + v_im;
+                    re[i + k + len / 2] = u_re - v_re;
+                    im[i + k + len / 2] = u_im - v_im;
+                    let next_re = cur_re * w_re - cur_im * w_im;
+                    cur_im = cur_re * w_im + cur_im * w_re;
+                    cur_re = next_re;
+                }
+                i += len;
+            }
+            len <<= 1;
+        }
+    }
+
+    /// SP 800-22 §2.13 — cumulative sums.
+    pub fn cusum_p(bits: &[bool], backward: bool) -> f64 {
+        let n = bits.len();
+        if n == 0 {
+            return 0.0;
+        }
+        let xs: Vec<f64> = if backward {
+            bits.iter()
+                .rev()
+                .map(|&b| if b { 1.0 } else { -1.0 })
+                .collect()
+        } else {
+            bits.iter().map(|&b| if b { 1.0 } else { -1.0 }).collect()
+        };
+        let mut sum = 0.0f64;
+        let mut z: f64 = 0.0;
+        for x in xs {
+            sum += x;
+            z = z.max(sum.abs());
+        }
+        if z == 0.0 {
+            return 0.0;
+        }
+        let n = n as f64;
+        let sqrt_n = n.sqrt();
+        let mut p = 1.0;
+        let k_lo = (((-n / z) + 1.0) / 4.0).floor() as i64;
+        let k_hi = (((n / z) - 1.0) / 4.0).floor() as i64;
+        for k in k_lo..=k_hi {
+            let k = k as f64;
+            p -=
+                normal_cdf((4.0 * k + 1.0) * z / sqrt_n) - normal_cdf((4.0 * k - 1.0) * z / sqrt_n);
+        }
+        let k_lo = (((-n / z) - 3.0) / 4.0).floor() as i64;
+        let k_hi = (((n / z) - 1.0) / 4.0).floor() as i64;
+        for k in k_lo..=k_hi {
+            let k = k as f64;
+            p +=
+                normal_cdf((4.0 * k + 3.0) * z / sqrt_n) - normal_cdf((4.0 * k + 1.0) * z / sqrt_n);
+        }
+        p.clamp(0.0, 1.0)
+    }
 }
 
 #[cfg(test)]
@@ -385,8 +1194,64 @@ mod tests {
     fn push_bits_is_msb_first() {
         let mut seq = BitSequence::new();
         seq.push_bits(0b101, 3);
-        assert_eq!(seq.bits(), &[true, false, true]);
+        assert_eq!(seq.to_bools(), vec![true, false, true]);
         assert_eq!(seq.len(), 3);
+        assert!(seq.bit(0) && !seq.bit(1) && seq.bit(2));
+        assert_eq!(seq.words(), &[0b101u64 << 61]);
+    }
+
+    #[test]
+    fn push_bits_straddles_words() {
+        let mut seq = BitSequence::new();
+        seq.push_bits(0, 60);
+        seq.push_bits(0xff, 8); // 4 bits in word 0, 4 in word 1
+        assert_eq!(seq.len(), 68);
+        assert_eq!(seq.words(), &[0xf, 0xf << 60]);
+        let mut bools = vec![false; 60];
+        bools.extend([true; 8]);
+        assert_eq!(seq.to_bools(), bools);
+    }
+
+    #[test]
+    fn packed_matches_reference_on_awkward_lengths() {
+        // Word-boundary straddles, partial bytes, and a non-power-of-two
+        // tail all at once; the FFT prefix logic sees several sizes.
+        let mut rng = Xoshiro256pp::seed_from_u64(99);
+        for len in [1usize, 7, 8, 9, 63, 64, 65, 100, 127, 128, 200, 515] {
+            let mut seq = BitSequence::new();
+            for _ in 0..len {
+                seq.push_bits(rng.next_u64() as u128 & 1, 1);
+            }
+            assert_eq!(seq.len(), len);
+            let bools = seq.to_bools();
+            assert_eq!(
+                seq.run(NistTest::Frequency).p_value,
+                reference::frequency_p(&bools).clamp(0.0, 1.0),
+                "frequency, len {len}"
+            );
+            assert_eq!(
+                seq.run(NistTest::Runs).p_value,
+                reference::runs_p(&bools).clamp(0.0, 1.0),
+                "runs, len {len}"
+            );
+            assert_eq!(
+                seq.run(NistTest::Fft).p_value,
+                reference::fft_p(&bools).clamp(0.0, 1.0),
+                "fft, len {len}"
+            );
+            for backward in [false, true] {
+                let test = if backward {
+                    NistTest::CusumBackward
+                } else {
+                    NistTest::CusumForward
+                };
+                assert_eq!(
+                    seq.run(test).p_value,
+                    reference::cusum_p(&bools, backward).clamp(0.0, 1.0),
+                    "cusum backward={backward}, len {len}"
+                );
+            }
+        }
     }
 
     #[test]
@@ -410,6 +1275,20 @@ mod tests {
         assert!((re[0] - 16.0).abs() < 1e-9);
         for k in 1..16 {
             assert!(re[k].abs() < 1e-9 && im[k].abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn fft_matches_reference_fft() {
+        let mut rng = Xoshiro256pp::seed_from_u64(3);
+        let mut re: Vec<f64> = (0..256).map(|_| pm1(rng.next_u64())).collect();
+        let mut im: Vec<f64> = (0..256).map(|_| pm1(rng.next_u64())).collect();
+        let mut re2 = re.clone();
+        let mut im2 = im.clone();
+        fft_in_place(&mut re, &mut im);
+        reference::fft_in_place(&mut re2, &mut im2);
+        for k in 0..256 {
+            assert!((re[k] - re2[k]).abs() < 1e-9 && (im[k] - im2[k]).abs() < 1e-9);
         }
     }
 }

@@ -1,16 +1,91 @@
 //! Property tests for the analysis toolkit: NIST p-value sanity, DBSCAN
-//! label validity and determinism, address-classifier totality, and
-//! statistics invariants.
+//! label validity and determinism, address-classifier totality, statistics
+//! invariants, and packed-kernel equivalence against the retained naive
+//! references.
 
 use proptest::prelude::*;
 use sixscope_analysis::addrtype::{classify, AddressType};
-use sixscope_analysis::dbscan::{cluster_count, dbscan, Assignment};
-use sixscope_analysis::nist::{BitSequence, NistTest};
+use sixscope_analysis::autocorr::{self, PeriodDetector};
+use sixscope_analysis::dbscan::{cluster_count, dbscan, dbscan_indexed, Assignment};
+use sixscope_analysis::nist::{self, BitSequence, NistTest};
 use sixscope_analysis::special::{erfc, normal_cdf};
 use sixscope_analysis::stats::{ecdf, percent_change, rank_descending};
+use sixscope_types::SimTime;
 use std::net::Ipv6Addr;
 
 proptest! {
+    /// The word-packed NIST kernels reproduce the naive bit-vector
+    /// references bit-for-bit, including sequences that end mid-word.
+    #[test]
+    fn nist_packed_matches_reference(
+        words in proptest::collection::vec(any::<u64>(), 0..40),
+        tail in any::<u64>(),
+        tail_len in 0u32..64,
+    ) {
+        let mut seq = BitSequence::new();
+        for w in &words {
+            seq.push_bits(*w as u128, 64);
+        }
+        if tail_len > 0 {
+            seq.push_bits((tail & ((1u64 << tail_len) - 1)) as u128, tail_len);
+        }
+        let bits = seq.to_bools();
+        prop_assert_eq!(bits.len(), words.len() * 64 + tail_len as usize);
+        for out in seq.run_all() {
+            let want = match out.test {
+                NistTest::Frequency => nist::reference::frequency_p(&bits),
+                NistTest::Runs => nist::reference::runs_p(&bits),
+                NistTest::Fft => nist::reference::fft_p(&bits),
+                NistTest::CusumForward => nist::reference::cusum_p(&bits, false),
+                NistTest::CusumBackward => nist::reference::cusum_p(&bits, true),
+            };
+            prop_assert_eq!(
+                out.p_value.to_bits(),
+                want.to_bits(),
+                "{:?}: packed {} vs reference {}",
+                out.test,
+                out.p_value,
+                want
+            );
+        }
+    }
+
+    /// The Wiener–Khinchin period detector makes the same discrete decision
+    /// (detected or not, and which period) as the O(n·lag) ACF reference on
+    /// arbitrary session-start trains.
+    #[test]
+    fn autocorr_fft_matches_reference(
+        offsets in proptest::collection::vec(0u64..3_000_000, 0..80),
+        stretch in 1u64..40,
+    ) {
+        let starts: Vec<SimTime> = offsets
+            .iter()
+            .map(|&o| SimTime::from_secs(o * stretch % 10_000_000))
+            .collect();
+        let det = PeriodDetector::default();
+        let fast = det.detect(&starts);
+        let slow = autocorr::reference::detect(&det, &starts);
+        prop_assert_eq!(fast.is_some(), slow.is_some());
+        if let (Some(f), Some(s)) = (fast, slow) {
+            prop_assert_eq!(f.period, s.period);
+        }
+    }
+
+    /// The sorted-projection DBSCAN labels every random 1-D point set
+    /// exactly like the O(n²) scan.
+    #[test]
+    fn dbscan_indexed_matches_scan(
+        points in proptest::collection::vec(-100.0f64..100.0, 0..80),
+        eps in 0.1f64..10.0,
+        min_pts in 1usize..5,
+    ) {
+        let d = |a: &f64, b: &f64| (a - b).abs();
+        prop_assert_eq!(
+            dbscan(&points, eps, min_pts, d),
+            dbscan_indexed(&points, eps, min_pts, |&p| p, d)
+        );
+    }
+
     /// Every NIST test returns a finite p-value in [0, 1] on any input.
     #[test]
     fn nist_p_values_are_sane(words in proptest::collection::vec(any::<u64>(), 0..64)) {

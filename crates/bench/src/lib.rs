@@ -48,13 +48,20 @@ static COMPARISONS: Mutex<Vec<Comparison>> = Mutex::new(Vec::new());
 
 /// Records a comparison row (collected into EXPERIMENTS.md by `repro`).
 pub fn record(experiment: &str, metric: &str, paper: &str, measured: String, holds: bool) {
-    COMPARISONS.lock().unwrap().push(Comparison {
+    record_row(Comparison {
         experiment: experiment.to_string(),
         metric: metric.to_string(),
         paper: paper.to_string(),
         measured,
         holds,
     });
+}
+
+/// Records an already-built comparison row. The report layer computes rows
+/// in parallel and replays them through here in report order, so the global
+/// comparison list stays deterministic.
+pub fn record_row(row: Comparison) {
+    COMPARISONS.lock().unwrap().push(row);
 }
 
 /// Drains all recorded comparisons.

@@ -7,10 +7,12 @@ use crate::corpus::Analyzed;
 use crate::index::{ProfiledWindow, NO_ID};
 use sixscope_analysis::classify::{AddrSelection, TemporalClass};
 use sixscope_analysis::intersect::{TelescopeSet, UpSet};
-use sixscope_analysis::nist::{BitSequence, NistTest};
-use sixscope_analysis::stats::{bucket_counts, cumulative_distinct};
+use sixscope_analysis::nist::{BitSequence, FftScratch, NistTest};
+use sixscope_analysis::stats::bucket_counts;
 use sixscope_telescope::{ScanSession, SourceKey, TelescopeId};
-use sixscope_types::{nibble, Ipv6Prefix, SimDuration, SimTime};
+use sixscope_types::{
+    chunk_ranges, map_indexed, nibble, num_threads, Ipv6Prefix, SimDuration, SimTime,
+};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Fig. 3: number of new /64 source prefixes first seen per week during
@@ -52,15 +54,39 @@ pub struct GrowthCurve {
 /// sessions (/128, /64) over the full period, aggregated over telescopes.
 pub fn fig4(a: &Analyzed) -> Vec<GrowthCurve> {
     let week = SimDuration::weeks(1);
+    let week_secs = week.as_secs();
     let mut curves = Vec::new();
 
     let idx = &a.index;
-    // Packets: cumulative count per week.
+    // One fused pass per telescope: weekly packet counts plus the
+    // first-seen week of every AS, /128 and /64 source. Walk order
+    // (telescope order, arrival order within) decides which occurrence is
+    // "first", exactly like the per-curve event vectors this replaces. An
+    // AS's first packet always coincides with the first sighting of one of
+    // its /128 sources (sources don't change AS), so the AS check only
+    // runs on source first-sightings.
+    const UNSEEN: u32 = u32::MAX;
     let mut per_week: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut first128 = vec![UNSEEN; idx.sources.len128()];
+    let mut first64 = vec![UNSEEN; idx.sources.len64()];
+    let mut as_first: BTreeMap<u32, u32> = BTreeMap::new();
     for id in TelescopeId::ALL {
         let col = idx.telescope(id);
-        for &w in &col.week {
-            *per_week.entry(w as u64).or_default() += 1;
+        for i in 0..col.len() {
+            *per_week.entry(col.week[i] as u64).or_default() += 1;
+            let src = col.src128[i];
+            if first128[src as usize] == UNSEEN {
+                let bucket = (col.ts[i].as_secs() / week_secs) as u32;
+                first128[src as usize] = bucket;
+                let asn = idx.sources.asn(src);
+                if asn != NO_ID {
+                    as_first.entry(asn).or_insert(bucket);
+                }
+            }
+            let s64 = col.src64[i];
+            if first64[s64 as usize] == UNSEEN {
+                first64[s64 as usize] = (col.ts[i].as_secs() / week_secs) as u32;
+            }
         }
     }
     let mut cum = 0u64;
@@ -68,37 +94,21 @@ pub fn fig4(a: &Analyzed) -> Vec<GrowthCurve> {
         .into_iter()
         .map(|(w, n)| {
             cum += n;
-            (SimTime::from_secs(w * week.as_secs()), cum)
+            (SimTime::from_secs(w * week_secs), cum)
         })
         .collect();
     curves.push(normalize("packets", packet_pts));
-
-    // Distinct ASes, /128 and /64 sources over time. Event order (telescope
-    // order, arrival order within) decides which occurrence is "first" —
-    // it must stay exactly as the per-packet walk produced it.
-    let mut as_events = Vec::new();
-    let mut s128_events = Vec::new();
-    let mut s64_events = Vec::new();
-    for id in TelescopeId::ALL {
-        let col = idx.telescope(id);
-        for i in 0..col.len() {
-            let src = col.src128[i];
-            let asn = idx.sources.asn(src);
-            if asn != NO_ID {
-                as_events.push((col.ts[i], asn));
-            }
-            s128_events.push((col.ts[i], src));
-            s64_events.push((col.ts[i], col.src64[i]));
-        }
-    }
-    curves.push(normalize("ASes", cumulative_distinct(as_events, week)));
+    curves.push(normalize(
+        "ASes",
+        first_seen_curve(as_first.values().copied(), week_secs),
+    ));
     curves.push(normalize(
         "sources /128",
-        cumulative_distinct(s128_events, week),
+        first_seen_curve(first128.into_iter(), week_secs),
     ));
     curves.push(normalize(
         "sources /64",
-        cumulative_distinct(s64_events, week),
+        first_seen_curve(first64.into_iter(), week_secs),
     ));
 
     // Sessions at both aggregation levels.
@@ -125,6 +135,26 @@ pub fn fig4(a: &Analyzed) -> Vec<GrowthCurve> {
         curves.push(normalize(label, pts));
     }
     curves
+}
+
+/// Cumulative count of items by first-seen week bucket (`u32::MAX` marks
+/// never-seen entries). Point-for-point what `cumulative_distinct` produced
+/// from the corresponding first-occurrence event stream.
+fn first_seen_curve(firsts: impl Iterator<Item = u32>, week_secs: u64) -> Vec<(SimTime, u64)> {
+    let mut per_bucket: BTreeMap<u64, u64> = BTreeMap::new();
+    for b in firsts {
+        if b != u32::MAX {
+            *per_bucket.entry(b as u64).or_default() += 1;
+        }
+    }
+    let mut total = 0u64;
+    per_bucket
+        .into_iter()
+        .map(|(b, n)| {
+            total += n;
+            (SimTime::from_secs(b * week_secs), total)
+        })
+        .collect()
 }
 
 fn normalize(label: &'static str, pts: Vec<(SimTime, u64)>) -> GrowthCurve {
@@ -443,6 +473,12 @@ fn matrix_of(s: &ScanSession, a: &Analyzed) -> NibbleMatrix {
 /// lexicographically (numerically by address).
 pub fn fig13(a: &Analyzed) -> Option<NibbleMatrix> {
     let (structured, _) = fig12(a);
+    fig13_from(structured)
+}
+
+/// Fig. 13 from an already-computed Fig. 12(a) matrix — lets the report
+/// layer reuse one `fig12` evaluation for both figures.
+pub fn fig13_from(structured: Option<NibbleMatrix>) -> Option<NibbleMatrix> {
     structured.map(|mut m| {
         m.rows.sort();
         m
@@ -453,16 +489,17 @@ pub fn fig13(a: &Analyzed) -> Option<NibbleMatrix> {
 /// T1, subnets ranked by packet count per class.
 pub fn fig14(a: &Analyzed) -> BTreeMap<TemporalClass, Vec<u64>> {
     let (sessions, profiles) = a.t1_split_profiles();
-    let capture = a.capture(TelescopeId::T1);
+    let dst = &a.index.telescope(TelescopeId::T1).dst;
     let mut per_class_subnet: BTreeMap<TemporalClass, BTreeMap<u16, u64>> = BTreeMap::new();
     let t1 = a.result.layout.t1;
     for profile in profiles {
         let class_map = per_class_subnet.entry(profile.temporal).or_default();
         for &idx in &profile.session_indices {
-            for p in sessions[idx].packets(capture) {
-                if t1.contains(p.dst) {
+            for &pi in &sessions[idx].packet_indices {
+                let bits = dst[pi as usize];
+                if t1.contains(std::net::Ipv6Addr::from(bits)) {
                     // The /48 subnet index: bits 32..48 of the address.
-                    let sub = (u128::from(p.dst) >> 80) as u16;
+                    let sub = (bits >> 80) as u16;
                     *class_map.entry(sub).or_default() += 1;
                 }
             }
@@ -565,29 +602,46 @@ pub struct NistFigureCell {
 
 /// Fig. 17: NIST test outcomes for T1 sessions with ≥ 100 packets, testing
 /// the subnet bits (32 bits after the /32) and the IID separately.
+///
+/// The per-session NIST work fans out through [`map_indexed`] over
+/// contiguous shards of the eligible-session list; each shard reuses one
+/// [`FftScratch`] (twiddle tables and FFT buffers survive across sessions).
+/// Cell counts are summed over disjoint session sets, so the merged totals
+/// are identical at any thread count and any shard layout.
 pub fn fig17(a: &Analyzed) -> Vec<NistFigureCell> {
     let (sessions, profiles) = a.t1_split_profiles();
-    let capture = a.capture(TelescopeId::T1);
-    let mut cells: BTreeMap<(NistTest, bool, TemporalClass), (u64, u64)> = BTreeMap::new();
-    for profile in profiles {
-        for &idx in &profile.session_indices {
+    let dst = &a.index.telescope(TelescopeId::T1).dst;
+    // Eligible sessions, in profile order (order only affects work layout;
+    // the additive merge below is order-free).
+    let jobs: Vec<(usize, TemporalClass)> = profiles
+        .iter()
+        .flat_map(|p| {
+            p.session_indices
+                .iter()
+                .filter(|&&idx| sessions[idx].packet_count() >= 100)
+                .map(move |&idx| (idx, p.temporal))
+        })
+        .collect();
+    let threads = num_threads(None);
+    let shards = chunk_ranges(jobs.len(), threads);
+    type CellMap = BTreeMap<(NistTest, bool, TemporalClass), (u64, u64)>;
+    let built = map_indexed(threads, &shards, |_, r| {
+        let mut scratch = FftScratch::new();
+        let mut cells = CellMap::new();
+        for &(idx, temporal) in &jobs[r.clone()] {
             let s = &sessions[idx];
-            if s.packet_count() < 100 {
-                continue;
-            }
+            // Assemble both bit sequences from the destination column.
             let mut iid_bits = BitSequence::new();
             let mut subnet_bits = BitSequence::new();
-            for p in s.packets(capture) {
-                let bits = u128::from(p.dst);
+            for &pi in &s.packet_indices {
+                let bits = dst[pi as usize];
                 iid_bits.push_bits(bits & u64::MAX as u128, 64);
                 // The 32 bits after the fixed /32.
                 subnet_bits.push_bits((bits >> 64) & 0xffff_ffff, 32);
             }
             for (seq, is_iid) in [(&iid_bits, true), (&subnet_bits, false)] {
-                for outcome in seq.run_all() {
-                    let cell = cells
-                        .entry((outcome.test, is_iid, profile.temporal))
-                        .or_default();
+                for outcome in seq.run_all_with(&mut scratch) {
+                    let cell = cells.entry((outcome.test, is_iid, temporal)).or_default();
                     if outcome.passes() {
                         cell.0 += 1;
                     } else {
@@ -595,6 +649,15 @@ pub fn fig17(a: &Analyzed) -> Vec<NistFigureCell> {
                     }
                 }
             }
+        }
+        cells
+    });
+    let mut cells = CellMap::new();
+    for shard in built {
+        for (key, (pass, fail)) in shard {
+            let cell = cells.entry(key).or_default();
+            cell.0 += pass;
+            cell.1 += fail;
         }
     }
     cells

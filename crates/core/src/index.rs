@@ -166,6 +166,10 @@ pub struct PacketColumns {
     pub week: Vec<u32>,
     /// Zero-based day bucket of the arrival time.
     pub day: Vec<u32>,
+    /// Destination address bits. Lets per-session consumers (Fig. 14/17)
+    /// assemble target-bit sequences straight from the column instead of
+    /// re-walking the capture's packet structs.
+    pub dst: Vec<u128>,
     /// Announced-prefix id covering the destination at arrival time
     /// (longest match through [`CompiledVisibility`]; `NO_ID` when
     /// unrouted). Ids index [`PacketColumns::prefixes`].
@@ -198,6 +202,7 @@ impl PacketColumns {
             port: Vec::with_capacity(n),
             week: Vec::with_capacity(n),
             day: Vec::with_capacity(n),
+            dst: Vec::with_capacity(n),
             prefix: Vec::with_capacity(n),
             prefixes: Vec::new(),
         };
@@ -222,6 +227,7 @@ impl PacketColumns {
             cols.port.push(port);
             cols.week.push(p.ts.week() as u32);
             cols.day.push(p.ts.day() as u32);
+            cols.dst.push(u128::from(p.dst));
             let prefix = match visibility.lpm(p.dst, p.ts) {
                 Some(pre) => match prefix_ids.get(&pre) {
                     Some(&id) => id,

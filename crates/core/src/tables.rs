@@ -13,7 +13,7 @@ use sixscope_analysis::heavy::HeavyHitter;
 use sixscope_analysis::stats::percent_change;
 use sixscope_telescope::{Protocol, SourceKey, TelescopeId};
 use sixscope_types::ports::PortLabel;
-use sixscope_types::{Ipv6Prefix, NetworkType};
+use sixscope_types::{chunk_ranges, map_indexed, num_threads, Ipv6Prefix, NetworkType};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// The §4 data-corpus overview: totals for a time range.
@@ -548,29 +548,47 @@ pub struct ToolRow {
 }
 
 /// Table 7: public tools identified at T1 during the split period.
+///
+/// Per-scanner identification is independent work, so it fans out through
+/// [`map_indexed`] over contiguous profile shards; the per-tool counts are
+/// summed over disjoint scanner sets, which makes the merged table identical
+/// at any thread count.
 pub fn table7(a: &Analyzed) -> Vec<ToolRow> {
     let (sessions, profiles) = a.t1_split_profiles();
     let capture = a.capture(TelescopeId::T1);
     let total_scanners = profiles.len() as u64;
     let total_sessions = sessions.len() as u64;
-    let mut by_tool: BTreeMap<KnownTool, (u64, u64)> = BTreeMap::new();
-    for profile in profiles {
-        // Identify the scanner by its first recognizable payload + rDNS.
-        let src = profile.source.prefix.network();
-        let rdns = a.rdns_of(src);
-        let mut tool = None;
-        'outer: for &idx in &profile.session_indices {
-            for p in sessions[idx].packets(capture) {
-                if let ToolMatch::Tool(t) = identify(&p.payload, rdns) {
-                    tool = Some(t);
-                    break 'outer;
+    let threads = num_threads(None);
+    let shards = chunk_ranges(profiles.len(), threads);
+    let built = map_indexed(threads, &shards, |_, r| {
+        let mut by_tool: BTreeMap<KnownTool, (u64, u64)> = BTreeMap::new();
+        for profile in &profiles[r.clone()] {
+            // Identify the scanner by its first recognizable payload + rDNS.
+            let src = profile.source.prefix.network();
+            let rdns = a.rdns_of(src);
+            let mut tool = None;
+            'outer: for &idx in &profile.session_indices {
+                for p in sessions[idx].packets(capture) {
+                    if let ToolMatch::Tool(t) = identify(&p.payload, rdns) {
+                        tool = Some(t);
+                        break 'outer;
+                    }
                 }
             }
+            if let Some(t) = tool {
+                let entry = by_tool.entry(t).or_default();
+                entry.0 += 1;
+                entry.1 += profile.session_indices.len() as u64;
+            }
         }
-        if let Some(t) = tool {
-            let entry = by_tool.entry(t).or_default();
-            entry.0 += 1;
-            entry.1 += profile.session_indices.len() as u64;
+        by_tool
+    });
+    let mut by_tool: BTreeMap<KnownTool, (u64, u64)> = BTreeMap::new();
+    for shard in built {
+        for (tool, (scanners, tool_sessions)) in shard {
+            let entry = by_tool.entry(tool).or_default();
+            entry.0 += scanners;
+            entry.1 += tool_sessions;
         }
     }
     let mut rows: Vec<ToolRow> = by_tool
