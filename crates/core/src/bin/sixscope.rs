@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! sixscope run [--seed N] [--scale F] [--out DIR]   run the full experiment
+//! sixscope ingest <file.pcap>… [--report out.md]    hardened real-pcap ingest
 //! sixscope analyze <telescope-prefix> <file.pcap>…  analyze real captures
 //! sixscope schedule <covering/32>                   print the Fig.-2 split plan
 //! sixscope classify <addr>…                         RFC 7707 address typing
@@ -28,6 +29,7 @@ fn main() -> ExitCode {
     };
     let result = match command.as_str() {
         "run" => cmd_run(rest),
+        "ingest" => cmd_ingest(rest),
         "analyze" => cmd_analyze(rest),
         "schedule" => cmd_schedule(rest),
         "classify" => cmd_classify(rest),
@@ -54,6 +56,13 @@ USAGE:
         Run the full 11-month experiment and print all tables
         (--json true prints one machine-readable JSON document instead).
         --pcap-dir also writes one pcap per telescope.
+
+    sixscope ingest <capture.pcap> [more.pcap…] [--prefix P] [--report out.md]
+        Ingest real pcap captures (LINKTYPE_RAW) with per-record damage
+        recovery: damaged records are skipped and counted by reason, a
+        file cut off mid-record keeps every complete record. Prints the
+        recovery statistics and writes a markdown report (to --report,
+        or stdout). --prefix filters to a telescope prefix (default ::/0).
 
     sixscope analyze <telescope-prefix> <capture.pcap> [more.pcap…]
         Analyze real pcap captures (LINKTYPE_RAW) of a telescope:
@@ -158,6 +167,38 @@ fn write_capture_pcap(capture: &Capture, path: &str) -> Result<(), String> {
             .map_err(|e| e.to_string())?;
     }
     writer.into_inner().map_err(|e| e.to_string())?;
+    Ok(())
+}
+
+fn cmd_ingest(args: &[String]) -> Result<(), String> {
+    let (flags, files) = parse_flags(args)?;
+    if files.is_empty() {
+        return Err("usage: sixscope ingest <capture.pcap>… [--prefix P] [--report out.md]".into());
+    }
+    let prefix: sixscope_types::Ipv6Prefix = match flag(&flags, "prefix") {
+        Some(p) => p.parse().map_err(|e| format!("bad --prefix: {e}"))?,
+        None => sixscope_types::Ipv6Prefix::default_route(),
+    };
+    let mut ingest = sixscope::Ingest::new(prefix);
+    for f in &files {
+        let reader = std::fs::File::open(f).map_err(|e| format!("{f}: {e}"))?;
+        let stats = ingest
+            .add_pcap(std::io::BufReader::new(reader))
+            .map_err(|e| format!("{f}: {e}"))?;
+        eprintln!("{f}: {stats}");
+    }
+    let totals = ingest.stats();
+    if files.len() > 1 {
+        eprintln!("total: {totals}");
+    }
+    let report = ingest.report(&files.join(", "));
+    match flag(&flags, "report") {
+        Some(path) => {
+            std::fs::write(path, &report).map_err(|e| format!("{path}: {e}"))?;
+            eprintln!("wrote {path}");
+        }
+        None => print!("{report}"),
+    }
     Ok(())
 }
 

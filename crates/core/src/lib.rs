@@ -15,7 +15,9 @@
 //!   every table and figure reduces over;
 //! * [`tables`] and [`figures`] regenerate every table and figure of the
 //!   paper's evaluation from an [`Analyzed`] corpus;
-//! * [`render`] prints them as aligned text for EXPERIMENTS.md.
+//! * [`render`] prints them as aligned text for EXPERIMENTS.md;
+//! * [`Ingest`] runs the same analysis over *real* pcap captures with
+//!   per-record damage recovery (`sixscope ingest`).
 //!
 //! ```no_run
 //! use sixscope::Experiment;
@@ -32,12 +34,14 @@
 pub mod corpus;
 pub mod figures;
 pub mod index;
+pub mod ingest;
 pub mod json;
 pub mod render;
 pub mod tables;
 
 pub use corpus::{Analyzed, Experiment};
 pub use index::CorpusIndex;
+pub use ingest::Ingest;
 
 // Re-export the workspace surface so downstream users need one dependency.
 pub use sixscope_analysis as analysis;

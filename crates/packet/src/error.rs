@@ -2,6 +2,114 @@
 
 use std::fmt;
 
+/// Why a single pcap record was rejected.
+///
+/// Real telescope captures (an 11-month `tcpdump -y RAW` deployment) contain
+/// damaged records: length fields clipped by a crash, files cut off
+/// mid-record when the capture process was killed, and plain bit rot. Each
+/// damaged record maps to exactly one of these reasons, so recovery
+/// statistics can report a per-reason breakdown. The variants that describe
+/// truncation ([`MalformedRecord::TruncatedHeader`] and
+/// [`MalformedRecord::TruncatedBody`]) end the stream — there are no more
+/// bytes to re-synchronize on — while the length-field variants are
+/// recoverable: the reader skips the advertised bytes and continues.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MalformedRecord {
+    /// `incl_len` exceeds the snapshot length declared in the file's own
+    /// global header — no honest capture produces this.
+    SnaplenExceeded {
+        /// The record's declared captured length.
+        incl_len: u32,
+        /// The file's declared snapshot length.
+        snaplen: u32,
+    },
+    /// `incl_len` exceeds the hard allocation ceiling
+    /// ([`crate::pcap::MAX_RECORD_LEN`]) even though the file's snaplen
+    /// nominally allows it.
+    CapExceeded {
+        /// The record's declared captured length.
+        incl_len: u32,
+    },
+    /// `incl_len > orig_len`: a capture can clip a packet, never grow it.
+    LengthInconsistent {
+        /// The record's declared captured length.
+        incl_len: u32,
+        /// The record's declared original length.
+        orig_len: u32,
+    },
+    /// End of file inside the 16-byte per-record header.
+    TruncatedHeader {
+        /// Header bytes that were present.
+        have: usize,
+    },
+    /// End of file inside the record body.
+    TruncatedBody {
+        /// Body bytes the header promised.
+        need: usize,
+        /// Body bytes that were present.
+        have: usize,
+    },
+}
+
+impl MalformedRecord {
+    /// Stable per-reason labels, in [`MalformedRecord::reason_index`] order.
+    /// Ingest statistics index their skip counters with this.
+    pub const REASONS: [&'static str; 5] = [
+        "snaplen-exceeded",
+        "cap-exceeded",
+        "length-inconsistent",
+        "truncated-header",
+        "truncated-body",
+    ];
+
+    /// Index of this reason into [`MalformedRecord::REASONS`].
+    pub fn reason_index(&self) -> usize {
+        match self {
+            MalformedRecord::SnaplenExceeded { .. } => 0,
+            MalformedRecord::CapExceeded { .. } => 1,
+            MalformedRecord::LengthInconsistent { .. } => 2,
+            MalformedRecord::TruncatedHeader { .. } => 3,
+            MalformedRecord::TruncatedBody { .. } => 4,
+        }
+    }
+
+    /// The stable label for this reason.
+    pub fn reason(&self) -> &'static str {
+        Self::REASONS[self.reason_index()]
+    }
+
+    /// True for the reasons caused by the file ending mid-record — the
+    /// signature of a live capture that was killed.
+    pub fn is_truncation(&self) -> bool {
+        matches!(
+            self,
+            MalformedRecord::TruncatedHeader { .. } | MalformedRecord::TruncatedBody { .. }
+        )
+    }
+}
+
+impl fmt::Display for MalformedRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MalformedRecord::SnaplenExceeded { incl_len, snaplen } => {
+                write!(f, "incl_len {incl_len} exceeds file snaplen {snaplen}")
+            }
+            MalformedRecord::CapExceeded { incl_len } => {
+                write!(f, "incl_len {incl_len} exceeds the record allocation cap")
+            }
+            MalformedRecord::LengthInconsistent { incl_len, orig_len } => {
+                write!(f, "incl_len {incl_len} exceeds orig_len {orig_len}")
+            }
+            MalformedRecord::TruncatedHeader { have } => {
+                write!(f, "EOF inside record header ({have} of 16 bytes)")
+            }
+            MalformedRecord::TruncatedBody { need, have } => {
+                write!(f, "EOF inside record body ({have} of {need} bytes)")
+            }
+        }
+    }
+}
+
 /// Errors produced while encoding or decoding packets and pcap files.
 #[derive(Debug)]
 pub enum PacketError {
@@ -31,6 +139,14 @@ pub enum PacketError {
     BadPcapMagic(u32),
     /// The pcap link type is not LINKTYPE_RAW (101).
     UnsupportedLinkType(u32),
+    /// A single pcap record is damaged (see [`MalformedRecord`]).
+    Malformed(MalformedRecord),
+    /// A timestamp does not fit the 32-bit seconds field of classic pcap.
+    TimestampOverflow(u64),
+    /// A packet is too large for the 32-bit length fields of classic pcap.
+    OversizedPacket(usize),
+    /// An IPv6 extension-header chain deeper than the parser walks.
+    ExtensionChainTooLong(usize),
     /// Underlying I/O failure.
     Io(std::io::Error),
 }
@@ -54,6 +170,16 @@ impl fmt::Display for PacketError {
             PacketError::BadPcapMagic(m) => write!(f, "unrecognized pcap magic {m:#010x}"),
             PacketError::UnsupportedLinkType(l) => {
                 write!(f, "unsupported pcap link type {l} (expected 101 = RAW)")
+            }
+            PacketError::Malformed(m) => write!(f, "malformed pcap record: {m}"),
+            PacketError::TimestampOverflow(s) => {
+                write!(f, "timestamp {s}s does not fit pcap's 32-bit seconds")
+            }
+            PacketError::OversizedPacket(n) => {
+                write!(f, "packet of {n} bytes does not fit pcap's 32-bit lengths")
+            }
+            PacketError::ExtensionChainTooLong(n) => {
+                write!(f, "IPv6 extension-header chain exceeds {n} headers")
             }
             PacketError::Io(e) => write!(f, "I/O error: {e}"),
         }

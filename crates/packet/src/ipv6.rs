@@ -14,6 +14,29 @@ use std::net::Ipv6Addr;
 /// Length of the fixed IPv6 header in bytes.
 pub const IPV6_HEADER_LEN: usize = 40;
 
+/// IPv6 extension headers (RFC 8200 §4) that the packet parser walks to
+/// reach the transport header.
+///
+/// All four share the convention that their first byte is the next-header
+/// value; hop-by-hop, routing and destination options carry their length in
+/// 8-octet units (excluding the first 8) in the second byte, while the
+/// fragment header is always exactly 8 bytes.
+pub mod ext {
+    /// Hop-by-hop options (0; must immediately follow the fixed header).
+    pub const HOP_BY_HOP: u8 = 0;
+    /// Routing header (43).
+    pub const ROUTING: u8 = 43;
+    /// Fragment header (44; fixed 8 bytes).
+    pub const FRAGMENT: u8 = 44;
+    /// Destination options (60).
+    pub const DEST_OPTS: u8 = 60;
+
+    /// True if `v` names an extension header the parser can walk.
+    pub fn is_walkable(v: u8) -> bool {
+        matches!(v, HOP_BY_HOP | ROUTING | FRAGMENT | DEST_OPTS)
+    }
+}
+
 /// IPv6 next-header (protocol) values used by the telescope.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum NextHeader {

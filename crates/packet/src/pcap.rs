@@ -8,14 +8,32 @@
 //! The writer emits the standard microsecond-resolution little-endian
 //! format; the reader additionally accepts big-endian and
 //! nanosecond-resolution magic values.
+//!
+//! Real captures are damaged in predictable ways — a killed `tcpdump`
+//! leaves a half-written final record, disk corruption flips length
+//! fields — so the reader never trusts a length field: `incl_len` is
+//! validated against the file's own snaplen and the [`MAX_RECORD_LEN`]
+//! ceiling before any allocation, and
+//! [`PcapReader::read_record_recovering`] turns per-record damage into
+//! typed [`RecordOutcome`]s instead of aborting the file.
 
-use crate::error::PacketError;
+use crate::error::{MalformedRecord, PacketError};
 use sixscope_types::SimTime;
 use std::io::{Read, Write};
 
 const MAGIC_LE_US: u32 = 0xa1b2c3d4;
 const MAGIC_LE_NS: u32 = 0xa1b23c4d;
 const LINKTYPE_RAW: u32 = 101;
+
+/// Hard ceiling on a single record's captured length (1 MiB).
+///
+/// LINKTYPE_RAW records are bare IPv6 packets, so 40 + 65535 bytes is the
+/// realistic maximum; the ceiling leaves generous headroom for jumbo
+/// payloads while making a corrupt 4 GiB `incl_len` un-allocatable.
+pub const MAX_RECORD_LEN: u32 = 1 << 20;
+
+/// The snapshot length the writer declares (and enforces) in its header.
+const WRITER_SNAPLEN: u32 = 65_535;
 
 /// One captured packet record.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -41,20 +59,29 @@ impl<W: Write> PcapWriter<W> {
         out.write_all(&4u16.to_le_bytes())?; // version minor
         out.write_all(&0i32.to_le_bytes())?; // thiszone
         out.write_all(&0u32.to_le_bytes())?; // sigfigs
-        out.write_all(&65_535u32.to_le_bytes())?; // snaplen
+        out.write_all(&WRITER_SNAPLEN.to_le_bytes())?; // snaplen
         out.write_all(&LINKTYPE_RAW.to_le_bytes())?;
         Ok(PcapWriter { out })
     }
 
     /// Appends one packet record.
+    ///
+    /// Rejects (rather than silently wrapping) timestamps past the 32-bit
+    /// seconds horizon and packets whose length does not fit `orig_len`.
+    /// Data longer than the advertised snaplen is clipped exactly as a real
+    /// capture would clip it: `incl_len` bytes on the wire, the true size
+    /// in `orig_len`.
     pub fn write_record(&mut self, rec: &PcapRecord) -> Result<(), PacketError> {
-        self.out
-            .write_all(&(rec.ts.as_secs() as u32).to_le_bytes())?;
+        let secs = rec.ts.as_secs();
+        let secs32 = u32::try_from(secs).map_err(|_| PacketError::TimestampOverflow(secs))?;
+        let orig_len = u32::try_from(rec.data.len())
+            .map_err(|_| PacketError::OversizedPacket(rec.data.len()))?;
+        let incl_len = orig_len.min(WRITER_SNAPLEN);
+        self.out.write_all(&secs32.to_le_bytes())?;
         self.out.write_all(&rec.ts_micros.to_le_bytes())?;
-        let len = rec.data.len() as u32;
-        self.out.write_all(&len.to_le_bytes())?; // incl_len
-        self.out.write_all(&len.to_le_bytes())?; // orig_len
-        self.out.write_all(&rec.data)?;
+        self.out.write_all(&incl_len.to_le_bytes())?;
+        self.out.write_all(&orig_len.to_le_bytes())?;
+        self.out.write_all(&rec.data[..incl_len as usize])?;
         Ok(())
     }
 
@@ -65,11 +92,30 @@ impl<W: Write> PcapWriter<W> {
     }
 }
 
+/// Outcome of one recoverable read step (see
+/// [`PcapReader::read_record_recovering`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecordOutcome {
+    /// A complete, well-formed record.
+    Record(PcapRecord),
+    /// A damaged record was skipped; the stream is re-synchronized on the
+    /// next record boundary.
+    Skipped(MalformedRecord),
+    /// The file ends inside a record (a live capture that was killed). All
+    /// preceding records were yielded; no further reads will succeed.
+    TruncatedTail(MalformedRecord),
+}
+
 /// Streaming pcap reader.
 pub struct PcapReader<R: Read> {
     input: R,
     swapped: bool,
     nanos: bool,
+    /// The file's declared snapshot length (0 = writer declared none).
+    snaplen: u32,
+    /// Set once a truncated tail was reported; further recoverable reads
+    /// return end-of-file instead of re-reading garbage.
+    exhausted: bool,
 }
 
 impl<R: Read> PcapReader<R> {
@@ -101,31 +147,81 @@ impl<R: Read> PcapReader<R> {
             input,
             swapped,
             nanos,
+            snaplen: read_u32(&hdr[16..20]),
+            exhausted: false,
         })
     }
 
-    fn read_u32(&mut self) -> Result<Option<u32>, PacketError> {
-        let mut b = [0u8; 4];
-        match self.input.read_exact(&mut b) {
-            Ok(()) => {
-                let v = u32::from_le_bytes(b);
-                Ok(Some(if self.swapped { v.swap_bytes() } else { v }))
+    /// The snapshot length declared by the file's global header.
+    pub fn snaplen(&self) -> u32 {
+        self.snaplen
+    }
+
+    /// Fills `buf` as far as the input allows; returns the bytes read.
+    fn read_fully(&mut self, buf: &mut [u8]) -> Result<usize, PacketError> {
+        let mut filled = 0;
+        while filled < buf.len() {
+            match self.input.read(&mut buf[filled..]) {
+                Ok(0) => break,
+                Ok(n) => filled += n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e.into()),
             }
-            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => Ok(None),
-            Err(e) => Err(e.into()),
         }
+        Ok(filled)
     }
 
     /// Reads the next record, or `None` at end of file.
+    ///
+    /// Every length field is validated before allocation: `incl_len` must
+    /// not exceed the file's snaplen, the [`MAX_RECORD_LEN`] ceiling, or
+    /// `orig_len`. Violations and mid-record EOF return
+    /// [`PacketError::Malformed`]; callers that want to continue past the
+    /// damage use [`PcapReader::read_record_recovering`] instead.
     pub fn read_record(&mut self) -> Result<Option<PcapRecord>, PacketError> {
-        let Some(ts_sec) = self.read_u32()? else {
+        let mut hdr = [0u8; 16];
+        let have = self.read_fully(&mut hdr)?;
+        if have == 0 {
             return Ok(None);
+        }
+        if have < hdr.len() {
+            return Err(PacketError::Malformed(MalformedRecord::TruncatedHeader {
+                have,
+            }));
+        }
+        let field = |i: usize| {
+            let v = u32::from_le_bytes([hdr[i], hdr[i + 1], hdr[i + 2], hdr[i + 3]]);
+            if self.swapped {
+                v.swap_bytes()
+            } else {
+                v
+            }
         };
-        let ts_frac = self.read_u32()?.ok_or_else(eof)?;
-        let incl_len = self.read_u32()?.ok_or_else(eof)? as usize;
-        let _orig_len = self.read_u32()?.ok_or_else(eof)?;
-        let mut data = vec![0u8; incl_len];
-        self.input.read_exact(&mut data)?;
+        let (ts_sec, ts_frac, incl_len, orig_len) = (field(0), field(4), field(8), field(12));
+        if self.snaplen != 0 && incl_len > self.snaplen {
+            return Err(PacketError::Malformed(MalformedRecord::SnaplenExceeded {
+                incl_len,
+                snaplen: self.snaplen,
+            }));
+        }
+        if incl_len > MAX_RECORD_LEN {
+            return Err(PacketError::Malformed(MalformedRecord::CapExceeded {
+                incl_len,
+            }));
+        }
+        if incl_len > orig_len {
+            return Err(PacketError::Malformed(
+                MalformedRecord::LengthInconsistent { incl_len, orig_len },
+            ));
+        }
+        let mut data = vec![0u8; incl_len as usize];
+        let have = self.read_fully(&mut data)?;
+        if have < data.len() {
+            return Err(PacketError::Malformed(MalformedRecord::TruncatedBody {
+                need: data.len(),
+                have,
+            }));
+        }
         let ts_micros = if self.nanos { ts_frac / 1000 } else { ts_frac };
         Ok(Some(PcapRecord {
             ts: SimTime::from_secs(ts_sec as u64),
@@ -133,13 +229,59 @@ impl<R: Read> PcapReader<R> {
             data,
         }))
     }
-}
 
-fn eof() -> PacketError {
-    PacketError::Io(std::io::Error::new(
-        std::io::ErrorKind::UnexpectedEof,
-        "truncated pcap record header",
-    ))
+    /// Reads the next record with skip-and-count recovery, or `None` at end
+    /// of file.
+    ///
+    /// Damage is confined to the record it occurs in: a record with a
+    /// rejected length field is skipped (its advertised bytes are discarded
+    /// in bounded chunks, so the stream stays synchronized on the next
+    /// record boundary) and reported as [`RecordOutcome::Skipped`]; a file
+    /// cut off mid-record yields [`RecordOutcome::TruncatedTail`] once and
+    /// then end-of-file. `Err` is reserved for real I/O failures.
+    pub fn read_record_recovering(&mut self) -> Result<Option<RecordOutcome>, PacketError> {
+        if self.exhausted {
+            return Ok(None);
+        }
+        match self.read_record() {
+            Ok(Some(rec)) => Ok(Some(RecordOutcome::Record(rec))),
+            Ok(None) => Ok(None),
+            Err(PacketError::Malformed(m)) if m.is_truncation() => {
+                self.exhausted = true;
+                Ok(Some(RecordOutcome::TruncatedTail(m)))
+            }
+            Err(PacketError::Malformed(m)) => {
+                let advertised = match m {
+                    MalformedRecord::SnaplenExceeded { incl_len, .. }
+                    | MalformedRecord::CapExceeded { incl_len }
+                    | MalformedRecord::LengthInconsistent { incl_len, .. } => incl_len,
+                    _ => unreachable!("truncation handled above"),
+                };
+                if self.discard(u64::from(advertised))? {
+                    Ok(Some(RecordOutcome::Skipped(m)))
+                } else {
+                    self.exhausted = true;
+                    Ok(Some(RecordOutcome::TruncatedTail(m)))
+                }
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Discards `n` bytes through a bounded scratch buffer. Returns `false`
+    /// if the input ended first.
+    fn discard(&mut self, mut n: u64) -> Result<bool, PacketError> {
+        let mut scratch = [0u8; 8192];
+        while n > 0 {
+            let want = scratch.len().min(usize::try_from(n).unwrap_or(usize::MAX));
+            let got = self.read_fully(&mut scratch[..want])?;
+            if got == 0 {
+                return Ok(false);
+            }
+            n -= got as u64;
+        }
+        Ok(true)
+    }
 }
 
 impl<R: Read> Iterator for PcapReader<R> {
@@ -277,6 +419,166 @@ mod tests {
         w.write_record(&sample_records()[0]).unwrap();
         let bytes = w.into_inner().unwrap();
         let mut r = PcapReader::new(&bytes[..bytes.len() - 4]).unwrap();
-        assert!(r.read_record().is_err());
+        assert!(matches!(
+            r.read_record(),
+            Err(PacketError::Malformed(
+                MalformedRecord::TruncatedBody { .. }
+            ))
+        ));
+    }
+
+    /// Appends a raw record header (+ body) to `bytes` in LE layout.
+    fn push_record(bytes: &mut Vec<u8>, incl: u32, orig: u32, body: &[u8]) {
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        bytes.extend_from_slice(&incl.to_le_bytes());
+        bytes.extend_from_slice(&orig.to_le_bytes());
+        bytes.extend_from_slice(body);
+    }
+
+    #[test]
+    fn oversized_incl_len_is_a_typed_error_without_allocation() {
+        let mut w = PcapWriter::new(Vec::new()).unwrap();
+        w.write_record(&sample_records()[0]).unwrap();
+        let mut bytes = w.into_inner().unwrap();
+        // Overwrite incl_len with a 4 GiB-adjacent value.
+        bytes[32..36].copy_from_slice(&u32::MAX.to_le_bytes());
+        let mut r = PcapReader::new(&bytes[..]).unwrap();
+        assert!(matches!(
+            r.read_record(),
+            Err(PacketError::Malformed(MalformedRecord::SnaplenExceeded {
+                incl_len: u32::MAX,
+                snaplen: 65_535,
+            }))
+        ));
+    }
+
+    #[test]
+    fn cap_applies_when_the_file_snaplen_is_absurd() {
+        let mut w = PcapWriter::new(Vec::new()).unwrap();
+        w.write_record(&sample_records()[0]).unwrap();
+        let mut bytes = w.into_inner().unwrap();
+        bytes[16..20].copy_from_slice(&u32::MAX.to_le_bytes()); // snaplen
+        bytes[32..36].copy_from_slice(&(MAX_RECORD_LEN + 1).to_le_bytes());
+        let mut r = PcapReader::new(&bytes[..]).unwrap();
+        assert_eq!(r.snaplen(), u32::MAX);
+        assert!(matches!(
+            r.read_record(),
+            Err(PacketError::Malformed(MalformedRecord::CapExceeded { .. }))
+        ));
+    }
+
+    #[test]
+    fn recovering_reader_skips_bad_record_and_resynchronizes() {
+        let mut w = PcapWriter::new(Vec::new()).unwrap();
+        let records = sample_records();
+        w.write_record(&records[0]).unwrap();
+        let mut bytes = w.into_inner().unwrap();
+        // A record whose incl_len (8) exceeds its orig_len (4): contradictory
+        // lengths, but the 8 advertised body bytes are present, so the reader
+        // can skip straight over them.
+        push_record(&mut bytes, 8, 4, &[0xeeu8; 8]);
+        // A well-formed record after the damage.
+        push_record(&mut bytes, 3, 3, &[1, 2, 3]);
+        let mut r = PcapReader::new(&bytes[..]).unwrap();
+        assert!(matches!(
+            r.read_record_recovering().unwrap(),
+            Some(RecordOutcome::Record(rec)) if rec == records[0]
+        ));
+        assert!(matches!(
+            r.read_record_recovering().unwrap(),
+            Some(RecordOutcome::Skipped(
+                MalformedRecord::LengthInconsistent {
+                    incl_len: 8,
+                    orig_len: 4,
+                }
+            ))
+        ));
+        assert!(matches!(
+            r.read_record_recovering().unwrap(),
+            Some(RecordOutcome::Record(rec)) if rec.data == [1, 2, 3]
+        ));
+        assert!(r.read_record_recovering().unwrap().is_none());
+    }
+
+    #[test]
+    fn truncated_tail_is_reported_once_then_eof() {
+        let mut w = PcapWriter::new(Vec::new()).unwrap();
+        let records = sample_records();
+        w.write_record(&records[0]).unwrap();
+        w.write_record(&records[1]).unwrap();
+        let bytes = w.into_inner().unwrap();
+        // Cut the file off inside the second record's body.
+        let mut r = PcapReader::new(&bytes[..bytes.len() - 2]).unwrap();
+        assert!(matches!(
+            r.read_record_recovering().unwrap(),
+            Some(RecordOutcome::Record(_))
+        ));
+        assert!(matches!(
+            r.read_record_recovering().unwrap(),
+            Some(RecordOutcome::TruncatedTail(
+                MalformedRecord::TruncatedBody { .. }
+            ))
+        ));
+        assert!(r.read_record_recovering().unwrap().is_none());
+        assert!(r.read_record_recovering().unwrap().is_none());
+    }
+
+    #[test]
+    fn skip_hitting_eof_counts_as_truncated_tail() {
+        let mut w = PcapWriter::new(Vec::new()).unwrap();
+        w.write_record(&sample_records()[0]).unwrap();
+        let mut bytes = w.into_inner().unwrap();
+        // Damaged record advertising 100 body bytes, of which only 5 exist.
+        push_record(&mut bytes, 100, 50, &[0u8; 5]);
+        let mut r = PcapReader::new(&bytes[..]).unwrap();
+        assert!(matches!(
+            r.read_record_recovering().unwrap(),
+            Some(RecordOutcome::Record(_))
+        ));
+        assert!(matches!(
+            r.read_record_recovering().unwrap(),
+            Some(RecordOutcome::TruncatedTail(
+                MalformedRecord::LengthInconsistent { .. }
+            ))
+        ));
+        assert!(r.read_record_recovering().unwrap().is_none());
+    }
+
+    #[test]
+    fn writer_rejects_post_2106_timestamps() {
+        let mut w = PcapWriter::new(Vec::new()).unwrap();
+        let rec = PcapRecord {
+            ts: SimTime::from_secs(u64::from(u32::MAX) + 1),
+            ts_micros: 0,
+            data: vec![0x60],
+        };
+        assert!(matches!(
+            w.write_record(&rec),
+            Err(PacketError::TimestampOverflow(_))
+        ));
+    }
+
+    #[test]
+    fn writer_clips_oversnaplen_data_and_records_orig_len() {
+        let mut w = PcapWriter::new(Vec::new()).unwrap();
+        let rec = PcapRecord {
+            ts: SimTime::from_secs(9),
+            ts_micros: 0,
+            data: vec![0xabu8; 70_000],
+        };
+        w.write_record(&rec).unwrap();
+        let bytes = w.into_inner().unwrap();
+        let incl = u32::from_le_bytes(bytes[32..36].try_into().unwrap());
+        let orig = u32::from_le_bytes(bytes[36..40].try_into().unwrap());
+        assert_eq!(incl, 65_535);
+        assert_eq!(orig, 70_000);
+        assert_eq!(bytes.len(), 24 + 16 + 65_535);
+        // The clipped record reads back cleanly (incl_len < orig_len is a
+        // legitimate snaplen clip, not damage).
+        let mut r = PcapReader::new(&bytes[..]).unwrap();
+        let back = r.read_record().unwrap().unwrap();
+        assert_eq!(back.data.len(), 65_535);
+        assert!(r.read_record().unwrap().is_none());
     }
 }

@@ -78,6 +78,83 @@ proptest! {
     }
 
     #[test]
+    fn pcap_round_trip_all_endiannesses_and_resolutions(
+        records in proptest::collection::vec(
+            (any::<u32>(), 0u32..1_000_000, proptest::collection::vec(any::<u8>(), 0..128)),
+            0..12,
+        ),
+        big_endian in any::<bool>(),
+        nanos in any::<bool>(),
+    ) {
+        // Hand-roll the four on-disk variants the reader accepts
+        // (LE/BE × µs/ns); the writer itself only emits LE-µs.
+        let magic: u32 = if nanos { 0xa1b2_3c4d } else { 0xa1b2_c3d4 };
+        let put32 = |out: &mut Vec<u8>, v: u32| {
+            out.extend_from_slice(&if big_endian { v.to_be_bytes() } else { v.to_le_bytes() });
+        };
+        let put16 = |out: &mut Vec<u8>, v: u16| {
+            out.extend_from_slice(&if big_endian { v.to_be_bytes() } else { v.to_le_bytes() });
+        };
+        let mut bytes = Vec::new();
+        put32(&mut bytes, magic);
+        put16(&mut bytes, 2);
+        put16(&mut bytes, 4);
+        put32(&mut bytes, 0); // thiszone
+        put32(&mut bytes, 0); // sigfigs
+        put32(&mut bytes, 65_535); // snaplen
+        put32(&mut bytes, 101); // LINKTYPE_RAW
+        for (ts, us, data) in &records {
+            put32(&mut bytes, *ts);
+            put32(&mut bytes, if nanos { us * 1000 } else { *us });
+            put32(&mut bytes, data.len() as u32);
+            put32(&mut bytes, data.len() as u32);
+            bytes.extend_from_slice(data);
+        }
+        let reader = PcapReader::new(&bytes[..]).unwrap();
+        let back: Vec<PcapRecord> = reader.map(Result::unwrap).collect();
+        prop_assert_eq!(back.len(), records.len());
+        for (rec, (ts, us, data)) in back.iter().zip(&records) {
+            prop_assert_eq!(rec.ts, SimTime::from_secs(*ts as u64));
+            prop_assert_eq!(rec.ts_micros, *us);
+            prop_assert_eq!(&rec.data, data);
+        }
+    }
+
+    #[test]
+    fn recovering_reader_never_errors_on_arbitrary_tails(
+        prefix_records in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..96),
+            0..6,
+        ),
+        garbage in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        // Valid records followed by arbitrary garbage: the recovering
+        // reader must yield every valid record, then classify the damage
+        // without ever returning a hard error on in-memory input.
+        let mut w = PcapWriter::new(Vec::new()).unwrap();
+        for data in &prefix_records {
+            w.write_record(&PcapRecord {
+                ts: SimTime::from_secs(1),
+                ts_micros: 0,
+                data: data.clone(),
+            }).unwrap();
+        }
+        let mut bytes = w.into_inner().unwrap();
+        bytes.extend_from_slice(&garbage);
+        let mut r = PcapReader::new(&bytes[..]).unwrap();
+        let mut yielded = 0usize;
+        while let Some(outcome) = r.read_record_recovering().unwrap() {
+            if let sixscope_packet::RecordOutcome::Record(rec) = outcome {
+                if yielded < prefix_records.len() {
+                    prop_assert_eq!(&rec.data, &prefix_records[yielded]);
+                }
+                yielded += 1;
+            }
+        }
+        prop_assert!(yielded >= prefix_records.len());
+    }
+
+    #[test]
     fn pcap_round_trip(
         records in proptest::collection::vec(
             (any::<u32>(), 0u32..1_000_000, proptest::collection::vec(any::<u8>(), 0..128)),

@@ -8,10 +8,87 @@
 
 use crate::config::{TelescopeConfig, TelescopeId};
 use bytes::Bytes;
-use sixscope_packet::{ParsedPacket, PcapRecord, PcapWriter, Transport};
+use sixscope_packet::{
+    MalformedRecord, ParsedPacket, PcapRecord, PcapWriter, RecordOutcome, Transport,
+};
 use sixscope_types::SimTime;
+use std::fmt;
 use std::io::Write;
 use std::net::Ipv6Addr;
+
+/// Statistics of one recoverable pcap ingest run
+/// ([`Capture::ingest_pcap_recovering`]).
+///
+/// The counts partition everything the reader encountered:
+/// `records_read = parsed + filtered + malformed_packets`, and damaged pcap
+/// records (which never yield packet bytes at all) are tallied separately in
+/// `skipped`, indexed by [`MalformedRecord::REASONS`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IngestStats {
+    /// Complete records read off the file.
+    pub records_read: u64,
+    /// Records that parsed as IPv6 and matched the capture filter.
+    pub parsed: u64,
+    /// Records that parsed but fell outside the telescope prefix.
+    pub filtered: u64,
+    /// Records whose bytes did not parse as an IPv6 packet.
+    pub malformed_packets: u64,
+    /// Damaged pcap records skipped, by [`MalformedRecord::reason_index`].
+    pub skipped: [u64; MalformedRecord::REASONS.len()],
+    /// True if the file ended inside a record (killed live capture).
+    pub truncated_tail: bool,
+}
+
+impl IngestStats {
+    /// Total damaged records skipped across all reasons.
+    pub fn skipped_total(&self) -> u64 {
+        self.skipped.iter().sum()
+    }
+
+    /// Per-reason skip counts with their stable labels (all reasons, in
+    /// [`MalformedRecord::REASONS`] order).
+    pub fn skip_reasons(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        MalformedRecord::REASONS.into_iter().zip(self.skipped)
+    }
+
+    /// Folds another run's statistics into this one (multi-file ingest).
+    pub fn absorb(&mut self, other: &IngestStats) {
+        self.records_read += other.records_read;
+        self.parsed += other.parsed;
+        self.filtered += other.filtered;
+        self.malformed_packets += other.malformed_packets;
+        for (mine, theirs) in self.skipped.iter_mut().zip(other.skipped) {
+            *mine += theirs;
+        }
+        self.truncated_tail |= other.truncated_tail;
+    }
+}
+
+impl fmt::Display for IngestStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} records read: {} parsed, {} filtered, {} malformed; {} skipped",
+            self.records_read,
+            self.parsed,
+            self.filtered,
+            self.malformed_packets,
+            self.skipped_total(),
+        )?;
+        let reasons: Vec<String> = self
+            .skip_reasons()
+            .filter(|(_, n)| *n > 0)
+            .map(|(r, n)| format!("{r}: {n}"))
+            .collect();
+        if !reasons.is_empty() {
+            write!(f, " ({})", reasons.join(", "))?;
+        }
+        if self.truncated_tail {
+            write!(f, "; truncated tail")?;
+        }
+        Ok(())
+    }
+}
 
 /// Transport protocol of a captured packet (telescope view).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -207,6 +284,10 @@ impl Capture {
     }
 
     /// Reads a pcap stream into this capture, applying the same filter.
+    ///
+    /// Fail-fast: the first damaged record aborts with an error. Real
+    /// telescope captures should use [`Capture::ingest_pcap_recovering`],
+    /// which confines damage to the record it occurs in.
     pub fn ingest_pcap<R: std::io::Read>(
         &mut self,
         reader: R,
@@ -219,6 +300,42 @@ impl Capture {
             }
         }
         Ok(count)
+    }
+
+    /// Reads a pcap stream with skip-and-count recovery: damaged records
+    /// are skipped (tallied per reason), a file cut off mid-record yields
+    /// every complete record plus the `truncated_tail` marker, and only
+    /// file-level problems — unreadable global header, wrong link type,
+    /// real I/O failure — abort with `Err`.
+    pub fn ingest_pcap_recovering<R: std::io::Read>(
+        &mut self,
+        reader: R,
+    ) -> Result<IngestStats, sixscope_packet::PacketError> {
+        let mut r = sixscope_packet::PcapReader::new(reader)?;
+        let mut stats = IngestStats::default();
+        while let Some(outcome) = r.read_record_recovering()? {
+            match outcome {
+                RecordOutcome::Record(rec) => {
+                    stats.records_read += 1;
+                    let (filtered, malformed) = (self.filtered, self.malformed);
+                    if self.ingest(rec.ts, &rec.data) {
+                        stats.parsed += 1;
+                    } else if self.filtered > filtered {
+                        stats.filtered += 1;
+                    } else if self.malformed > malformed {
+                        stats.malformed_packets += 1;
+                    }
+                }
+                RecordOutcome::Skipped(m) => {
+                    stats.skipped[m.reason_index()] += 1;
+                }
+                RecordOutcome::TruncatedTail(m) => {
+                    stats.skipped[m.reason_index()] += 1;
+                    stats.truncated_tail = true;
+                }
+            }
+        }
+        Ok(stats)
     }
 }
 
@@ -315,6 +432,60 @@ mod tests {
         let rec = reader.read_record().unwrap().unwrap();
         assert_eq!(rec.ts.as_secs(), 77);
         assert_eq!(rec.data, raw);
+    }
+
+    #[test]
+    fn recovering_ingest_skips_damage_and_flags_truncated_tail() {
+        let mut w = PcapWriter::new(Vec::new()).unwrap();
+        // In-prefix probe, out-of-prefix probe, non-IPv6 garbage bytes.
+        for (ts, data) in [
+            (1, probe("2001:db8:3::1")),
+            (2, probe("2001:db8:9::1")),
+            (3, vec![0u8; 12]),
+        ] {
+            w.write_record(&PcapRecord {
+                ts: SimTime::from_secs(ts),
+                ts_micros: 0,
+                data,
+            })
+            .unwrap();
+        }
+        let mut bytes = w.into_inner().unwrap();
+        // A damaged record (incl_len 8 > orig_len 2) with its 8 bytes present.
+        bytes.extend_from_slice(&4u32.to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        bytes.extend_from_slice(&8u32.to_le_bytes());
+        bytes.extend_from_slice(&2u32.to_le_bytes());
+        bytes.extend_from_slice(&[0xee; 8]);
+        // One more good record, then a record header cut off by EOF.
+        let mut w2 = PcapWriter::new(Vec::new()).unwrap();
+        w2.write_record(&PcapRecord {
+            ts: SimTime::from_secs(5),
+            ts_micros: 0,
+            data: probe("2001:db8:3::2"),
+        })
+        .unwrap();
+        bytes.extend_from_slice(&w2.into_inner().unwrap()[24..]);
+        bytes.extend_from_slice(&[0u8; 7]);
+
+        let mut cap = t3_capture();
+        let stats = cap.ingest_pcap_recovering(&bytes[..]).unwrap();
+        assert_eq!(stats.records_read, 4);
+        assert_eq!(stats.parsed, 2);
+        assert_eq!(stats.filtered, 1);
+        assert_eq!(stats.malformed_packets, 1);
+        assert_eq!(stats.skipped_total(), 2);
+        assert!(stats.truncated_tail);
+        assert_eq!(cap.len(), 2);
+        assert_eq!(
+            stats.records_read,
+            stats.parsed + stats.filtered + stats.malformed_packets
+        );
+        // The Display form carries the per-reason breakdown.
+        let shown = stats.to_string();
+        assert!(shown.contains("length-inconsistent: 1"), "{shown}");
+        assert!(shown.contains("truncated-header: 1"), "{shown}");
+        assert!(shown.contains("truncated tail"), "{shown}");
     }
 
     #[test]

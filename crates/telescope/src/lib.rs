@@ -25,7 +25,7 @@ pub mod session;
 pub mod source;
 
 pub use bytes::Bytes;
-pub use capture::{Capture, CapturedPacket, Protocol};
+pub use capture::{Capture, CapturedPacket, IngestStats, Protocol};
 pub use config::{TelescopeConfig, TelescopeId, TelescopeKind};
 pub use reactive::respond;
 pub use schedule::{ScheduleAction, ScheduleActionKind, SplitSchedule};

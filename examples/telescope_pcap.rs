@@ -110,10 +110,12 @@ fn main() {
     );
 
     // --- 3. read back and analyze, as an offline pipeline would ---
+    // The recovering reader is what a real deployment uses: damaged
+    // records are skipped and counted instead of aborting the file.
     let mut offline = Capture::new(config);
     let reader = std::fs::File::open(&pcap_path).expect("open pcap");
-    let n = offline.ingest_pcap(reader).expect("parse pcap");
-    println!("re-read {n} packets from disk");
+    let stats = offline.ingest_pcap_recovering(reader).expect("parse pcap");
+    println!("re-read from disk: {stats}");
 
     let sessions = Sessionizer::paper(AggLevel::Addr128).sessionize(&offline);
     println!("\n{} scan sessions:", sessions.len());
