@@ -2,7 +2,8 @@
 //! packet codecs, BGP propagation, sessionization, the full experiment.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use sixscope::{scanners::ExperimentLayout, scanners::PopulationSpec, Experiment};
+use sixscope::sim::ScenarioConfig;
+use sixscope::{scanners::ExperimentLayout, scanners::PopulationSpec, Pipeline};
 use sixscope_bench::bench_corpus;
 use sixscope_telescope::{AggLevel, Sessionizer, TelescopeId};
 use std::hint::black_box;
@@ -64,7 +65,12 @@ fn bench_full_experiment(c: &mut Criterion) {
     let mut group = c.benchmark_group("experiment");
     group.sample_size(10);
     group.bench_function("full_run_tiny_scale", |b| {
-        b.iter(|| black_box(Experiment::new(42, 0.002).run().result.total_packets()))
+        b.iter(|| {
+            let a = Pipeline::simulate(ScenarioConfig::new(42, 0.002))
+                .run()
+                .expect("simulated runs cannot fail");
+            black_box(a.result.total_packets())
+        })
     });
     group.finish();
 }

@@ -1,29 +1,44 @@
 //! `repro` — regenerates every table and figure of the paper and writes
 //! EXPERIMENTS.md with paper-vs-measured comparisons.
 //!
-//! Usage: `cargo run -p sixscope-bench --bin repro --release [-- [scale] [--timing]]`
+//! Usage: `cargo run -p sixscope-bench --bin repro --release [-- [scale] [--timing] [--chunk N]]`
 //!
 //! With `--timing`, prints a per-stage wall-clock breakdown (generate,
-//! deliver, sessionize, index build, tables, figures) and writes it to
-//! BENCH_repro.json for machine consumption.
+//! deliver, streaming, sessionize, index build, tables, figures) plus the
+//! process peak RSS and writes it to BENCH_repro.json for machine
+//! consumption.
 
 use sixscope::json::Json;
-use sixscope::Experiment;
+use sixscope::sim::ScenarioConfig;
+use sixscope::Pipeline;
 use sixscope_bench::report::{figures_section, tables_section};
-use sixscope_bench::{comparisons_markdown, take_comparisons, SEED};
+use sixscope_bench::{comparisons_markdown, peak_rss_kib, take_comparisons, SEED};
 use std::fmt::Write as _;
 use std::time::Instant;
 
 fn main() {
     let mut scale = sixscope_bench::SCALE;
     let mut timing = false;
-    for arg in std::env::args().skip(1) {
+    let mut chunk: Option<usize> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         if arg == "--timing" {
             timing = true;
+        } else if arg == "--chunk" {
+            // Streaming chunk size — output must be byte-identical at any
+            // value (the CI equivalence check drives this).
+            let value = args.next().unwrap_or_default();
+            match value.parse() {
+                Ok(n) => chunk = Some(n),
+                Err(_) => {
+                    eprintln!("invalid --chunk value {value:?}");
+                    std::process::exit(2);
+                }
+            }
         } else if let Ok(s) = arg.parse::<f64>() {
             scale = s;
         } else {
-            eprintln!("usage: repro [scale] [--timing]");
+            eprintln!("usage: repro [scale] [--timing] [--chunk N]");
             std::process::exit(2);
         }
     }
@@ -32,7 +47,12 @@ fn main() {
         "running experiment: seed={SEED} scale={scale} (paper = 1.0), {threads} worker thread(s) …"
     );
     let t0 = Instant::now();
-    let (a, sim) = Experiment::new(SEED, scale).run_timed();
+    let mut pipeline = Pipeline::simulate(ScenarioConfig::new(SEED, scale));
+    if let Some(n) = chunk {
+        pipeline = pipeline.chunk_records(n);
+    }
+    let out = pipeline.run_detailed().expect("simulated runs cannot fail");
+    let (a, sim) = (out.analyzed, out.sim);
     eprintln!(
         "experiment done in {:.1?}: {} packets captured, {} dropped unrouted, {} T4 responses",
         t0.elapsed(),
@@ -80,6 +100,7 @@ fn main() {
             ("setup", sim.setup),
             ("generate", sim.generate),
             ("deliver", sim.deliver),
+            ("streaming", a.timings.streaming),
             ("sessionize", a.timings.sessionize),
             ("index_build", a.timings.index_build),
             ("tables", tables_secs),
@@ -91,6 +112,10 @@ fn main() {
             eprintln!("  {name:<12} {secs:>8.3} s");
         }
         eprintln!("  {:<12} {total:>8.3} s", "total");
+        eprintln!("  peak open sessions: {}", a.peak_open_sessions);
+        if let Some(kib) = peak_rss_kib() {
+            eprintln!("  peak RSS: {kib} KiB");
+        }
         let json = Json::obj([
             ("seed", Json::u(SEED)),
             ("scale", Json::Num(scale)),
@@ -106,6 +131,8 @@ fn main() {
                 ),
             ),
             ("total", Json::Num(total)),
+            ("peak_open_sessions", Json::u(a.peak_open_sessions as u64)),
+            ("peak_rss_kib", peak_rss_kib().map_or(Json::Null, Json::u)),
         ]);
         std::fs::write("BENCH_repro.json", json.render() + "\n").expect("write BENCH_repro.json");
         eprintln!("wrote BENCH_repro.json");

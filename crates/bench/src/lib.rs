@@ -2,7 +2,8 @@
 //! per (seed, scale) and the paper-vs-measured comparison rows written to
 //! EXPERIMENTS.md.
 
-use sixscope::{Analyzed, Experiment};
+use sixscope::sim::ScenarioConfig;
+use sixscope::{Analyzed, Pipeline};
 use std::sync::{Mutex, OnceLock};
 
 pub mod report;
@@ -20,13 +21,31 @@ pub const BENCH_SCALE: f64 = 0.008;
 /// Runs (or returns the cached) experiment at the default repro scale.
 pub fn corpus() -> &'static Analyzed {
     static CELL: OnceLock<Analyzed> = OnceLock::new();
-    CELL.get_or_init(|| Experiment::new(SEED, SCALE).run())
+    CELL.get_or_init(|| {
+        Pipeline::simulate(ScenarioConfig::new(SEED, SCALE))
+            .run()
+            .expect("simulated runs cannot fail")
+    })
 }
 
 /// Runs (or returns the cached) experiment at the bench scale.
 pub fn bench_corpus() -> &'static Analyzed {
     static CELL: OnceLock<Analyzed> = OnceLock::new();
-    CELL.get_or_init(|| Experiment::new(SEED, BENCH_SCALE).run())
+    CELL.get_or_init(|| {
+        Pipeline::simulate(ScenarioConfig::new(SEED, BENCH_SCALE))
+            .run()
+            .expect("simulated runs cannot fail")
+    })
+}
+
+/// Peak resident-set size of this process in kibibytes (`VmHWM` from
+/// `/proc/self/status`), or `None` where procfs is unavailable. The repro
+/// binary exports it so bounded-memory claims are observable in
+/// BENCH_repro.json.
+pub fn peak_rss_kib() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
 }
 
 /// One paper-vs-measured comparison row.

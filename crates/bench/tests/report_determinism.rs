@@ -3,13 +3,16 @@
 //! must be byte-identical no matter how many worker threads built the
 //! corpus and its columnar index.
 
-use sixscope::Experiment;
+use sixscope::sim::ScenarioConfig;
+use sixscope::Pipeline;
 use sixscope_bench::report::{figures_section, tables_section};
 use sixscope_bench::{comparisons_markdown, take_comparisons, BENCH_SCALE, SEED};
 
 /// Builds the complete report body from a fresh experiment run.
 fn report_body() -> String {
-    let a = Experiment::new(SEED, BENCH_SCALE).run();
+    let a = Pipeline::simulate(ScenarioConfig::new(SEED, BENCH_SCALE))
+        .run()
+        .expect("simulated runs cannot fail");
     let mut out = String::new();
     tables_section(&a, &mut out);
     figures_section(&a, &mut out);

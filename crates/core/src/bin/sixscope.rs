@@ -8,15 +8,19 @@
 //! sixscope classify <addr>…                         RFC 7707 address typing
 //! ```
 //!
-//! The argument parser is hand-rolled (no CLI dependency): flags are
-//! `--name value` pairs, everything else is positional.
+//! Flag handling is shared across subcommands ([`sixscope::cli::Flags`]):
+//! flags are `--name value` pairs, everything else is positional, and
+//! `--threads N` is accepted everywhere. Errors exit with a per-category
+//! code ([`sixscope::Error::exit_code`]): 2 usage, 3 I/O, 4 pcap,
+//! 5 BGP, 6 analysis.
 
-use sixscope::{render, tables, Experiment};
+use sixscope::cli::Flags;
+use sixscope::json::Json;
+use sixscope::sim::ScenarioConfig;
+use sixscope::{ingest, render, tables, Error, Pipeline, PipelineOutput};
 use sixscope_analysis::addrtype;
 use sixscope_analysis::classify::{addr_selection, profile_scanners};
-use sixscope_telescope::{
-    AggLevel, Capture, Sessionizer, SplitSchedule, TelescopeConfig, TelescopeId,
-};
+use sixscope_telescope::{Capture, SplitSchedule, TelescopeId};
 use sixscope_types::{Ipv6Prefix, SimTime};
 use std::net::Ipv6Addr;
 use std::process::ExitCode;
@@ -25,7 +29,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((command, rest)) = args.split_first() else {
         eprintln!("{USAGE}");
-        return ExitCode::FAILURE;
+        return ExitCode::from(2);
     };
     let result = match command.as_str() {
         "run" => cmd_run(rest),
@@ -37,13 +41,18 @@ fn main() -> ExitCode {
             println!("{USAGE}");
             Ok(())
         }
-        other => Err(format!("unknown command {other:?}\n{USAGE}")),
+        other => Err(Error::Usage(format!("unknown command {other:?}\n{USAGE}"))),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
-            eprintln!("sixscope: {msg}");
-            ExitCode::FAILURE
+        Err(err) => {
+            eprintln!("sixscope: {err}");
+            let mut source = std::error::Error::source(&err);
+            while let Some(cause) = source {
+                eprintln!("  caused by: {cause}");
+                source = std::error::Error::source(cause);
+            }
+            ExitCode::from(err.exit_code())
         }
     }
 }
@@ -51,20 +60,27 @@ fn main() -> ExitCode {
 const USAGE: &str = "\
 sixscope — IPv6 network-telescope measurement toolkit
 
+Every subcommand accepts --threads N (worker-thread cap; output bytes
+never depend on it).
+
 USAGE:
-    sixscope run [--seed N] [--scale F] [--pcap-dir DIR] [--json true]
+    sixscope run [--seed N] [--scale F] [--pcap-dir DIR] [--json]
         Run the full 11-month experiment and print all tables
-        (--json true prints one machine-readable JSON document instead).
+        (--json prints one machine-readable JSON document instead).
         --pcap-dir also writes one pcap per telescope.
 
     sixscope ingest <capture.pcap> [more.pcap…] [--prefix P] [--report out.md]
-        Ingest real pcap captures (LINKTYPE_RAW) with per-record damage
+            [--chunk N] [--json]
+        Stream real pcap captures (LINKTYPE_RAW) with per-record damage
         recovery: damaged records are skipped and counted by reason, a
         file cut off mid-record keeps every complete record. Prints the
         recovery statistics and writes a markdown report (to --report,
-        or stdout). --prefix filters to a telescope prefix (default ::/0).
+        or stdout; --json prints a JSON summary instead). --prefix
+        filters to a telescope prefix (default ::/0); --chunk bounds
+        memory to N records per read.
 
     sixscope analyze <telescope-prefix> <capture.pcap> [more.pcap…]
+            [--chunk N] [--json]
         Analyze real pcap captures (LINKTYPE_RAW) of a telescope:
         sessions, temporal classes, address selection, tools.
 
@@ -74,52 +90,26 @@ USAGE:
     sixscope classify <ipv6-addr> [more…]
         Classify addresses into RFC 7707 target classes.";
 
-/// Parsed `--name value` flag pairs.
-type Flags = Vec<(String, String)>;
-
-/// Extracts `--name value` flags; returns remaining positionals.
-fn parse_flags(args: &[String]) -> Result<(Flags, Vec<String>), String> {
-    let mut flags = Vec::new();
-    let mut positional = Vec::new();
-    let mut it = args.iter();
-    while let Some(a) = it.next() {
-        if let Some(name) = a.strip_prefix("--") {
-            let value = it
-                .next()
-                .ok_or_else(|| format!("flag --{name} needs a value"))?;
-            flags.push((name.to_string(), value.clone()));
-        } else {
-            positional.push(a.clone());
-        }
-    }
-    Ok((flags, positional))
-}
-
-fn flag<'a>(flags: &'a [(String, String)], name: &str) -> Option<&'a str> {
-    flags
-        .iter()
-        .find(|(n, _)| n == name)
-        .map(|(_, v)| v.as_str())
-}
-
-fn cmd_run(args: &[String]) -> Result<(), String> {
-    let (flags, _) = parse_flags(args)?;
-    let seed: u64 = flag(&flags, "seed")
-        .map(|v| v.parse().map_err(|_| "invalid --seed"))
-        .transpose()?
-        .unwrap_or(20230824);
-    let scale: f64 = flag(&flags, "scale")
-        .map(|v| v.parse().map_err(|_| "invalid --scale"))
-        .transpose()?
-        .unwrap_or(0.01);
+fn cmd_run(args: &[String]) -> Result<(), Error> {
+    let flags = Flags::parse(args, &["seed", "scale", "pcap-dir", "json", "threads"])?;
+    let threads = flags.apply_threads()?;
+    let seed: u64 = flags.parsed("seed")?.unwrap_or(20230824);
+    let scale: f64 = flags.parsed("scale")?.unwrap_or(0.01);
     eprintln!("running experiment seed={seed} scale={scale}…");
-    let analyzed = Experiment::new(seed, scale).run();
-    if flag(&flags, "json").is_some_and(|v| v == "true" || v == "1") {
+    let mut pipeline = Pipeline::simulate(ScenarioConfig::new(seed, scale));
+    if let Some(n) = threads {
+        pipeline = pipeline.threads(n);
+    }
+    let analyzed = pipeline.run()?;
+    if flags.is_true("json") {
         println!("{}", sixscope::json::tables_json(&analyzed).render());
         return Ok(());
     }
-    if let Some(dir) = flag(&flags, "pcap-dir") {
-        std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+    if let Some(dir) = flags.get("pcap-dir") {
+        std::fs::create_dir_all(dir).map_err(|source| Error::Io {
+            path: dir.to_string(),
+            source,
+        })?;
         for id in TelescopeId::ALL {
             // Re-encode the summarized capture to a pcap for inspection.
             let path = format!("{dir}/{id}.pcap");
@@ -139,11 +129,19 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
 }
 
 /// Rebuilds raw packets from capture summaries and writes a pcap.
-fn write_capture_pcap(capture: &Capture, path: &str) -> Result<(), String> {
+fn write_capture_pcap(capture: &Capture, path: &str) -> Result<(), Error> {
     use sixscope_packet::{PacketBuilder, PcapRecord, PcapWriter};
     use sixscope_telescope::Protocol;
-    let file = std::fs::File::create(path).map_err(|e| e.to_string())?;
-    let mut writer = PcapWriter::new(file).map_err(|e| e.to_string())?;
+    let io_err = |source| Error::Io {
+        path: path.to_string(),
+        source,
+    };
+    let pcap_err = |source| Error::Pcap {
+        path: path.to_string(),
+        source,
+    };
+    let file = std::fs::File::create(path).map_err(io_err)?;
+    let mut writer = PcapWriter::new(file).map_err(pcap_err)?;
     for p in capture.packets() {
         let builder = PacketBuilder::new(p.src, p.dst);
         let bytes = match p.protocol {
@@ -164,37 +162,106 @@ fn write_capture_pcap(capture: &Capture, path: &str) -> Result<(), String> {
                 ts_micros: 0,
                 data: bytes,
             })
-            .map_err(|e| e.to_string())?;
+            .map_err(pcap_err)?;
     }
-    writer.into_inner().map_err(|e| e.to_string())?;
+    writer.into_inner().map_err(pcap_err)?;
     Ok(())
 }
 
-fn cmd_ingest(args: &[String]) -> Result<(), String> {
-    let (flags, files) = parse_flags(args)?;
+/// Runs the streaming pcap pipeline with the flags every pcap subcommand
+/// shares (`--prefix`, `--chunk`, `--threads`), logging per-file recovery
+/// statistics to stderr.
+fn run_pcap_pipeline(
+    files: &[String],
+    prefix: Ipv6Prefix,
+    flags: &Flags,
+) -> Result<PipelineOutput, Error> {
+    let mut pipeline = Pipeline::from_pcaps(files).prefix(prefix);
+    if let Some(n) = flags.apply_threads()? {
+        pipeline = pipeline.threads(n);
+    }
+    if let Some(n) = flags.parsed("chunk")? {
+        pipeline = pipeline.chunk_records(n);
+    }
+    let out = pipeline.run_detailed()?;
+    for (file, stats) in &out.file_stats {
+        eprintln!("{file}: {stats}");
+    }
+    if out.file_stats.len() > 1 {
+        eprintln!("total: {}", out.stats);
+    }
+    Ok(out)
+}
+
+/// JSON rendering of one [`sixscope_telescope::IngestStats`].
+fn stats_json(stats: &sixscope_telescope::IngestStats) -> Json {
+    Json::obj([
+        ("records_read", Json::u(stats.records_read)),
+        ("parsed", Json::u(stats.parsed)),
+        ("filtered", Json::u(stats.filtered)),
+        ("malformed_packets", Json::u(stats.malformed_packets)),
+        ("skipped", Json::u(stats.skipped_total())),
+        ("truncated_tail", Json::Bool(stats.truncated_tail)),
+    ])
+}
+
+fn cmd_ingest(args: &[String]) -> Result<(), Error> {
+    let flags = Flags::parse(args, &["prefix", "report", "json", "threads", "chunk"])?;
+    let files = flags.positional().to_vec();
     if files.is_empty() {
-        return Err("usage: sixscope ingest <capture.pcap>… [--prefix P] [--report out.md]".into());
+        return Err(Error::Usage(
+            "usage: sixscope ingest <capture.pcap>… [--prefix P] [--report out.md]".into(),
+        ));
     }
-    let prefix: sixscope_types::Ipv6Prefix = match flag(&flags, "prefix") {
-        Some(p) => p.parse().map_err(|e| format!("bad --prefix: {e}"))?,
-        None => sixscope_types::Ipv6Prefix::default_route(),
-    };
-    let mut ingest = sixscope::Ingest::new(prefix);
-    for f in &files {
-        let reader = std::fs::File::open(f).map_err(|e| format!("{f}: {e}"))?;
-        let stats = ingest
-            .add_pcap(std::io::BufReader::new(reader))
-            .map_err(|e| format!("{f}: {e}"))?;
-        eprintln!("{f}: {stats}");
+    let prefix: Ipv6Prefix = flags
+        .parsed("prefix")?
+        .unwrap_or_else(Ipv6Prefix::default_route);
+    let out = run_pcap_pipeline(&files, prefix, &flags)?;
+    let analyzed = &out.analyzed;
+    let sessions = analyzed.sessions128(TelescopeId::T1);
+    if flags.is_true("json") {
+        let doc = Json::obj([
+            ("stats", stats_json(&out.stats)),
+            (
+                "files",
+                Json::Arr(
+                    out.file_stats
+                        .iter()
+                        .map(|(f, s)| {
+                            Json::Obj(vec![
+                                ("file".to_string(), Json::s(f.clone())),
+                                ("stats".to_string(), stats_json(s)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "packets",
+                Json::u(analyzed.capture(TelescopeId::T1).len() as u64),
+            ),
+            ("sessions_128", Json::u(sessions.len() as u64)),
+            ("scanners", Json::u(profile_scanners(sessions).len() as u64)),
+            (
+                "peak_open_sessions",
+                Json::u(analyzed.peak_open_sessions as u64),
+            ),
+        ]);
+        println!("{}", doc.render());
+        return Ok(());
     }
-    let totals = ingest.stats();
-    if files.len() > 1 {
-        eprintln!("total: {totals}");
-    }
-    let report = ingest.report(&files.join(", "));
-    match flag(&flags, "report") {
+    let report = ingest::render_report(
+        analyzed.capture(TelescopeId::T1),
+        sessions,
+        &out.stats,
+        &files.join(", "),
+    );
+    match flags.get("report") {
         Some(path) => {
-            std::fs::write(path, &report).map_err(|e| format!("{path}: {e}"))?;
+            std::fs::write(path, &report).map_err(|source| Error::Io {
+                path: path.to_string(),
+                source,
+            })?;
             eprintln!("wrote {path}");
         }
         None => print!("{report}"),
@@ -202,41 +269,56 @@ fn cmd_ingest(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_analyze(args: &[String]) -> Result<(), String> {
-    let (_, positional) = parse_flags(args)?;
-    let [prefix, files @ ..] = positional.as_slice() else {
-        return Err("usage: sixscope analyze <telescope-prefix> <capture.pcap>…".into());
+fn cmd_analyze(args: &[String]) -> Result<(), Error> {
+    let flags = Flags::parse(args, &["json", "threads", "chunk"])?;
+    let [prefix, files @ ..] = flags.positional() else {
+        return Err(Error::Usage(
+            "usage: sixscope analyze <telescope-prefix> <capture.pcap>…".into(),
+        ));
     };
     if files.is_empty() {
-        return Err("no pcap files given".into());
+        return Err(Error::Usage("no pcap files given".into()));
     }
     let prefix: Ipv6Prefix = prefix
         .parse()
-        .map_err(|e| format!("bad telescope prefix: {e}"))?;
-    // Use a T3-style passive config shaped to the given prefix length.
-    let config = TelescopeConfig {
-        id: TelescopeId::T1,
-        kind: sixscope_telescope::TelescopeKind::Passive,
-        prefix,
-        separately_announced: true,
-        dns_exposed: None,
-        productive_subnet: None,
-    };
-    let mut capture = Capture::new(config);
-    for f in files {
-        let reader = std::fs::File::open(f).map_err(|e| format!("{f}: {e}"))?;
-        let n = capture
-            .ingest_pcap(reader)
-            .map_err(|e| format!("{f}: {e}"))?;
-        eprintln!(
-            "{f}: {n} packets in prefix (filtered {}, malformed {})",
-            capture.filtered(),
-            capture.malformed()
-        );
+        .map_err(|e| Error::Usage(format!("bad telescope prefix: {e}")))?;
+    let out = run_pcap_pipeline(files, prefix, &flags)?;
+    let capture = out.analyzed.capture(TelescopeId::T1);
+    let sessions = out.analyzed.sessions128(TelescopeId::T1);
+    let profiles = profile_scanners(sessions);
+    if flags.is_true("json") {
+        let doc = Json::obj([
+            ("stats", stats_json(&out.stats)),
+            ("packets", Json::u(capture.len() as u64)),
+            ("sessions_128", Json::u(sessions.len() as u64)),
+            (
+                "scanners",
+                Json::Arr(
+                    profiles
+                        .iter()
+                        .map(|profile| {
+                            let first = &sessions[profile.session_indices[0]];
+                            Json::obj([
+                                ("source", Json::s(profile.source.to_string())),
+                                ("sessions", Json::u(profile.session_indices.len() as u64)),
+                                ("packets", Json::u(profile.packets)),
+                                ("temporal", Json::s(profile.temporal.to_string())),
+                                (
+                                    "addr_selection",
+                                    Json::s(
+                                        addr_selection(first, capture, prefix.len()).to_string(),
+                                    ),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]);
+        println!("{}", doc.render());
+        return Ok(());
     }
     println!("total packets: {}", capture.len());
-    let sessions = Sessionizer::paper(AggLevel::Addr128).sessionize(&capture);
-    let profiles = profile_scanners(&sessions);
     println!(
         "sessions (/128): {}, scanners: {}\n",
         sessions.len(),
@@ -248,7 +330,7 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
     );
     for profile in &profiles {
         let first = &sessions[profile.session_indices[0]];
-        let selection = addr_selection(first, &capture, prefix.len());
+        let selection = addr_selection(first, capture, prefix.len());
         println!(
             "{:<42} {:>6} {:>8}  {:<13} {}",
             profile.source.to_string(),
@@ -261,18 +343,22 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_schedule(args: &[String]) -> Result<(), String> {
-    let (flags, positional) = parse_flags(args)?;
-    let [covering] = positional.as_slice() else {
-        return Err("usage: sixscope schedule <covering-prefix/32>".into());
+fn cmd_schedule(args: &[String]) -> Result<(), Error> {
+    let flags = Flags::parse(args, &["weeks-baseline", "threads"])?;
+    flags.apply_threads()?;
+    let [covering] = flags.positional() else {
+        return Err(Error::Usage(
+            "usage: sixscope schedule <covering-prefix/32>".into(),
+        ));
     };
-    let covering: Ipv6Prefix = covering.parse().map_err(|e| format!("bad prefix: {e}"))?;
+    let covering: Ipv6Prefix = covering
+        .parse()
+        .map_err(|e| Error::Usage(format!("bad prefix: {e}")))?;
     if covering.len() != 32 {
-        return Err("the paper's schedule splits a /32".into());
+        return Err(Error::Usage("the paper's schedule splits a /32".into()));
     }
     let mut schedule = SplitSchedule::paper(covering, SimTime::EPOCH);
-    if let Some(weeks) = flag(&flags, "weeks-baseline") {
-        let weeks: u64 = weeks.parse().map_err(|_| "invalid --weeks-baseline")?;
+    if let Some(weeks) = flags.parsed::<u64>("weeks-baseline")? {
         schedule.baseline = sixscope_types::SimDuration::weeks(weeks);
     }
     println!(
@@ -295,13 +381,14 @@ fn cmd_schedule(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_classify(args: &[String]) -> Result<(), String> {
-    let (_, positional) = parse_flags(args)?;
-    if positional.is_empty() {
-        return Err("usage: sixscope classify <ipv6-addr>…".into());
+fn cmd_classify(args: &[String]) -> Result<(), Error> {
+    let flags = Flags::parse(args, &["threads"])?;
+    flags.apply_threads()?;
+    if flags.positional().is_empty() {
+        return Err(Error::Usage("usage: sixscope classify <ipv6-addr>…".into()));
     }
-    for s in &positional {
-        let addr: Ipv6Addr = s.parse().map_err(|e| format!("{s}: {e}"))?;
+    for s in flags.positional() {
+        let addr: Ipv6Addr = s.parse().map_err(|e| Error::Usage(format!("{s}: {e}")))?;
         println!("{s:<42} {}", addrtype::classify(addr));
     }
     Ok(())

@@ -1,20 +1,24 @@
 //! The analyzed corpus: experiment output plus pre-computed sessions, the
 //! columnar corpus index and metadata join helpers.
 
-use crate::index::CorpusIndex;
+use crate::index::{CorpusIndex, IndexShard};
 use sixscope_analysis::classify::ScannerProfile;
-use sixscope_sim::{ExperimentResult, Scenario, ScenarioConfig, ScenarioTimings};
-use sixscope_telescope::{AggLevel, Capture, ScanSession, Sessionizer, SourceKey, TelescopeId};
-use sixscope_types::{map_indexed, num_threads, AsInfo, Asn, PrefixTrie, SimTime};
+use sixscope_sim::{CompiledVisibility, ExperimentResult, ScenarioConfig, ScenarioTimings};
+use sixscope_telescope::{
+    AggLevel, Capture, IncrementalSessionizer, ScanSession, SourceKey, TelescopeId, SESSION_TIMEOUT,
+};
+use sixscope_types::{map_indexed, num_threads, AsInfo, Asn, PrefixTrie, SimDuration, SimTime};
 use std::collections::BTreeMap;
 use std::net::Ipv6Addr;
 use std::time::Instant;
 
-/// The entry point: configures and runs the full study.
+/// The historical entry point; superseded by [`crate::Pipeline`].
+#[deprecated(note = "use sixscope::Pipeline::simulate(ScenarioConfig::new(seed, scale)) instead")]
 pub struct Experiment {
     config: ScenarioConfig,
 }
 
+#[allow(deprecated)]
 impl Experiment {
     /// Creates an experiment with the default address plan.
     ///
@@ -39,18 +43,48 @@ impl Experiment {
     /// Runs the experiment and reports per-stage simulation wall-clock
     /// (analysis timings live on [`Analyzed::timings`]).
     pub fn run_timed(&self) -> (Analyzed, ScenarioTimings) {
-        let (result, timings) = Scenario::new(self.config.clone()).run_timed();
-        (Analyzed::from_result(result), timings)
+        let out = crate::Pipeline::simulate(self.config.clone())
+            .run_detailed()
+            .expect("simulated runs cannot fail");
+        (out.analyzed, out.sim)
     }
 }
 
 /// Wall-clock seconds of the analysis stages in [`Analyzed::from_result`].
 #[derive(Debug, Clone, Copy, Default)]
 pub struct AnalysisTimings {
-    /// The eight sessionization passes.
+    /// The chunked feed phase end to end: sessionizer pushes plus index-
+    /// shard appends across all telescopes (wall-clock of the parallel
+    /// stage).
+    pub streaming: f64,
+    /// Time spent pushing packets into the incremental sessionizers
+    /// (summed across the per-telescope jobs).
     pub sessionize: f64,
-    /// The corpus-index build.
+    /// The index shard-merge and finalize ([`CorpusIndex::from_shards`]).
     pub index_build: f64,
+}
+
+/// Chunking and eviction knobs of the streaming analysis;
+/// [`crate::Pipeline`] fills this from its builder methods. The defaults
+/// reproduce the batch behavior (one big chunk, the paper's 1-hour
+/// timeout).
+pub(crate) struct StreamSettings {
+    /// Packets fed per chunk.
+    pub chunk_records: usize,
+    /// Session idle timeout (the eviction horizon).
+    pub session_timeout: SimDuration,
+    /// Worker threads (`None` defers to `SIXSCOPE_THREADS`).
+    pub threads: Option<usize>,
+}
+
+impl Default for StreamSettings {
+    fn default() -> Self {
+        StreamSettings {
+            chunk_records: usize::MAX,
+            session_timeout: SESSION_TIMEOUT,
+            threads: None,
+        }
+    }
 }
 
 /// Experiment output with sessions, scanner profiles and metadata joins.
@@ -65,39 +99,101 @@ pub struct Analyzed {
     pub index: CorpusIndex,
     /// Wall-clock of the analysis stages that built this corpus.
     pub timings: AnalysisTimings,
+    /// High-water mark of the incremental sessionizers' open-session
+    /// tables — the live-memory bound of the streaming analysis (maximum
+    /// over all telescopes and both aggregation levels).
+    pub peak_open_sessions: usize,
     /// Source /64-subnet → origin AS (the IP-to-AS join of the study).
     asn_by_subnet: PrefixTrie<Asn>,
 }
 
 impl Analyzed {
-    /// Builds the corpus from a finished experiment.
-    ///
-    /// The eight sessionization passes (four telescopes × two aggregation
-    /// levels) are independent pure functions of their capture, so they run
-    /// on worker threads (`SIXSCOPE_THREADS` caps them; 1 forces serial).
-    /// Results are keyed by telescope, so scheduling cannot affect output.
+    /// Builds the corpus from a finished experiment — the batch path,
+    /// expressed as one-big-chunk streaming through [`Analyzed::stream`].
     pub fn from_result(result: ExperimentResult) -> Analyzed {
-        let sessionize_start = Instant::now();
-        let jobs: Vec<(TelescopeId, AggLevel)> = TelescopeId::ALL
-            .into_iter()
-            .flat_map(|id| [(id, AggLevel::Addr128), (id, AggLevel::Subnet64)])
-            .collect();
-        let sessionized = map_indexed(num_threads(None), &jobs, |_, &(id, level)| {
-            Sessionizer::paper(level).sessionize(&result.captures[&id])
+        Self::stream(result, &StreamSettings::default())
+    }
+
+    /// Builds the corpus by feeding each capture chunk-wise through an
+    /// [`IncrementalSessionizer`] pair (/128 and /64) and an [`IndexShard`]
+    /// accumulator, then merging the shards into the [`CorpusIndex`].
+    ///
+    /// The four per-telescope feeds are independent pure functions of
+    /// their capture, so they run on worker threads (`SIXSCOPE_THREADS`
+    /// caps them; 1 forces serial); results are keyed by telescope, so
+    /// scheduling cannot affect output, and chunk boundaries are invisible
+    /// (DESIGN.md §10) — any `chunk_records` yields byte-identical output.
+    pub(crate) fn stream(result: ExperimentResult, settings: &StreamSettings) -> Analyzed {
+        let threads = num_threads(settings.threads);
+        let stream_start = Instant::now();
+        let compiled = CompiledVisibility::compile(&result.visibility);
+        let fed = map_indexed(threads, &TelescopeId::ALL, |_, id| {
+            let capture = &result.captures[id];
+            let packets = capture.packets();
+            let mut s128 = IncrementalSessionizer::new(AggLevel::Addr128, settings.session_timeout);
+            let mut s64 = IncrementalSessionizer::new(AggLevel::Subnet64, settings.session_timeout);
+            let mut shard = IndexShard::new();
+            let mut sessionize = 0.0;
+            let mut start = 0usize;
+            while start < packets.len() {
+                let end = start
+                    .saturating_add(settings.chunk_records)
+                    .min(packets.len());
+                let push_start = Instant::now();
+                for (i, p) in packets[start..end].iter().enumerate() {
+                    let idx = (start + i) as u32;
+                    s128.push(idx, p);
+                    s64.push(idx, p);
+                }
+                sessionize += push_start.elapsed().as_secs_f64();
+                let mut piece = IndexShard::new();
+                piece.push_range(capture, start..end, &compiled);
+                shard.absorb(piece);
+                start = end;
+            }
+            let peak = s128.peak_open().max(s64.peak_open());
+            (s128.finish(), s64.finish(), shard, sessionize, peak)
         });
+        let streaming = stream_start.elapsed().as_secs_f64();
         let mut sessions128 = BTreeMap::new();
         let mut sessions64 = BTreeMap::new();
-        for (&(id, level), sessions) in jobs.iter().zip(sessionized) {
-            match level {
-                AggLevel::Addr128 => sessions128.insert(id, sessions),
-                AggLevel::Subnet64 => sessions64.insert(id, sessions),
-                other => unreachable!("no {other:?} sessionization job scheduled"),
-            };
+        let mut shards = BTreeMap::new();
+        let mut sessionize = 0.0;
+        let mut peak_open_sessions = 0;
+        for (id, (s128, s64, shard, secs, peak)) in TelescopeId::ALL.into_iter().zip(fed) {
+            sessions128.insert(id, s128);
+            sessions64.insert(id, s64);
+            shards.insert(id, shard);
+            sessionize += secs;
+            peak_open_sessions = peak_open_sessions.max(peak);
         }
-        let sessionize = sessionize_start.elapsed().as_secs_f64();
         let index_start = Instant::now();
-        let index = CorpusIndex::build(&result, &sessions128, &sessions64);
+        let index = CorpusIndex::from_shards(&result, shards, &sessions128, &sessions64, threads);
         let index_build = index_start.elapsed().as_secs_f64();
+        Self::assemble(
+            result,
+            sessions128,
+            sessions64,
+            index,
+            AnalysisTimings {
+                streaming,
+                sessionize,
+                index_build,
+            },
+            peak_open_sessions,
+        )
+    }
+
+    /// Final assembly (builds the AS join trie); shared by the streaming
+    /// constructor above and [`crate::Pipeline`]'s pcap path.
+    pub(crate) fn assemble(
+        result: ExperimentResult,
+        sessions128: BTreeMap<TelescopeId, Vec<ScanSession>>,
+        sessions64: BTreeMap<TelescopeId, Vec<ScanSession>>,
+        index: CorpusIndex,
+        timings: AnalysisTimings,
+        peak_open_sessions: usize,
+    ) -> Analyzed {
         let mut asn_by_subnet = PrefixTrie::new();
         for scanner in &result.population.scanners {
             asn_by_subnet.insert(scanner.source.subnet(), scanner.asn);
@@ -107,10 +203,8 @@ impl Analyzed {
             sessions128,
             sessions64,
             index,
-            timings: AnalysisTimings {
-                sessionize,
-                index_build,
-            },
+            timings,
+            peak_open_sessions,
             asn_by_subnet,
         }
     }
@@ -205,7 +299,9 @@ mod tests {
     use super::*;
 
     fn analyzed() -> Analyzed {
-        Experiment::new(7, 0.004).run()
+        crate::Pipeline::simulate(ScenarioConfig::new(7, 0.004))
+            .run()
+            .expect("simulated runs cannot fail")
     }
 
     #[test]

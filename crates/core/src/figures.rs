@@ -677,12 +677,17 @@ pub fn fig17(a: &Analyzed) -> Vec<NistFigureCell> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::corpus::{Analyzed, Experiment};
+    use crate::corpus::Analyzed;
+    use sixscope_sim::ScenarioConfig;
     use std::sync::OnceLock;
 
     fn analyzed() -> &'static Analyzed {
         static CELL: OnceLock<Analyzed> = OnceLock::new();
-        CELL.get_or_init(|| Experiment::new(1234, 0.02).run())
+        CELL.get_or_init(|| {
+            crate::Pipeline::simulate(ScenarioConfig::new(1234, 0.02))
+                .run()
+                .expect("simulated runs cannot fail")
+        })
     }
 
     #[test]

@@ -278,6 +278,180 @@ impl PacketColumns {
     }
 }
 
+/// Append-only partial packet columns of one telescope — the mergeable
+/// unit of the streaming pipeline (DESIGN.md §10).
+///
+/// A shard accumulates exactly the per-packet facts [`PacketColumns`]
+/// stores, except that source addresses stay raw (`u128`): global source
+/// ids cannot be assigned until every chunk has been seen. The streaming
+/// pipeline appends one chunk at a time with [`IndexShard::push_range`],
+/// merges shards in capture order with [`IndexShard::absorb`] (mirroring
+/// `Capture::absorb`), and finally [`CorpusIndex::from_shards`] interns the
+/// union of the shard source sets and resolves the raw columns to ids —
+/// producing columns byte-identical to a batch [`PacketColumns::build`]
+/// over the concatenated capture.
+#[derive(Debug, Clone, Default)]
+pub struct IndexShard {
+    sources128: BTreeSet<SourceKey>,
+    sources64: BTreeSet<SourceKey>,
+    ts: Vec<SimTime>,
+    /// Raw source address per packet (resolved to ids at merge time).
+    src: Vec<u128>,
+    class: Vec<u8>,
+    proto: Vec<u8>,
+    port: Vec<u32>,
+    week: Vec<u32>,
+    day: Vec<u32>,
+    dst: Vec<u128>,
+    prefix: Vec<u32>,
+    /// Shard-local announced-prefix interning (first-encounter order, as in
+    /// [`PacketColumns::build`]); remapped on absorb.
+    prefixes: Vec<Ipv6Prefix>,
+    prefix_ids: BTreeMap<Ipv6Prefix, u32>,
+}
+
+impl IndexShard {
+    /// An empty shard.
+    pub fn new() -> Self {
+        IndexShard::default()
+    }
+
+    /// Number of packets appended so far.
+    pub fn len(&self) -> usize {
+        self.ts.len()
+    }
+
+    /// True before the first packet.
+    pub fn is_empty(&self) -> bool {
+        self.ts.is_empty()
+    }
+
+    /// The distinct /128 and /64 sources seen so far.
+    pub fn source_counts(&self) -> (usize, usize) {
+        (self.sources128.len(), self.sources64.len())
+    }
+
+    fn intern_prefix(&mut self, pre: Ipv6Prefix) -> u32 {
+        match self.prefix_ids.get(&pre) {
+            Some(&id) => id,
+            None => {
+                let id = self.prefixes.len() as u32;
+                self.prefix_ids.insert(pre, id);
+                self.prefixes.push(pre);
+                id
+            }
+        }
+    }
+
+    /// Appends one contiguous chunk of `capture`'s packets.
+    ///
+    /// # Panics
+    /// Panics when the chunk's packets are not in non-decreasing time order
+    /// relative to what the shard already holds — the shard-level form of
+    /// [`PacketColumns::build`]'s time-sorted requirement.
+    pub fn push_range(
+        &mut self,
+        capture: &Capture,
+        range: Range<usize>,
+        visibility: &CompiledVisibility,
+    ) {
+        let packets = &capture.packets()[range];
+        self.ts.reserve(packets.len());
+        for p in packets {
+            assert!(
+                self.ts.last().is_none_or(|&t| t <= p.ts),
+                "index shard requires non-decreasing packet times"
+            );
+            self.ts.push(p.ts);
+            self.sources128
+                .insert(SourceKey::new(p.src, AggLevel::Addr128));
+            self.sources64
+                .insert(SourceKey::new(p.src, AggLevel::Subnet64));
+            self.src.push(u128::from(p.src));
+            self.class.push(classify(p.dst).code());
+            self.proto.push(proto_code(p.protocol));
+            let port = match (p.protocol, p.dst_port) {
+                (Protocol::Tcp, Some(port)) => encode_port(PortLabel::classify_tcp(port)),
+                (Protocol::Udp, Some(port)) => encode_port(PortLabel::classify_udp(port)),
+                _ => PORT_NONE,
+            };
+            self.port.push(port);
+            self.week.push(p.ts.week() as u32);
+            self.day.push(p.ts.day() as u32);
+            self.dst.push(u128::from(p.dst));
+            let prefix = match visibility.lpm(p.dst, p.ts) {
+                Some(pre) => self.intern_prefix(pre),
+                None => NO_ID,
+            };
+            self.prefix.push(prefix);
+        }
+    }
+
+    /// Order-preserving merge: appends `other`'s columns after this shard's
+    /// (chunks must be absorbed in capture order, like `Capture::absorb`
+    /// shards), unions the source sets, and remaps `other`'s local prefix
+    /// ids — preserving global first-encounter order, so the merged shard
+    /// is indistinguishable from one built sequentially.
+    ///
+    /// # Panics
+    /// Panics when `other` starts before this shard ends (time order).
+    pub fn absorb(&mut self, other: IndexShard) {
+        if let (Some(&end), Some(&start)) = (self.ts.last(), other.ts.first()) {
+            assert!(end <= start, "absorbing an out-of-order index shard");
+        }
+        let remap: Vec<u32> = other
+            .prefixes
+            .iter()
+            .map(|&pre| self.intern_prefix(pre))
+            .collect();
+        self.prefix.reserve(other.prefix.len());
+        for id in other.prefix {
+            self.prefix.push(if id == NO_ID {
+                NO_ID
+            } else {
+                remap[id as usize]
+            });
+        }
+        self.ts.extend(other.ts);
+        self.src.extend(other.src);
+        self.class.extend(other.class);
+        self.proto.extend(other.proto);
+        self.port.extend(other.port);
+        self.week.extend(other.week);
+        self.day.extend(other.day);
+        self.dst.extend(other.dst);
+        self.sources128.extend(other.sources128);
+        self.sources64.extend(other.sources64);
+    }
+
+    /// Resolves the raw source column against the final interned source
+    /// table, consuming the shard into finished [`PacketColumns`].
+    fn finalize(self, sources: &SourceTable) -> PacketColumns {
+        let mut src128 = Vec::with_capacity(self.src.len());
+        let mut src64 = Vec::with_capacity(self.src.len());
+        for &raw in &self.src {
+            let addr = std::net::Ipv6Addr::from(raw);
+            let k128 = SourceKey::new(addr, AggLevel::Addr128);
+            let k64 = SourceKey::new(addr, AggLevel::Subnet64);
+            src128.push(sources.id128(&k128).expect("every packet source interned"));
+            src64.push(sources.keys64.binary_search(&k64).expect("interned /64") as u32);
+        }
+        PacketColumns {
+            ts: self.ts,
+            src128,
+            src64,
+            class: self.class,
+            proto: self.proto,
+            port: self.port,
+            week: self.week,
+            day: self.day,
+            dst: self.dst,
+            prefix: self.prefix,
+            prefixes: self.prefixes,
+        }
+    }
+}
+
 /// Dense per-session columns, index-aligned with the session vector they
 /// were built from. Session starts are non-decreasing (sessions are created
 /// at first-packet time from time-sorted captures), so start-time windows
@@ -408,33 +582,69 @@ impl CorpusIndex {
         sessions64: &BTreeMap<TelescopeId, Vec<ScanSession>>,
     ) -> CorpusIndex {
         let threads = num_threads(None);
-
-        // Stage A: the source universe, then per-source metadata.
-        let per_scope = map_indexed(threads, &TelescopeId::ALL, |_, id| {
-            let mut s128: BTreeSet<SourceKey> = BTreeSet::new();
-            let mut s64: BTreeSet<SourceKey> = BTreeSet::new();
-            for p in result.captures[id].packets() {
-                s128.insert(SourceKey::new(p.src, AggLevel::Addr128));
-                s64.insert(SourceKey::new(p.src, AggLevel::Subnet64));
-            }
-            (s128, s64)
+        // Batch is one-big-chunk streaming: build one shard per telescope
+        // in a single push, then merge. One code path, byte-identical
+        // output either way (DESIGN.md §10).
+        let compiled = CompiledVisibility::compile(&result.visibility);
+        let built = map_indexed(threads, &TelescopeId::ALL, |_, id| {
+            let capture = &result.captures[id];
+            let mut shard = IndexShard::new();
+            shard.push_range(capture, 0..capture.len(), &compiled);
+            shard
         });
+        let shards: BTreeMap<TelescopeId, IndexShard> =
+            TelescopeId::ALL.into_iter().zip(built).collect();
+        Self::from_shards(result, shards, sessions128, sessions64, threads)
+    }
+
+    /// Assembles the index from per-telescope [`IndexShard`]s the streaming
+    /// pipeline accumulated. Every telescope must have a shard (empty is
+    /// fine) whose length matches its capture in `result`.
+    ///
+    /// The merge is deterministic: the source universe is the union of the
+    /// shard key sets (a `BTreeSet` union, so ids land in ascending key
+    /// order exactly as the batch build assigns them), raw source columns
+    /// resolve to ids by binary search, and all downstream stages reduce
+    /// over those columns through order-preserving [`map_indexed`].
+    pub fn from_shards(
+        result: &ExperimentResult,
+        shards: BTreeMap<TelescopeId, IndexShard>,
+        sessions128: &BTreeMap<TelescopeId, Vec<ScanSession>>,
+        sessions64: &BTreeMap<TelescopeId, Vec<ScanSession>>,
+        threads: usize,
+    ) -> CorpusIndex {
+        // Stage A: the source universe (union of shard key sets), then
+        // per-source metadata.
         let mut all128: BTreeSet<SourceKey> = BTreeSet::new();
         let mut all64: BTreeSet<SourceKey> = BTreeSet::new();
-        for (s128, s64) in per_scope {
-            all128.extend(s128);
-            all64.extend(s64);
+        for id in TelescopeId::ALL {
+            let shard = shards.get(&id).expect("a shard per telescope");
+            assert_eq!(
+                shard.len(),
+                result.captures[&id].len(),
+                "shard/capture length mismatch at {id}"
+            );
+            all128.extend(shard.sources128.iter().copied());
+            all64.extend(shard.sources64.iter().copied());
         }
         let sources = Self::build_source_table(result, all128, all64);
 
-        // Stage B: per-telescope packet columns against the compiled
-        // visibility (one LPM structure shared by all telescopes).
-        let compiled = CompiledVisibility::compile(&result.visibility);
-        let built = map_indexed(threads, &TelescopeId::ALL, |_, id| {
-            PacketColumns::build(&result.captures[id], &sources, &compiled)
+        // Stage B: finalize per-telescope packet columns (resolve the raw
+        // source columns against the final table). `map_indexed` hands out
+        // references, so each shard is moved through a take-once cell.
+        let cells: Vec<(TelescopeId, std::sync::Mutex<Option<IndexShard>>)> = shards
+            .into_iter()
+            .map(|(id, shard)| (id, std::sync::Mutex::new(Some(shard))))
+            .collect();
+        let built = map_indexed(threads, &cells, |_, (id, cell)| {
+            let shard = cell
+                .lock()
+                .expect("no panics while holding the cell")
+                .take()
+                .expect("each shard finalized exactly once");
+            (*id, shard.finalize(&sources))
         });
-        let packets: BTreeMap<TelescopeId, PacketColumns> =
-            TelescopeId::ALL.into_iter().zip(built).collect();
+        let packets: BTreeMap<TelescopeId, PacketColumns> = built.into_iter().collect();
 
         // Stage C: session columns (four telescopes × two levels).
         let jobs: Vec<(TelescopeId, AggLevel)> = TelescopeId::ALL

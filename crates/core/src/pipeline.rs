@@ -1,0 +1,339 @@
+//! The one entry point — a streaming, bounded-memory analysis pipeline.
+//!
+//! [`Pipeline`] subsumes the older `Experiment` (simulated corpus),
+//! `Scenario::run_timed` (raw simulation) and `Ingest` (real pcap) entry
+//! points behind a single builder:
+//!
+//! ```no_run
+//! use sixscope::{Pipeline, sim::ScenarioConfig};
+//!
+//! let analyzed = Pipeline::simulate(ScenarioConfig::new(42, 0.01))
+//!     .threads(4)
+//!     .run()
+//!     .expect("simulated runs cannot fail");
+//! let report = sixscope::render::render_table2(&sixscope::tables::table2(&analyzed));
+//! ```
+//!
+//! The pcap path streams: each file is read in chunks of
+//! [`Pipeline::chunk_records`] records, and every chunk is fed straight into
+//! the incremental sessionizers and an [`crate::index::IndexShard`]
+//! accumulator, so peak memory is O(chunk + live sessions + columns) —
+//! the raw packet bytes of a chunk are dropped before the next chunk loads.
+//! Chunk boundaries are invisible (DESIGN.md §10): any `chunk_records`
+//! and any thread count produce byte-identical tables and figures.
+
+use crate::corpus::{AnalysisTimings, Analyzed, StreamSettings};
+use crate::index::{CorpusIndex, IndexShard};
+use crate::ingest::passive_config;
+use crate::Error;
+use sixscope_packet::{PcapChunks, PcapReader};
+use sixscope_scanners::population::Population;
+use sixscope_scanners::ExperimentLayout;
+use sixscope_sim::{
+    CompiledVisibility, ExperimentResult, Scenario, ScenarioConfig, ScenarioTimings, TumHitlist,
+    Visibility,
+};
+use sixscope_telescope::{
+    AggLevel, Capture, IncrementalSessionizer, IngestStats, ScanSession, SplitSchedule,
+    TelescopeConfig, TelescopeId, SESSION_TIMEOUT,
+};
+use sixscope_types::{num_threads, Ipv6Prefix, SimDuration, SimTime};
+use std::collections::BTreeMap;
+use std::fs::File;
+use std::io::BufReader;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Where the pipeline's packets come from.
+enum Source {
+    /// Run the full simulated experiment, then analyze its captures.
+    Simulate(ScenarioConfig),
+    /// Stream real pcap files into a passive telescope.
+    Pcaps {
+        paths: Vec<PathBuf>,
+        prefix: Ipv6Prefix,
+    },
+}
+
+/// Builder for one analysis run — see the [module docs](self).
+pub struct Pipeline {
+    source: Source,
+    threads: Option<usize>,
+    chunk_records: usize,
+    session_timeout: SimDuration,
+}
+
+/// Everything a [`Pipeline::run_detailed`] call produced beyond the corpus.
+pub struct PipelineOutput {
+    /// The analyzed corpus (what [`Pipeline::run`] returns).
+    pub analyzed: Analyzed,
+    /// Simulation stage timings (zero for the pcap path).
+    pub sim: ScenarioTimings,
+    /// Wall-clock seconds of pcap reading + streaming feed (zero for the
+    /// simulated path, whose analysis timings live in
+    /// [`Analyzed::timings`]).
+    pub ingest: f64,
+    /// Combined recovery statistics over all input files.
+    pub stats: IngestStats,
+    /// Per-file recovery statistics, in input order.
+    pub file_stats: Vec<(String, IngestStats)>,
+}
+
+impl Pipeline {
+    /// Analyzes a simulated experiment.
+    pub fn simulate(config: ScenarioConfig) -> Pipeline {
+        Pipeline::new(Source::Simulate(config))
+    }
+
+    /// Streams real pcap captures (classic pcap, LINKTYPE_RAW) through the
+    /// same analysis. Filter with [`Pipeline::prefix`]; the default `::/0`
+    /// accepts every packet.
+    pub fn from_pcaps<I, P>(paths: I) -> Pipeline
+    where
+        I: IntoIterator<Item = P>,
+        P: Into<PathBuf>,
+    {
+        Pipeline::new(Source::Pcaps {
+            paths: paths.into_iter().map(Into::into).collect(),
+            prefix: Ipv6Prefix::default_route(),
+        })
+    }
+
+    fn new(source: Source) -> Pipeline {
+        Pipeline {
+            source,
+            threads: None,
+            chunk_records: usize::MAX,
+            session_timeout: SESSION_TIMEOUT,
+        }
+    }
+
+    /// Telescope prefix filter for the pcap path (no effect on simulation,
+    /// whose layout fixes the telescope prefixes).
+    pub fn prefix(mut self, prefix: Ipv6Prefix) -> Pipeline {
+        if let Source::Pcaps { prefix: p, .. } = &mut self.source {
+            *p = prefix;
+        }
+        self
+    }
+
+    /// Worker thread cap. Defaults to the `SIXSCOPE_THREADS` environment
+    /// variable, then to the machine's parallelism; output bytes never
+    /// depend on it.
+    pub fn threads(mut self, threads: usize) -> Pipeline {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Streaming chunk size in pcap records (and, for the simulated path,
+    /// in packets per sessionizer/shard feed). Bounds live memory on the
+    /// pcap path; output bytes never depend on it. Defaults to unchunked.
+    pub fn chunk_records(mut self, records: usize) -> Pipeline {
+        self.chunk_records = records.max(1);
+        self
+    }
+
+    /// Session idle timeout — the eviction horizon of the incremental
+    /// sessionizer's open-session table. Defaults to the paper's 1 hour.
+    pub fn session_timeout(mut self, timeout: SimDuration) -> Pipeline {
+        self.session_timeout = timeout;
+        self
+    }
+
+    /// Runs the pipeline and returns the analyzed corpus.
+    pub fn run(self) -> Result<Analyzed, Error> {
+        self.run_detailed().map(|out| out.analyzed)
+    }
+
+    /// Runs the pipeline and additionally returns stage timings and (for
+    /// the pcap path) recovery statistics.
+    pub fn run_detailed(self) -> Result<PipelineOutput, Error> {
+        let settings = StreamSettings {
+            chunk_records: self.chunk_records,
+            session_timeout: self.session_timeout,
+            threads: self.threads,
+        };
+        match self.source {
+            Source::Simulate(mut config) => {
+                if self.threads.is_some() {
+                    config.threads = self.threads;
+                }
+                let (result, sim) = Scenario::new(config).run_timed();
+                Ok(PipelineOutput {
+                    analyzed: Analyzed::stream(result, &settings),
+                    sim,
+                    ingest: 0.0,
+                    stats: IngestStats::default(),
+                    file_stats: Vec::new(),
+                })
+            }
+            Source::Pcaps { paths, prefix } => stream_pcaps(&paths, prefix, &settings),
+        }
+    }
+}
+
+/// The streaming pcap path: chunked reading feeds the incremental
+/// sessionizers and the shard accumulator while the file is still being
+/// read, so only one chunk of raw records is in flight at a time.
+///
+/// If a file delivers packets out of time order the incremental feed is
+/// abandoned and the capture is sorted and re-streamed at the end — the
+/// bounded-memory property is lost but the output contract
+/// (byte-identical to batch) is kept.
+fn stream_pcaps(
+    paths: &[PathBuf],
+    prefix: Ipv6Prefix,
+    settings: &StreamSettings,
+) -> Result<PipelineOutput, Error> {
+    let ingest_start = Instant::now();
+    let mut capture = Capture::new(passive_config(prefix));
+    let mut total = IngestStats::default();
+    let mut file_stats = Vec::with_capacity(paths.len());
+
+    let visibility = Visibility::from_events(&[]);
+    let compiled = CompiledVisibility::compile(&visibility);
+    let mut s128 = IncrementalSessionizer::new(AggLevel::Addr128, settings.session_timeout);
+    let mut s64 = IncrementalSessionizer::new(AggLevel::Subnet64, settings.session_timeout);
+    let mut shard = IndexShard::new();
+    let mut sessionize = 0.0;
+    let mut sorted = true;
+
+    for path in paths {
+        let display = path.display().to_string();
+        let file = File::open(path).map_err(|source| Error::Io {
+            path: display.clone(),
+            source,
+        })?;
+        let reader = PcapReader::new(BufReader::new(file)).map_err(|source| Error::Pcap {
+            path: display.clone(),
+            source,
+        })?;
+        let mut stats = IngestStats::default();
+        for chunk in PcapChunks::new(reader, settings.chunk_records) {
+            let outcomes = chunk.map_err(|source| Error::Pcap {
+                path: display.clone(),
+                source,
+            })?;
+            let before = capture.len();
+            for outcome in outcomes {
+                capture.apply_outcome(outcome, &mut stats);
+            }
+            if sorted {
+                let packets = capture.packets();
+                let boundary = before.saturating_sub(1);
+                if packets[boundary..].windows(2).any(|w| w[0].ts > w[1].ts) {
+                    // Out-of-order input: abandon the incremental feed and
+                    // fall back to sort + re-stream after ingestion.
+                    sorted = false;
+                } else {
+                    let push_start = Instant::now();
+                    for (i, p) in packets[before..].iter().enumerate() {
+                        let idx = (before + i) as u32;
+                        s128.push(idx, p);
+                        s64.push(idx, p);
+                    }
+                    sessionize += push_start.elapsed().as_secs_f64();
+                    let mut piece = IndexShard::new();
+                    piece.push_range(&capture, before..capture.len(), &compiled);
+                    shard.absorb(piece);
+                }
+            }
+        }
+        total.absorb(&stats);
+        file_stats.push((display, stats));
+    }
+    let ingest = ingest_start.elapsed().as_secs_f64();
+
+    if !sorted {
+        capture.sort_by_time();
+        let result = pcap_result(capture, visibility);
+        let analyzed = Analyzed::stream(result, settings);
+        return Ok(PipelineOutput {
+            analyzed,
+            sim: ScenarioTimings::default(),
+            ingest,
+            stats: total,
+            file_stats,
+        });
+    }
+
+    let peak = s128.peak_open().max(s64.peak_open());
+    let mut sessions128 = BTreeMap::new();
+    let mut sessions64 = BTreeMap::new();
+    let mut shards = BTreeMap::new();
+    sessions128.insert(TelescopeId::T1, s128.finish());
+    sessions64.insert(TelescopeId::T1, s64.finish());
+    shards.insert(TelescopeId::T1, shard);
+    for id in [TelescopeId::T2, TelescopeId::T3, TelescopeId::T4] {
+        sessions128.insert(id, Vec::<ScanSession>::new());
+        sessions64.insert(id, Vec::new());
+        shards.insert(id, IndexShard::new());
+    }
+
+    let result = pcap_result(capture, visibility);
+    let index_start = Instant::now();
+    let threads = num_threads(settings.threads);
+    let index = CorpusIndex::from_shards(&result, shards, &sessions128, &sessions64, threads);
+    let index_build = index_start.elapsed().as_secs_f64();
+    let analyzed = Analyzed::assemble(
+        result,
+        sessions128,
+        sessions64,
+        index,
+        AnalysisTimings {
+            streaming: ingest,
+            sessionize,
+            index_build,
+        },
+        peak,
+    );
+    Ok(PipelineOutput {
+        analyzed,
+        sim: ScenarioTimings::default(),
+        ingest,
+        stats: total,
+        file_stats,
+    })
+}
+
+/// Wraps a real ingested capture into the [`ExperimentResult`] shape the
+/// analysis layer consumes: the capture becomes T1, the other telescopes
+/// are empty, and all simulation-only metadata (events, population,
+/// hitlist) is empty.
+fn pcap_result(capture: Capture, visibility: Visibility) -> ExperimentResult {
+    let mut layout = ExperimentLayout::default_plan();
+    layout.start = SimTime::EPOCH + SimDuration::days(1);
+    let schedule = SplitSchedule::paper(layout.t1, layout.start);
+    layout.end = schedule.end();
+    let hitlist = TumHitlist::build(&[], &visibility);
+    let mut captures = BTreeMap::new();
+    captures.insert(
+        TelescopeId::T2,
+        Capture::new(TelescopeConfig::t2(layout.t2)),
+    );
+    captures.insert(
+        TelescopeId::T3,
+        Capture::new(TelescopeConfig::t3(layout.t3)),
+    );
+    captures.insert(
+        TelescopeId::T4,
+        Capture::new(TelescopeConfig::t4(layout.t4)),
+    );
+    captures.insert(TelescopeId::T1, capture);
+    ExperimentResult {
+        layout,
+        schedule,
+        captures,
+        events: Vec::new(),
+        visibility,
+        population: Population {
+            scanners: Vec::new(),
+            ases: Vec::new(),
+            rdns: BTreeMap::new(),
+        },
+        hitlist,
+        t4_responses: 0,
+        dropped_unrouted: 0,
+        truncated_probes: 0,
+    }
+}

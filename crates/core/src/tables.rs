@@ -884,14 +884,18 @@ pub fn headline(a: &Analyzed) -> Headline {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::corpus::Experiment;
+    use sixscope_sim::ScenarioConfig;
     use std::sync::OnceLock;
 
     /// One shared small experiment for all table tests (running it per
     /// test would dominate the suite's runtime).
     fn analyzed() -> &'static Analyzed {
         static CELL: OnceLock<Analyzed> = OnceLock::new();
-        CELL.get_or_init(|| Experiment::new(1234, 0.02).run())
+        CELL.get_or_init(|| {
+            crate::Pipeline::simulate(ScenarioConfig::new(1234, 0.02))
+                .run()
+                .expect("simulated runs cannot fail")
+        })
     }
 
     #[test]

@@ -26,6 +26,6 @@ pub use error::{MalformedRecord, PacketError};
 pub use icmpv6::{Icmpv6Header, Icmpv6Type};
 pub use ipv6::{Ipv6Header, NextHeader, IPV6_HEADER_LEN};
 pub use parse::{ParsedPacket, Transport};
-pub use pcap::{PcapReader, PcapRecord, PcapWriter, RecordOutcome, MAX_RECORD_LEN};
+pub use pcap::{PcapChunks, PcapReader, PcapRecord, PcapWriter, RecordOutcome, MAX_RECORD_LEN};
 pub use tcp::{TcpFlags, TcpHeader, TCP_HEADER_LEN};
 pub use udp::{UdpHeader, UDP_HEADER_LEN};

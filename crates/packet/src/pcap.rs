@@ -291,6 +291,56 @@ impl<R: Read> Iterator for PcapReader<R> {
     }
 }
 
+/// Chunked streaming source over a recovering reader: yields up to
+/// `chunk_records` [`RecordOutcome`]s at a time, so a consumer holds one
+/// chunk of records in memory instead of a whole capture file.
+///
+/// Recovery semantics are exactly [`PcapReader::read_record_recovering`]'s —
+/// chunk boundaries are invisible in the outcome sequence. `Err` (real I/O
+/// failure only) ends the iteration.
+pub struct PcapChunks<R: Read> {
+    reader: PcapReader<R>,
+    chunk_records: usize,
+    failed: bool,
+}
+
+impl<R: Read> PcapChunks<R> {
+    /// Wraps an open reader; `chunk_records` is clamped to at least 1.
+    pub fn new(reader: PcapReader<R>, chunk_records: usize) -> Self {
+        PcapChunks {
+            reader,
+            chunk_records: chunk_records.max(1),
+            failed: false,
+        }
+    }
+}
+
+impl<R: Read> Iterator for PcapChunks<R> {
+    type Item = Result<Vec<RecordOutcome>, PacketError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed {
+            return None;
+        }
+        let mut out = Vec::new();
+        while out.len() < self.chunk_records {
+            match self.reader.read_record_recovering() {
+                Ok(Some(outcome)) => out.push(outcome),
+                Ok(None) => break,
+                Err(e) => {
+                    self.failed = true;
+                    return Some(Err(e));
+                }
+            }
+        }
+        if out.is_empty() {
+            None
+        } else {
+            Some(Ok(out))
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -331,6 +381,48 @@ mod tests {
         let reader = PcapReader::new(&bytes[..]).unwrap();
         let back: Vec<PcapRecord> = reader.map(Result::unwrap).collect();
         assert_eq!(back, records);
+    }
+
+    #[test]
+    fn chunked_reading_is_boundary_invisible() {
+        // Good records plus a damaged one plus a truncated tail: chunked
+        // iteration must yield exactly the outcome sequence the plain
+        // recovering loop produces, at any chunk size.
+        let mut w = PcapWriter::new(Vec::new()).unwrap();
+        for r in sample_records() {
+            w.write_record(&r).unwrap();
+        }
+        let mut bytes = w.into_inner().unwrap();
+        // incl_len 8 > orig_len 2, body present → Skipped(LengthInconsistent).
+        bytes.extend_from_slice(&9u32.to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        bytes.extend_from_slice(&8u32.to_le_bytes());
+        bytes.extend_from_slice(&2u32.to_le_bytes());
+        bytes.extend_from_slice(&[0xab; 8]);
+        bytes.extend_from_slice(&[0u8; 5]); // header cut off by EOF
+        let mut reference = Vec::new();
+        let mut r = PcapReader::new(&bytes[..]).unwrap();
+        while let Some(outcome) = r.read_record_recovering().unwrap() {
+            reference.push(outcome);
+        }
+        assert!(reference
+            .iter()
+            .any(|o| matches!(o, RecordOutcome::Skipped(_))));
+        assert!(reference
+            .iter()
+            .any(|o| matches!(o, RecordOutcome::TruncatedTail(_))));
+        for chunk in [1usize, 2, 1000] {
+            let reader = PcapReader::new(&bytes[..]).unwrap();
+            let mut chunk_sizes = Vec::new();
+            let mut chunked: Vec<RecordOutcome> = Vec::new();
+            for c in PcapChunks::new(reader, chunk) {
+                let c = c.unwrap();
+                chunk_sizes.push(c.len());
+                chunked.extend(c);
+            }
+            assert_eq!(chunked, reference, "chunk size {chunk}");
+            assert!(chunk_sizes.iter().all(|&n| n >= 1 && n <= chunk));
+        }
     }
 
     #[test]

@@ -251,6 +251,15 @@ impl Capture {
         self.malformed += other.malformed;
     }
 
+    /// Stable-sorts the packets into non-decreasing time order (arrival
+    /// order is preserved on ties). Any packet indices derived before the
+    /// sort — sessions, index shards — are invalidated; the streaming
+    /// pipeline uses this only on its batch fallback for out-of-order
+    /// captures, before any index is built.
+    pub fn sort_by_time(&mut self) {
+        self.packets.sort_by_key(|p| p.ts);
+    }
+
     /// True when packets are in non-decreasing time order. Simulation
     /// delivery produces sorted captures by construction; the sessionizer
     /// and the corpus index use this to skip their sort fallbacks.
@@ -314,28 +323,37 @@ impl Capture {
         let mut r = sixscope_packet::PcapReader::new(reader)?;
         let mut stats = IngestStats::default();
         while let Some(outcome) = r.read_record_recovering()? {
-            match outcome {
-                RecordOutcome::Record(rec) => {
-                    stats.records_read += 1;
-                    let (filtered, malformed) = (self.filtered, self.malformed);
-                    if self.ingest(rec.ts, &rec.data) {
-                        stats.parsed += 1;
-                    } else if self.filtered > filtered {
-                        stats.filtered += 1;
-                    } else if self.malformed > malformed {
-                        stats.malformed_packets += 1;
-                    }
-                }
-                RecordOutcome::Skipped(m) => {
-                    stats.skipped[m.reason_index()] += 1;
-                }
-                RecordOutcome::TruncatedTail(m) => {
-                    stats.skipped[m.reason_index()] += 1;
-                    stats.truncated_tail = true;
-                }
-            }
+            self.apply_outcome(outcome, &mut stats);
         }
         Ok(stats)
+    }
+
+    /// Applies one recovering-reader outcome: a complete record is ingested
+    /// (filtered/malformed-packet tallies included), a damaged one is
+    /// counted by reason. The streaming pipeline drives this per chunk;
+    /// [`Capture::ingest_pcap_recovering`] is the same loop over a whole
+    /// file.
+    pub fn apply_outcome(&mut self, outcome: RecordOutcome, stats: &mut IngestStats) {
+        match outcome {
+            RecordOutcome::Record(rec) => {
+                stats.records_read += 1;
+                let (filtered, malformed) = (self.filtered, self.malformed);
+                if self.ingest(rec.ts, &rec.data) {
+                    stats.parsed += 1;
+                } else if self.filtered > filtered {
+                    stats.filtered += 1;
+                } else if self.malformed > malformed {
+                    stats.malformed_packets += 1;
+                }
+            }
+            RecordOutcome::Skipped(m) => {
+                stats.skipped[m.reason_index()] += 1;
+            }
+            RecordOutcome::TruncatedTail(m) => {
+                stats.skipped[m.reason_index()] += 1;
+                stats.truncated_tail = true;
+            }
+        }
     }
 }
 

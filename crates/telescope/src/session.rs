@@ -101,37 +101,19 @@ impl Sessionizer {
     /// Sessionizes a capture. Packets must be (and are, by construction of
     /// the simulation) in non-decreasing time order; out-of-order captures
     /// are sorted first.
+    ///
+    /// This is the batch entry point of the streaming machinery: it feeds
+    /// the whole capture through an [`IncrementalSessionizer`] as one big
+    /// chunk, so batch and chunked runs share one code path by construction
+    /// (DESIGN.md §10).
     pub fn sessionize(&self, capture: &Capture) -> Vec<ScanSession> {
         let packets = capture.packets();
-        let mut open: HashMap<SourceKey, usize> = HashMap::new();
-        let mut sessions: Vec<ScanSession> = Vec::new();
-        let mut step = |idx: u32| {
-            let pkt = &packets[idx as usize];
-            let key = SourceKey::new(pkt.src, self.level);
-            match open.get(&key) {
-                Some(&sid) if pkt.ts.since(sessions[sid].end) < self.timeout => {
-                    let s = &mut sessions[sid];
-                    s.end = pkt.ts;
-                    s.packet_indices.push(idx);
-                }
-                _ => {
-                    let sid = sessions.len();
-                    sessions.push(ScanSession {
-                        source: key,
-                        telescope: pkt.telescope,
-                        start: pkt.ts,
-                        end: pkt.ts,
-                        packet_indices: vec![idx],
-                    });
-                    open.insert(key, sid);
-                }
-            }
-        };
+        let mut inc = IncrementalSessionizer::new(self.level, self.timeout);
         if capture.is_time_sorted() {
             // Fast path — always taken for simulated captures — iterates
             // indices directly with no side allocation.
-            for idx in 0..packets.len() as u32 {
-                step(idx);
+            for (idx, pkt) in packets.iter().enumerate() {
+                inc.push(idx as u32, pkt);
             }
         } else {
             // Fallback: index list in time order (stable to preserve
@@ -139,10 +121,129 @@ impl Sessionizer {
             let mut order: Vec<u32> = (0..packets.len() as u32).collect();
             order.sort_by_key(|&i| packets[i as usize].ts);
             for &idx in &order {
-                step(idx);
+                inc.push(idx, &packets[idx as usize]);
             }
         }
-        sessions
+        inc.finish()
+    }
+}
+
+/// Incremental sessionizer: the rolling-session-table core of the streaming
+/// pipeline (DESIGN.md §10).
+///
+/// Packets are pushed one at a time in non-decreasing time order; the open
+/// table maps each source to its latest session and is swept once per
+/// timeout interval, evicting sources whose session can never extend again
+/// (their last packet is at least `timeout` old). Eviction is therefore
+/// invisible in the output — an evicted source would fail the gap check on
+/// its next packet anyway — which makes the incremental result *identical*
+/// to batch sessionization of the same packet sequence, while the live
+/// table stays bounded by the number of sources active inside one eviction
+/// horizon ([`IncrementalSessionizer::peak_open`] tracks the high-water
+/// mark).
+#[derive(Debug, Clone)]
+pub struct IncrementalSessionizer {
+    level: AggLevel,
+    timeout: SimDuration,
+    open: HashMap<SourceKey, usize>,
+    sessions: Vec<ScanSession>,
+    last_sweep: SimTime,
+    peak_open: usize,
+}
+
+impl IncrementalSessionizer {
+    /// An empty session table at the given level and idle timeout.
+    pub fn new(level: AggLevel, timeout: SimDuration) -> Self {
+        IncrementalSessionizer {
+            level,
+            timeout,
+            open: HashMap::new(),
+            sessions: Vec::new(),
+            last_sweep: SimTime::EPOCH,
+            peak_open: 0,
+        }
+    }
+
+    /// The paper's configuration (1-hour timeout) at a given level.
+    pub fn paper(level: AggLevel) -> Self {
+        Self::new(level, SESSION_TIMEOUT)
+    }
+
+    /// Feeds one packet. `idx` is the packet's index in the capture the
+    /// session indices will be resolved against. Packets must arrive in
+    /// non-decreasing time order (chunk boundaries are irrelevant — only
+    /// the packet sequence matters).
+    pub fn push(&mut self, idx: u32, pkt: &CapturedPacket) {
+        if pkt.ts.since(self.last_sweep) >= self.timeout {
+            // Periodic eviction sweep: drop open entries whose session
+            // ended at least one timeout ago — no future packet (ts only
+            // grows) can extend them, so removal cannot change the output.
+            let sessions = &self.sessions;
+            let timeout = self.timeout;
+            self.open
+                .retain(|_, sid| pkt.ts.since(sessions[*sid].end) < timeout);
+            self.last_sweep = pkt.ts;
+        }
+        let key = SourceKey::new(pkt.src, self.level);
+        match self.open.get(&key) {
+            Some(&sid) if pkt.ts.since(self.sessions[sid].end) < self.timeout => {
+                let s = &mut self.sessions[sid];
+                s.end = pkt.ts;
+                s.packet_indices.push(idx);
+            }
+            _ => {
+                let sid = self.sessions.len();
+                self.sessions.push(ScanSession {
+                    source: key,
+                    telescope: pkt.telescope,
+                    start: pkt.ts,
+                    end: pkt.ts,
+                    packet_indices: vec![idx],
+                });
+                self.open.insert(key, sid);
+                self.peak_open = self.peak_open.max(self.open.len());
+            }
+        }
+    }
+
+    /// Sessions created so far (closed and still open).
+    pub fn len(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// True before the first packet.
+    pub fn is_empty(&self) -> bool {
+        self.sessions.is_empty()
+    }
+
+    /// Current size of the open-session table.
+    pub fn open_sessions(&self) -> usize {
+        self.open.len()
+    }
+
+    /// High-water mark of the open-session table — the live-memory bound
+    /// of the streaming pipeline.
+    pub fn peak_open(&self) -> usize {
+        self.peak_open
+    }
+
+    /// Number of leading sessions that are final: only open sessions can
+    /// still extend, and sessions are in creation order, so everything
+    /// before the earliest open session will never change again. Streaming
+    /// consumers can flush up to this watermark.
+    pub fn ready(&self) -> usize {
+        self.open
+            .values()
+            .copied()
+            .min()
+            .unwrap_or(self.sessions.len())
+    }
+
+    /// Closes the table and returns all sessions in creation (first-packet)
+    /// order — byte-identical to [`Sessionizer::sessionize`] over the same
+    /// packet sequence.
+    pub fn finish(self) -> Vec<ScanSession> {
+        self.sessions
     }
 }
 
@@ -308,6 +409,75 @@ mod tests {
                 "2001:db8:3::2".parse::<Ipv6Addr>().unwrap()
             ]
         );
+    }
+
+    #[test]
+    fn incremental_matches_batch_with_eviction_active() {
+        // The sweep evicts idle sources along the way (the gaps exceed the
+        // timeout repeatedly), yet the final session vector must be exactly
+        // what the batch sessionizer produces.
+        let mut spec = Vec::new();
+        for i in 0u64..200 {
+            let src = ["2001:db8:f00::1", "2001:db8:f00::2", "2001:db8:f01::3"][(i % 3) as usize];
+            // Bursts with occasional >1h gaps.
+            let ts = i * 97 + (i / 40) * 5000;
+            spec.push((ts, src, "2001:db8:3::1"));
+        }
+        let cap = capture_with(spec);
+        for level in [AggLevel::Addr128, AggLevel::Subnet64] {
+            let batch = Sessionizer::paper(level).sessionize(&cap);
+            let mut inc = IncrementalSessionizer::paper(level);
+            for (i, p) in cap.packets().iter().enumerate() {
+                inc.push(i as u32, p);
+            }
+            assert!(inc.peak_open() <= 3);
+            assert_eq!(inc.finish(), batch, "incremental diverged at {level}");
+        }
+    }
+
+    #[test]
+    fn eviction_bounds_open_table() {
+        // 100 sources, each sending one packet then going silent: after the
+        // sweep horizon passes, the open table must shrink instead of
+        // growing without bound.
+        let mut inc = IncrementalSessionizer::new(AggLevel::Addr128, SimDuration::secs(10));
+        for i in 0u64..100 {
+            let pkt = CapturedPacket {
+                ts: SimTime::from_secs(i * 30),
+                telescope: TelescopeId::T3,
+                src: format!("2001:db8:f00::{:x}", i + 1).parse().unwrap(),
+                dst: "2001:db8:3::1".parse().unwrap(),
+                protocol: Protocol::Icmpv6,
+                src_port: None,
+                dst_port: None,
+                payload: Bytes::new(),
+            };
+            inc.push(i as u32, &pkt);
+        }
+        assert_eq!(inc.len(), 100);
+        assert!(
+            inc.peak_open() <= 2,
+            "open table grew to {} despite 30s gaps and a 10s timeout",
+            inc.peak_open()
+        );
+    }
+
+    #[test]
+    fn ready_watermark_finalizes_closed_prefix() {
+        let cap = capture_with(vec![
+            (0, "2001:db8:f00::1", "2001:db8:3::1"),
+            (10, "2001:db8:f00::2", "2001:db8:3::1"),
+            (20_000, "2001:db8:f00::2", "2001:db8:3::2"),
+        ]);
+        let mut inc = IncrementalSessionizer::paper(AggLevel::Addr128);
+        for (i, p) in cap.packets().iter().enumerate() {
+            inc.push(i as u32, p);
+        }
+        // Sessions 0 and 1 timed out; only the session created by the last
+        // packet can still extend.
+        assert_eq!(inc.len(), 3);
+        assert_eq!(inc.ready(), 2);
+        assert_eq!(inc.open_sessions(), 1);
     }
 
     #[test]

@@ -3,8 +3,8 @@
 use bytes::Bytes;
 use proptest::prelude::*;
 use sixscope_telescope::{
-    AggLevel, Capture, CapturedPacket, Protocol, Sessionizer, SourceKey, SplitSchedule,
-    TelescopeConfig, TelescopeId,
+    AggLevel, Capture, CapturedPacket, IncrementalSessionizer, Protocol, Sessionizer, SourceKey,
+    SplitSchedule, TelescopeConfig, TelescopeId,
 };
 use sixscope_types::{Ipv6Prefix, SimDuration, SimTime};
 use std::net::Ipv6Addr;
@@ -79,6 +79,36 @@ proptest! {
             prop_assert!(ranges
                 .windows(2)
                 .all(|w| w[1].0.since(w[0].1) >= timeout));
+        }
+    }
+
+    /// The incremental sessionizer with eviction active is exactly the
+    /// batch sessionizer: eviction can only remove open entries whose gap
+    /// already exceeds the timeout, so a session is never split while its
+    /// packet gaps stay below the horizon — and the open table stays
+    /// bounded by the number of live sources (5 here), not the corpus.
+    #[test]
+    fn incremental_eviction_never_splits_sessions(
+        packets in proptest::collection::vec((0u64..5_000_000, any::<u64>()), 0..200)
+    ) {
+        let cap = capture_from(packets);
+        let timeout = SimDuration::hours(1);
+        let batch = Sessionizer::paper(AggLevel::Addr128).sessionize(&cap);
+        let mut order: Vec<u32> = (0..cap.len() as u32).collect();
+        order.sort_by_key(|&i| cap.packets()[i as usize].ts);
+        let mut inc = IncrementalSessionizer::new(AggLevel::Addr128, timeout);
+        for &i in &order {
+            inc.push(i, &cap.packets()[i as usize]);
+        }
+        prop_assert!(inc.peak_open() <= 5, "open table grew past the live sources");
+        let sessions = inc.finish();
+        prop_assert_eq!(&sessions, &batch);
+        for s in &sessions {
+            let pkts: Vec<&CapturedPacket> = s.packets(&cap).collect();
+            prop_assert!(pkts
+                .windows(2)
+                .all(|w| w[1].ts.since(w[0].ts) < timeout),
+                "a session was split below the eviction horizon");
         }
     }
 

@@ -28,7 +28,7 @@ pub mod trie;
 pub use addr::{iid, nibble, set_nibble, subnet_bits};
 pub use asn::{AsInfo, Asn, CountryCode, NetworkType};
 pub use error::TypeError;
-pub use parallel::{chunk_ranges, map_indexed, num_threads};
+pub use parallel::{chunk_ranges, map_indexed, num_threads, THREADS_ENV};
 pub use prefix::Ipv6Prefix;
 pub use rng::{SplitMix64, Xoshiro256pp};
 pub use time::{SimDuration, SimTime};

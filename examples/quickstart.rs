@@ -5,16 +5,18 @@
 //! cargo run -p sixscope-examples --bin quickstart --release
 //! ```
 
-use sixscope::{render, tables, Experiment};
+use sixscope::sim::ScenarioConfig;
+use sixscope::{render, tables, Pipeline};
 use sixscope_telescope::TelescopeId;
 
 fn main() {
     // One seed, one scale: the whole study is deterministic from here.
     // Scale 0.01 ≈ 1% of the paper's ~51M packets; all shares are
     // scale-free.
-    let experiment = Experiment::new(42, 0.01);
     println!("running the 11-month experiment (seed 42, scale 0.01)…");
-    let analyzed = experiment.run();
+    let analyzed = Pipeline::simulate(ScenarioConfig::new(42, 0.01))
+        .run()
+        .expect("simulated runs cannot fail");
 
     println!(
         "\ncaptured {} packets across the four telescopes; \

@@ -1,0 +1,121 @@
+//! Public-API snapshot: the top-level `pub` items of every module in the
+//! `sixscope` facade crate, compared against the checked-in
+//! `tests/api_surface.txt`. An unreviewed export (or an accidental
+//! removal) fails this test; after an intentional API change, regenerate
+//! the snapshot with:
+//!
+//! ```sh
+//! SIXSCOPE_BLESS=1 cargo test -p sixscope-integration --test api_surface
+//! ```
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+fn core_src() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../crates/core/src")
+}
+
+fn snapshot_path() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("api_surface.txt")
+}
+
+/// Strips line comments and string-literal contents so brace counting and
+/// `pub` matching never trip over braces inside strings or comments.
+/// (Block comments and raw strings are not handled — the facade crate
+/// does not use them at module top level.)
+fn strip_noise(line: &str) -> String {
+    let mut out = String::with_capacity(line.len());
+    let mut chars = line.chars().peekable();
+    let mut in_string = false;
+    while let Some(c) = chars.next() {
+        if in_string {
+            match c {
+                '\\' => {
+                    chars.next();
+                }
+                '"' => {
+                    in_string = false;
+                    out.push('"');
+                }
+                _ => {}
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                in_string = true;
+                out.push('"');
+            }
+            '/' if chars.peek() == Some(&'/') => break,
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Extracts the brace-depth-0 `pub` item declarations of one source file,
+/// normalized to their first line without the trailing `{`.
+fn public_items(source: &str) -> Vec<String> {
+    let mut items = Vec::new();
+    let mut depth = 0i64;
+    for raw in source.lines() {
+        let line = strip_noise(raw);
+        let trimmed = line.trim();
+        if depth == 0 && trimmed.starts_with("pub ") {
+            let mut sig = trimmed.split(" {").next().unwrap_or(trimmed).trim();
+            sig = sig.strip_suffix('{').unwrap_or(sig).trim();
+            items.push(sig.to_string());
+        }
+        depth += line.matches('{').count() as i64;
+        depth -= line.matches('}').count() as i64;
+    }
+    items
+}
+
+/// The full surface: `file.rs: signature` lines, files in sorted order.
+fn surface() -> String {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(core_src())
+        .expect("read crates/core/src")
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|e| e == "rs"))
+        .collect();
+    files.sort();
+    let mut out = String::new();
+    for file in files {
+        let name = file.file_name().unwrap().to_string_lossy().into_owned();
+        let source = std::fs::read_to_string(&file).unwrap();
+        for item in public_items(&source) {
+            writeln!(out, "{name}: {item}").unwrap();
+        }
+    }
+    out
+}
+
+#[test]
+fn public_api_matches_snapshot() {
+    let actual = surface();
+    if std::env::var_os("SIXSCOPE_BLESS").is_some() {
+        std::fs::write(snapshot_path(), &actual).expect("write api_surface.txt");
+        return;
+    }
+    let expected = std::fs::read_to_string(snapshot_path())
+        .expect("tests/api_surface.txt missing — regenerate with SIXSCOPE_BLESS=1");
+    assert_eq!(
+        actual, expected,
+        "the public API of the sixscope crate changed — review the diff \
+         above, then regenerate the snapshot with SIXSCOPE_BLESS=1"
+    );
+}
+
+#[test]
+fn surface_extractor_sees_the_pipeline() {
+    // Self-check: the extractor must see the tentpole exports, or the
+    // snapshot comparison is vacuous.
+    let s = surface();
+    assert!(s.contains("pipeline.rs: pub struct Pipeline"), "{s}");
+    assert!(s.contains("error.rs: pub enum Error"), "{s}");
+    assert!(
+        s.contains("lib.rs: pub use pipeline::{Pipeline, PipelineOutput};"),
+        "{s}"
+    );
+}

@@ -3,14 +3,21 @@
 //! be recovered by the measurement pipeline, never read from generator
 //! state.
 
-use sixscope::{figures, tables, Analyzed, Experiment};
+use sixscope::sim::ScenarioConfig;
+use sixscope::{figures, tables, Analyzed, Pipeline};
 use sixscope_analysis::classify::TemporalClass;
 use sixscope_telescope::TelescopeId;
 use std::sync::OnceLock;
 
+fn run(seed: u64, scale: f64) -> Analyzed {
+    Pipeline::simulate(ScenarioConfig::new(seed, scale))
+        .run()
+        .expect("simulated runs cannot fail")
+}
+
 fn corpus() -> &'static Analyzed {
     static CELL: OnceLock<Analyzed> = OnceLock::new();
-    CELL.get_or_init(|| Experiment::new(20230824, 0.02).run())
+    CELL.get_or_init(|| run(20230824, 0.02))
 }
 
 #[test]
@@ -167,14 +174,14 @@ fn intermittent_scanners_spread_wider_than_one_off() {
 
 #[test]
 fn experiment_is_deterministic_across_runs() {
-    let a = Experiment::new(5, 0.002).run();
-    let b = Experiment::new(5, 0.002).run();
+    let a = run(5, 0.002);
+    let b = run(5, 0.002);
     assert_eq!(a.result.total_packets(), b.result.total_packets());
     for id in TelescopeId::ALL {
         assert_eq!(a.capture(id).packets(), b.capture(id).packets());
     }
     // And a different seed genuinely changes the world.
-    let c = Experiment::new(6, 0.002).run();
+    let c = run(6, 0.002);
     assert_ne!(
         a.capture(TelescopeId::T1).len(),
         0,

@@ -2,7 +2,8 @@
 //! verify the clusters align with the planted tools — the "hex-byte
 //! representation clustering, then manual matching" workflow of the paper.
 
-use sixscope::{Analyzed, Experiment};
+use sixscope::sim::ScenarioConfig;
+use sixscope::{Analyzed, Pipeline};
 use sixscope_analysis::dbscan::cluster_count;
 use sixscope_analysis::fingerprint::{cluster_payloads, identify, ToolMatch};
 use sixscope_telescope::TelescopeId;
@@ -11,7 +12,11 @@ use std::sync::OnceLock;
 
 fn corpus() -> &'static Analyzed {
     static CELL: OnceLock<Analyzed> = OnceLock::new();
-    CELL.get_or_init(|| Experiment::new(20230824, 0.01).run())
+    CELL.get_or_init(|| {
+        Pipeline::simulate(ScenarioConfig::new(20230824, 0.01))
+            .run()
+            .expect("simulated runs cannot fail")
+    })
 }
 
 #[test]
