@@ -130,8 +130,20 @@ impl Analyzed {
         let fed = map_indexed(threads, &TelescopeId::ALL, |_, id| {
             let capture = &result.captures[id];
             let packets = capture.packets();
-            let mut s128 = IncrementalSessionizer::new(AggLevel::Addr128, settings.session_timeout);
-            let mut s64 = IncrementalSessionizer::new(AggLevel::Subnet64, settings.session_timeout);
+            // Pre-size the open-session tables: distinct live sources are a
+            // small fraction of packets, so a capped fraction of the packet
+            // count skips the rehash ladder without overshooting memory.
+            let sources_hint = (packets.len() / 8).clamp(16, 1 << 16);
+            let mut s128 = IncrementalSessionizer::with_capacity(
+                AggLevel::Addr128,
+                settings.session_timeout,
+                sources_hint,
+            );
+            let mut s64 = IncrementalSessionizer::with_capacity(
+                AggLevel::Subnet64,
+                settings.session_timeout,
+                sources_hint,
+            );
             let mut shard = IndexShard::new();
             let mut sessionize = 0.0;
             let mut start = 0usize;

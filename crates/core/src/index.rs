@@ -28,7 +28,9 @@ use sixscope_analysis::heavy::{heavy_hitters_from_counts, HeavyHitter, HEAVY_HIT
 use sixscope_sim::{CompiledVisibility, ExperimentResult};
 use sixscope_telescope::{AggLevel, Capture, Protocol, ScanSession, SourceKey, TelescopeId};
 use sixscope_types::ports::PortLabel;
-use sixscope_types::{chunk_ranges, map_indexed, num_threads, Ipv6Prefix, PrefixTrie, SimTime};
+use sixscope_types::{
+    chunk_ranges, map_indexed, num_threads, InternTable, Ipv6Prefix, PrefixTrie, SimTime,
+};
 use std::collections::{BTreeMap, BTreeSet};
 use std::ops::Range;
 
@@ -85,6 +87,11 @@ pub fn decode_port(code: u32) -> Option<PortLabel> {
 pub struct SourceTable {
     keys128: Vec<SourceKey>,
     keys64: Vec<SourceKey>,
+    /// Hash lookup key → sorted id. Built by inserting the sorted key
+    /// vectors in order, so arena ids coincide with sorted ids and a `get`
+    /// is O(1) instead of a binary search per packet.
+    lookup128: InternTable<SourceKey>,
+    lookup64: InternTable<SourceKey>,
     /// Origin AS per /128 source via the routing-data join (`NO_ID` when
     /// the source's subnet has no mapping).
     asn128: Vec<u32>,
@@ -119,7 +126,12 @@ impl SourceTable {
 
     /// Id of a /128 source key, if interned.
     pub fn id128(&self, key: &SourceKey) -> Option<u32> {
-        self.keys128.binary_search(key).ok().map(|i| i as u32)
+        self.lookup128.get(key)
+    }
+
+    /// Id of a /64 source key, if interned.
+    pub fn id64(&self, key: &SourceKey) -> Option<u32> {
+        self.lookup64.get(key)
     }
 
     /// Origin AS number of a /128 source id (`NO_ID` when unresolved).
@@ -206,17 +218,17 @@ impl PacketColumns {
             prefix: Vec::with_capacity(n),
             prefixes: Vec::new(),
         };
-        // Prefix ids are assigned in first-encounter order; only the
-        // id→prefix direction is consumed, so any stable assignment works.
-        let mut prefix_ids: BTreeMap<Ipv6Prefix, u32> = BTreeMap::new();
+        // Prefix ids are assigned in first-encounter order (the intern
+        // table's arena order); only the id→prefix direction is consumed,
+        // so any stable assignment works.
+        let mut prefix_ids: InternTable<Ipv6Prefix> = InternTable::new();
         for p in capture.packets() {
             cols.ts.push(p.ts);
             let k128 = SourceKey::new(p.src, AggLevel::Addr128);
             let k64 = SourceKey::new(p.src, AggLevel::Subnet64);
             cols.src128
                 .push(sources.id128(&k128).expect("every packet source interned"));
-            cols.src64
-                .push(sources.keys64.binary_search(&k64).expect("interned /64") as u32);
+            cols.src64.push(sources.id64(&k64).expect("interned /64"));
             cols.class.push(classify(p.dst).code());
             cols.proto.push(proto_code(p.protocol));
             let port = match (p.protocol, p.dst_port) {
@@ -229,19 +241,12 @@ impl PacketColumns {
             cols.day.push(p.ts.day() as u32);
             cols.dst.push(u128::from(p.dst));
             let prefix = match visibility.lpm(p.dst, p.ts) {
-                Some(pre) => match prefix_ids.get(&pre) {
-                    Some(&id) => id,
-                    None => {
-                        let id = cols.prefixes.len() as u32;
-                        prefix_ids.insert(pre, id);
-                        cols.prefixes.push(pre);
-                        id
-                    }
-                },
+                Some(pre) => prefix_ids.insert(pre).id,
                 None => NO_ID,
             };
             cols.prefix.push(prefix);
         }
+        cols.prefixes = prefix_ids.into_keys();
         cols
     }
 
@@ -292,8 +297,11 @@ impl PacketColumns {
 /// over the concatenated capture.
 #[derive(Debug, Clone, Default)]
 pub struct IndexShard {
-    sources128: BTreeSet<SourceKey>,
-    sources64: BTreeSet<SourceKey>,
+    /// Shard-local source interning. Arena order is first-encounter; the
+    /// merge sorts the union, so final ids still land in ascending key
+    /// order exactly as the old `BTreeSet` union assigned them.
+    sources128: InternTable<SourceKey>,
+    sources64: InternTable<SourceKey>,
     ts: Vec<SimTime>,
     /// Raw source address per packet (resolved to ids at merge time).
     src: Vec<u128>,
@@ -306,8 +314,7 @@ pub struct IndexShard {
     prefix: Vec<u32>,
     /// Shard-local announced-prefix interning (first-encounter order, as in
     /// [`PacketColumns::build`]); remapped on absorb.
-    prefixes: Vec<Ipv6Prefix>,
-    prefix_ids: BTreeMap<Ipv6Prefix, u32>,
+    prefix_ids: InternTable<Ipv6Prefix>,
 }
 
 impl IndexShard {
@@ -329,18 +336,6 @@ impl IndexShard {
     /// The distinct /128 and /64 sources seen so far.
     pub fn source_counts(&self) -> (usize, usize) {
         (self.sources128.len(), self.sources64.len())
-    }
-
-    fn intern_prefix(&mut self, pre: Ipv6Prefix) -> u32 {
-        match self.prefix_ids.get(&pre) {
-            Some(&id) => id,
-            None => {
-                let id = self.prefixes.len() as u32;
-                self.prefix_ids.insert(pre, id);
-                self.prefixes.push(pre);
-                id
-            }
-        }
     }
 
     /// Appends one contiguous chunk of `capture`'s packets.
@@ -367,6 +362,8 @@ impl IndexShard {
                 .insert(SourceKey::new(p.src, AggLevel::Addr128));
             self.sources64
                 .insert(SourceKey::new(p.src, AggLevel::Subnet64));
+            // (InternTable::insert is idempotent, like the set insert it
+            // replaced — one hash probe instead of an ordered-tree walk.)
             self.src.push(u128::from(p.src));
             self.class.push(classify(p.dst).code());
             self.proto.push(proto_code(p.protocol));
@@ -380,7 +377,7 @@ impl IndexShard {
             self.day.push(p.ts.day() as u32);
             self.dst.push(u128::from(p.dst));
             let prefix = match visibility.lpm(p.dst, p.ts) {
-                Some(pre) => self.intern_prefix(pre),
+                Some(pre) => self.prefix_ids.insert(pre).id,
                 None => NO_ID,
             };
             self.prefix.push(prefix);
@@ -400,11 +397,25 @@ impl IndexShard {
             assert!(end <= start, "absorbing an out-of-order index shard");
         }
         let remap: Vec<u32> = other
-            .prefixes
+            .prefix_ids
+            .keys()
             .iter()
-            .map(|&pre| self.intern_prefix(pre))
+            .map(|&pre| self.prefix_ids.insert(pre).id)
             .collect();
-        self.prefix.reserve(other.prefix.len());
+        // One exact reservation per column, then append — the merge path
+        // must never grow a destination vector mid-extend (realloc churn is
+        // what this guards against; the debug assertion pins it).
+        let n = other.ts.len();
+        self.prefix.reserve_exact(n);
+        self.ts.reserve_exact(n);
+        self.src.reserve_exact(n);
+        self.class.reserve_exact(n);
+        self.proto.reserve_exact(n);
+        self.port.reserve_exact(n);
+        self.week.reserve_exact(n);
+        self.day.reserve_exact(n);
+        self.dst.reserve_exact(n);
+        let cap_before = (self.ts.capacity(), self.dst.capacity());
         for id in other.prefix {
             self.prefix.push(if id == NO_ID {
                 NO_ID
@@ -420,8 +431,13 @@ impl IndexShard {
         self.week.extend(other.week);
         self.day.extend(other.day);
         self.dst.extend(other.dst);
-        self.sources128.extend(other.sources128);
-        self.sources64.extend(other.sources64);
+        debug_assert_eq!(
+            (self.ts.capacity(), self.dst.capacity()),
+            cap_before,
+            "IndexShard::absorb reallocated mid-merge"
+        );
+        self.sources128.absorb(&other.sources128);
+        self.sources64.absorb(&other.sources64);
     }
 
     /// Resolves the raw source column against the final interned source
@@ -433,8 +449,10 @@ impl IndexShard {
             let addr = std::net::Ipv6Addr::from(raw);
             let k128 = SourceKey::new(addr, AggLevel::Addr128);
             let k64 = SourceKey::new(addr, AggLevel::Subnet64);
+            // O(1) hash lookups against the final table — this loop runs
+            // twice per packet and used to binary-search a sorted vector.
             src128.push(sources.id128(&k128).expect("every packet source interned"));
-            src64.push(sources.keys64.binary_search(&k64).expect("interned /64") as u32);
+            src64.push(sources.id64(&k64).expect("interned /64"));
         }
         PacketColumns {
             ts: self.ts,
@@ -447,7 +465,7 @@ impl IndexShard {
             day: self.day,
             dst: self.dst,
             prefix: self.prefix,
-            prefixes: self.prefixes,
+            prefixes: self.prefix_ids.into_keys(),
         }
     }
 }
@@ -486,10 +504,7 @@ impl SessionColumns {
             cols.start.push(s.start);
             let id = match level {
                 AggLevel::Addr128 => sources.id128(&s.source).expect("session source interned"),
-                _ => sources
-                    .keys64
-                    .binary_search(&s.source)
-                    .expect("interned /64") as u32,
+                _ => sources.id64(&s.source).expect("interned /64"),
             };
             cols.source.push(id);
             cols.packets.push(s.packet_indices.len() as u32);
@@ -602,10 +617,11 @@ impl CorpusIndex {
     /// fine) whose length matches its capture in `result`.
     ///
     /// The merge is deterministic: the source universe is the union of the
-    /// shard key sets (a `BTreeSet` union, so ids land in ascending key
-    /// order exactly as the batch build assigns them), raw source columns
-    /// resolve to ids by binary search, and all downstream stages reduce
-    /// over those columns through order-preserving [`map_indexed`].
+    /// shard key sets (an intern-table union *sorted* before id
+    /// assignment, so ids land in ascending key order exactly as the old
+    /// `BTreeSet` union assigned them), raw source columns resolve to ids
+    /// by O(1) hash lookup, and all downstream stages reduce over those
+    /// columns through order-preserving [`map_indexed`].
     pub fn from_shards(
         result: &ExperimentResult,
         shards: BTreeMap<TelescopeId, IndexShard>,
@@ -615,8 +631,8 @@ impl CorpusIndex {
     ) -> CorpusIndex {
         // Stage A: the source universe (union of shard key sets), then
         // per-source metadata.
-        let mut all128: BTreeSet<SourceKey> = BTreeSet::new();
-        let mut all64: BTreeSet<SourceKey> = BTreeSet::new();
+        let mut all128: InternTable<SourceKey> = InternTable::new();
+        let mut all64: InternTable<SourceKey> = InternTable::new();
         for id in TelescopeId::ALL {
             let shard = shards.get(&id).expect("a shard per telescope");
             assert_eq!(
@@ -624,8 +640,8 @@ impl CorpusIndex {
                 result.captures[&id].len(),
                 "shard/capture length mismatch at {id}"
             );
-            all128.extend(shard.sources128.iter().copied());
-            all64.extend(shard.sources64.iter().copied());
+            all128.absorb(&shard.sources128);
+            all64.absorb(&shard.sources64);
         }
         let sources = Self::build_source_table(result, all128, all64);
 
@@ -796,15 +812,26 @@ impl CorpusIndex {
 
     fn build_source_table(
         result: &ExperimentResult,
-        all128: BTreeSet<SourceKey>,
-        all64: BTreeSet<SourceKey>,
+        all128: InternTable<SourceKey>,
+        all64: InternTable<SourceKey>,
     ) -> SourceTable {
         let mut asn_by_subnet: PrefixTrie<u32> = PrefixTrie::new();
         for scanner in &result.population.scanners {
             asn_by_subnet.insert(scanner.source.subnet(), scanner.asn.get());
         }
-        let keys128: Vec<SourceKey> = all128.into_iter().collect();
-        let keys64: Vec<SourceKey> = all64.into_iter().collect();
+        // Deterministic final id assignment: ascending key order, exactly
+        // the order a `BTreeSet` union would have yielded (DESIGN.md §11).
+        let (keys128, _) = all128.sorted_remap();
+        let (keys64, _) = all64.sorted_remap();
+        // Re-intern the sorted keys so hash lookups return sorted ids.
+        let mut lookup128 = InternTable::with_capacity(keys128.len());
+        for &k in &keys128 {
+            lookup128.insert(k);
+        }
+        let mut lookup64 = InternTable::with_capacity(keys64.len());
+        for &k in &keys64 {
+            lookup64.insert(k);
+        }
         let mut asn128 = Vec::with_capacity(keys128.len());
         let mut info_asn128 = Vec::with_capacity(keys128.len());
         let mut country_names = Vec::with_capacity(keys128.len());
@@ -838,6 +865,8 @@ impl CorpusIndex {
         SourceTable {
             keys128,
             keys64,
+            lookup128,
+            lookup64,
             asn128,
             info_asn128,
             country128,

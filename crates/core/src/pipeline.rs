@@ -14,19 +14,23 @@
 //! let report = sixscope::render::render_table2(&sixscope::tables::table2(&analyzed));
 //! ```
 //!
-//! The pcap path streams: each file is read in chunks of
-//! [`Pipeline::chunk_records`] records, and every chunk is fed straight into
-//! the incremental sessionizers and an [`crate::index::IndexShard`]
-//! accumulator, so peak memory is O(chunk + live sessions + columns) —
-//! the raw packet bytes of a chunk are dropped before the next chunk loads.
-//! Chunk boundaries are invisible (DESIGN.md §10): any `chunk_records`
-//! and any thread count produce byte-identical tables and figures.
+//! The pcap path is zero-copy and streams: each file is `mmap(2)`'d (with
+//! a buffered-read fallback) and walked in chunks of
+//! [`Pipeline::chunk_records`] borrowed record views, each chunk fed
+//! straight into the incremental sessionizers and an
+//! [`crate::index::IndexShard`] accumulator. Record bytes are never copied
+//! out of the mapping — packets promote their payload to owned bytes only
+//! when retained by the capture filter — so heap memory stays
+//! O(chunk views + live sessions + columns) while the mapping's pages are
+//! file-backed and evictable. Chunk boundaries are invisible (DESIGN.md
+//! §10): any `chunk_records` and any thread count produce byte-identical
+//! tables and figures.
 
 use crate::corpus::{AnalysisTimings, Analyzed, StreamSettings};
 use crate::index::{CorpusIndex, IndexShard};
 use crate::ingest::passive_config;
 use crate::Error;
-use sixscope_packet::{PcapChunks, PcapReader};
+use sixscope_packet::{MappedPcap, PacketError, ViewOutcome};
 use sixscope_scanners::population::Population;
 use sixscope_scanners::ExperimentLayout;
 use sixscope_sim::{
@@ -39,8 +43,6 @@ use sixscope_telescope::{
 };
 use sixscope_types::{num_threads, Ipv6Prefix, SimDuration, SimTime};
 use std::collections::BTreeMap;
-use std::fs::File;
-use std::io::BufReader;
 use std::path::PathBuf;
 use std::time::Instant;
 
@@ -172,9 +174,11 @@ impl Pipeline {
     }
 }
 
-/// The streaming pcap path: chunked reading feeds the incremental
-/// sessionizers and the shard accumulator while the file is still being
-/// read, so only one chunk of raw records is in flight at a time.
+/// The streaming pcap path: each file is mapped (or buffered in as a
+/// fallback) and walked as borrowed record views; every chunk of views
+/// feeds the incremental sessionizers and the shard accumulator before the
+/// next chunk is cut, so the only per-record heap traffic is the retained
+/// packets themselves.
 ///
 /// If a file delivers packets out of time order the incremental feed is
 /// abandoned and the capture is sorted and re-streamed at the end — the
@@ -192,32 +196,51 @@ fn stream_pcaps(
 
     let visibility = Visibility::from_events(&[]);
     let compiled = CompiledVisibility::compile(&visibility);
-    let mut s128 = IncrementalSessionizer::new(AggLevel::Addr128, settings.session_timeout);
-    let mut s64 = IncrementalSessionizer::new(AggLevel::Subnet64, settings.session_timeout);
+    // Pre-size the open-session tables from the input sizes: a record is at
+    // least 56 bytes (16-byte pcap header + IPv6 header) and distinct live
+    // sources are a small fraction of records, so this skips the rehash
+    // ladder without overshooting memory. Capacity never affects output.
+    let input_bytes: u64 = paths
+        .iter()
+        .filter_map(|p| std::fs::metadata(p).ok())
+        .map(|m| m.len())
+        .sum();
+    let sources_hint = ((input_bytes / 56 / 8) as usize).clamp(16, 1 << 16);
+    let mut s128 = IncrementalSessionizer::with_capacity(
+        AggLevel::Addr128,
+        settings.session_timeout,
+        sources_hint,
+    );
+    let mut s64 = IncrementalSessionizer::with_capacity(
+        AggLevel::Subnet64,
+        settings.session_timeout,
+        sources_hint,
+    );
     let mut shard = IndexShard::new();
     let mut sessionize = 0.0;
     let mut sorted = true;
 
     for path in paths {
         let display = path.display().to_string();
-        let file = File::open(path).map_err(|source| Error::Io {
-            path: display.clone(),
-            source,
+        let mapped = MappedPcap::open(path).map_err(|source| match source {
+            PacketError::Io(source) => Error::Io {
+                path: display.clone(),
+                source,
+            },
+            source => Error::Pcap {
+                path: display.clone(),
+                source,
+            },
         })?;
-        let reader = PcapReader::new(BufReader::new(file)).map_err(|source| Error::Pcap {
+        let mut reader = mapped.reader().map_err(|source| Error::Pcap {
             path: display.clone(),
             source,
         })?;
         let mut stats = IngestStats::default();
-        for chunk in PcapChunks::new(reader, settings.chunk_records) {
-            let outcomes = chunk.map_err(|source| Error::Pcap {
-                path: display.clone(),
-                source,
-            })?;
+        let mut views: Vec<ViewOutcome<'_>> = Vec::new();
+        while reader.next_chunk(settings.chunk_records, &mut views) {
             let before = capture.len();
-            for outcome in outcomes {
-                capture.apply_outcome(outcome, &mut stats);
-            }
+            capture.extend_from_views(&views, &mut stats);
             if sorted {
                 let packets = capture.packets();
                 let boundary = before.saturating_sub(1);

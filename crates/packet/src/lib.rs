@@ -6,7 +6,8 @@
 //! and writer so captures open in tcpdump/Wireshark.
 //!
 //! The design follows the smoltcp school: small typed structs with explicit
-//! `encode` / `decode` pairs over plain byte slices, no macros, no unsafe.
+//! `encode` / `decode` pairs over plain byte slices, no macros, and unsafe
+//! confined to the read-only `mmap(2)` backing of [`pcap::MappedPcap`].
 //! The simulation produces real packet bytes and the analysis pipeline
 //! re-parses them — classification never touches generator-internal state,
 //! which keeps the measurement half honest.
@@ -25,7 +26,10 @@ pub use builder::PacketBuilder;
 pub use error::{MalformedRecord, PacketError};
 pub use icmpv6::{Icmpv6Header, Icmpv6Type};
 pub use ipv6::{Ipv6Header, NextHeader, IPV6_HEADER_LEN};
-pub use parse::{ParsedPacket, Transport};
-pub use pcap::{PcapChunks, PcapReader, PcapRecord, PcapWriter, RecordOutcome, MAX_RECORD_LEN};
+pub use parse::{parse_run, ParsedPacket, ParsedView, Transport};
+pub use pcap::{
+    MappedPcap, PcapChunks, PcapReader, PcapRecord, PcapWriter, RecordOutcome, RecordView,
+    SliceReader, ViewOutcome, MAX_RECORD_LEN,
+};
 pub use tcp::{TcpFlags, TcpHeader, TCP_HEADER_LEN};
 pub use udp::{UdpHeader, UDP_HEADER_LEN};

@@ -1,15 +1,20 @@
 //! Whole-packet parsing — the telescope's first processing step.
 //!
-//! [`ParsedPacket`] decodes the IPv6 header and the transport header and
-//! keeps the upper-layer payload as a cheaply-cloneable [`bytes::Bytes`];
-//! payload bytes feed the tool-fingerprint clustering of §5.4.
+//! [`ParsedView`] decodes the IPv6 header and the transport header against
+//! a borrowed buffer without allocating; [`ParsedPacket`] is its owned
+//! promotion, keeping the upper-layer payload as a cheaply-cloneable
+//! [`bytes::Bytes`]. Payload bytes feed the tool-fingerprint clustering of
+//! §5.4. The ingest hot path parses views and promotes only the packets
+//! that survive telescope filtering (DESIGN.md §11).
 
 use crate::error::PacketError;
 use crate::icmpv6::Icmpv6Header;
 use crate::ipv6::{ext, Ipv6Header, NextHeader, IPV6_HEADER_LEN};
+use crate::pcap::RecordView;
 use crate::tcp::TcpHeader;
 use crate::udp::UdpHeader;
 use bytes::Bytes;
+use sixscope_types::intern::hash_u128;
 
 /// Upper bound on chained extension headers (RFC-conformant packets use at
 /// most ~6; anything deeper is treated as damage, not walked forever).
@@ -53,8 +58,27 @@ pub struct ParsedPacket {
     pub ext_headers: u8,
 }
 
-impl ParsedPacket {
-    /// Parses raw IPv6 packet bytes.
+/// A parsed IPv6 packet borrowing its payload from the capture buffer.
+///
+/// The zero-copy counterpart of [`ParsedPacket`]: headers are decoded into
+/// small owned structs (they are a few dozen bytes), but the upper-layer
+/// payload stays a subslice of the input. Promote with
+/// [`ParsedView::to_owned`] only when the packet outlives the buffer —
+/// e.g. telescope retention after filtering.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsedView<'a> {
+    /// The IPv6 fixed header.
+    pub header: Ipv6Header,
+    /// The decoded transport header.
+    pub transport: Transport,
+    /// Upper-layer payload (after the transport header), borrowed.
+    pub payload: &'a [u8],
+    /// Number of extension headers walked to reach the transport.
+    pub ext_headers: u8,
+}
+
+impl<'a> ParsedView<'a> {
+    /// Parses raw IPv6 packet bytes without copying the payload.
     ///
     /// The declared IPv6 payload length must fit in the buffer; extra
     /// trailing bytes (link padding) are ignored. Extension headers
@@ -65,7 +89,7 @@ impl ParsedPacket {
     /// fragment's inner protocol. Transport checksums are *not* enforced
     /// here — telescopes record damaged probes too — use the per-protocol
     /// `verify_checksum` helpers when validity matters.
-    pub fn parse(buf: &[u8]) -> Result<ParsedPacket, PacketError> {
+    pub fn parse(buf: &'a [u8]) -> Result<ParsedView<'a>, PacketError> {
         let header = Ipv6Header::decode(buf)?;
         let declared = header.payload_len as usize;
         let rest = &buf[IPV6_HEADER_LEN..];
@@ -138,12 +162,75 @@ impl ParsedPacket {
                 NextHeader::Other(v) => (Transport::Other(v), upper),
             }
         };
-        Ok(ParsedPacket {
+        Ok(ParsedView {
             header,
             transport,
-            payload: Bytes::copy_from_slice(payload),
+            payload,
             ext_headers: ext_headers.min(u8::MAX as usize) as u8,
         })
+    }
+
+    /// Promotes the view to an owned [`ParsedPacket`], copying the payload.
+    pub fn to_owned(&self) -> ParsedPacket {
+        ParsedPacket {
+            header: self.header,
+            transport: self.transport.clone(),
+            payload: Bytes::copy_from_slice(self.payload),
+            ext_headers: self.ext_headers,
+        }
+    }
+
+    /// Destination port, if the transport has ports.
+    pub fn dst_port(&self) -> Option<u16> {
+        match &self.transport {
+            Transport::Tcp(h) => Some(h.dst_port),
+            Transport::Udp(h) => Some(h.dst_port),
+            _ => None,
+        }
+    }
+
+    /// Source port, if the transport has ports.
+    pub fn src_port(&self) -> Option<u16> {
+        match &self.transport {
+            Transport::Tcp(h) => Some(h.src_port),
+            Transport::Udp(h) => Some(h.src_port),
+            _ => None,
+        }
+    }
+
+    /// Precomputed 64-bit hash of the source address — the FxHash value
+    /// downstream source-keyed tables (sessionizer, intern table) derive
+    /// from this packet, carried on the view so batch consumers can
+    /// pre-touch buckets.
+    #[inline]
+    pub fn source_hash(&self) -> u64 {
+        hash_u128(u128::from(self.header.src))
+    }
+}
+
+/// Batched parse kernel: parses every record body in `run`, filling `out`
+/// (cleared first, like [`crate::pcap::SliceReader::next_chunk`]) with
+/// `(run_index, view)` pairs for records that parse and returning how many
+/// failed. One tight loop over a record run keeps the header-decode
+/// word loads hot — this is the form the ingest benchmark drives.
+pub fn parse_run<'a>(run: &[RecordView<'a>], out: &mut Vec<(usize, ParsedView<'a>)>) -> usize {
+    let mut failed = 0usize;
+    out.clear();
+    out.reserve(run.len());
+    for (i, rec) in run.iter().enumerate() {
+        match ParsedView::parse(rec.data) {
+            Ok(view) => out.push((i, view)),
+            Err(_) => failed += 1,
+        }
+    }
+    failed
+}
+
+impl ParsedPacket {
+    /// Parses raw IPv6 packet bytes into owned form — exactly
+    /// [`ParsedView::parse`] followed by [`ParsedView::to_owned`].
+    pub fn parse(buf: &[u8]) -> Result<ParsedPacket, PacketError> {
+        ParsedView::parse(buf).map(|v| v.to_owned())
     }
 
     /// Destination port, if the transport has ports.

@@ -20,6 +20,7 @@
 use crate::error::{MalformedRecord, PacketError};
 use sixscope_types::SimTime;
 use std::io::{Read, Write};
+use std::path::Path;
 
 const MAGIC_LE_US: u32 = 0xa1b2c3d4;
 const MAGIC_LE_NS: u32 = 0xa1b23c4d;
@@ -341,6 +342,380 @@ impl<R: Read> Iterator for PcapChunks<R> {
     }
 }
 
+/// One captured packet record, borrowed from the underlying file bytes.
+///
+/// The zero-copy counterpart of [`PcapRecord`]: `data` is a subslice of
+/// the capture file (an [`MappedPcap`] mapping or any in-memory byte
+/// slice), so yielding a record allocates nothing. Views live only as
+/// long as the backing bytes — promote with [`RecordView::to_owned`]
+/// when a record must outlive them (DESIGN.md §11).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecordView<'a> {
+    /// Capture timestamp.
+    pub ts: SimTime,
+    /// Sub-second microseconds.
+    pub ts_micros: u32,
+    /// Raw packet bytes (an IPv6 packet under LINKTYPE_RAW).
+    pub data: &'a [u8],
+}
+
+impl RecordView<'_> {
+    /// Copies the view out into an owned [`PcapRecord`].
+    pub fn to_owned(&self) -> PcapRecord {
+        PcapRecord {
+            ts: self.ts,
+            ts_micros: self.ts_micros,
+            data: self.data.to_vec(),
+        }
+    }
+}
+
+/// Outcome of one recoverable zero-copy read step (see
+/// [`SliceReader::read_record_recovering`]).
+///
+/// The borrowed counterpart of [`RecordOutcome`]; the two encode the same
+/// taxonomy and a [`SliceReader`] yields exactly the outcome sequence a
+/// [`PcapReader`] yields over the same bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ViewOutcome<'a> {
+    /// A complete, well-formed record.
+    Record(RecordView<'a>),
+    /// A damaged record was skipped; the stream is re-synchronized on the
+    /// next record boundary.
+    Skipped(MalformedRecord),
+    /// The file ends inside a record. All preceding records were yielded;
+    /// no further reads will succeed.
+    TruncatedTail(MalformedRecord),
+}
+
+impl ViewOutcome<'_> {
+    /// Copies the outcome out into its owned [`RecordOutcome`] form.
+    pub fn to_owned(&self) -> RecordOutcome {
+        match self {
+            ViewOutcome::Record(v) => RecordOutcome::Record(v.to_owned()),
+            ViewOutcome::Skipped(m) => RecordOutcome::Skipped(*m),
+            ViewOutcome::TruncatedTail(m) => RecordOutcome::TruncatedTail(*m),
+        }
+    }
+}
+
+/// Zero-copy recovering pcap reader over an in-memory byte slice.
+///
+/// Parses the same global-header dialects as [`PcapReader`] (both endians,
+/// micro- and nanosecond magic) and applies the same per-record validation
+/// in the same order, but yields borrowed [`RecordView`]s instead of
+/// allocating a `Vec<u8>` per record. Because the whole file is addressable,
+/// recovery is a cursor adjustment: skipping a damaged record advances the
+/// offset past its advertised bytes, and no copy-out is ever needed to
+/// re-synchronize — the "copy-out at re-sync boundaries" obligation of
+/// streaming readers vanishes in slice mode.
+pub struct SliceReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+    swapped: bool,
+    nanos: bool,
+    snaplen: u32,
+    exhausted: bool,
+}
+
+impl<'a> SliceReader<'a> {
+    /// Validates the 24-byte global header and positions the cursor on the
+    /// first record.
+    pub fn new(data: &'a [u8]) -> Result<Self, PacketError> {
+        if data.len() < 24 {
+            return Err(PacketError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "pcap global header needs 24 bytes",
+            )));
+        }
+        let magic = u32::from_le_bytes([data[0], data[1], data[2], data[3]]);
+        let (swapped, nanos) = match magic {
+            MAGIC_LE_US => (false, false),
+            MAGIC_LE_NS => (false, true),
+            m if m.swap_bytes() == MAGIC_LE_US => (true, false),
+            m if m.swap_bytes() == MAGIC_LE_NS => (true, true),
+            m => return Err(PacketError::BadPcapMagic(m)),
+        };
+        let read_u32 = |b: &[u8]| {
+            let v = u32::from_le_bytes([b[0], b[1], b[2], b[3]]);
+            if swapped {
+                v.swap_bytes()
+            } else {
+                v
+            }
+        };
+        let linktype = read_u32(&data[20..24]);
+        if linktype != LINKTYPE_RAW {
+            return Err(PacketError::UnsupportedLinkType(linktype));
+        }
+        Ok(SliceReader {
+            data,
+            pos: 24,
+            swapped,
+            nanos,
+            snaplen: read_u32(&data[16..20]),
+            exhausted: false,
+        })
+    }
+
+    /// The snapshot length declared by the file's global header.
+    pub fn snaplen(&self) -> u32 {
+        self.snaplen
+    }
+
+    /// Reads the next record with skip-and-count recovery, or `None` at end
+    /// of file.
+    ///
+    /// Infallible (unlike the streaming reader there is no I/O to fail):
+    /// damage maps to [`ViewOutcome::Skipped`] / [`ViewOutcome::TruncatedTail`]
+    /// exactly as [`PcapReader::read_record_recovering`] maps it, including
+    /// the reported-once-then-EOF truncation semantics.
+    #[allow(clippy::should_implement_trait)]
+    pub fn read_record_recovering(&mut self) -> Option<ViewOutcome<'a>> {
+        if self.exhausted {
+            return None;
+        }
+        let remaining = self.data.len() - self.pos;
+        if remaining == 0 {
+            return None;
+        }
+        if remaining < 16 {
+            self.exhausted = true;
+            return Some(ViewOutcome::TruncatedTail(
+                MalformedRecord::TruncatedHeader { have: remaining },
+            ));
+        }
+        let hdr = &self.data[self.pos..self.pos + 16];
+        let field = |i: usize| {
+            let v = u32::from_le_bytes([hdr[i], hdr[i + 1], hdr[i + 2], hdr[i + 3]]);
+            if self.swapped {
+                v.swap_bytes()
+            } else {
+                v
+            }
+        };
+        let (ts_sec, ts_frac, incl_len, orig_len) = (field(0), field(4), field(8), field(12));
+        // Same validation order as the streaming reader so the same damage
+        // produces the same MalformedRecord reason.
+        let malformed = if self.snaplen != 0 && incl_len > self.snaplen {
+            Some(MalformedRecord::SnaplenExceeded {
+                incl_len,
+                snaplen: self.snaplen,
+            })
+        } else if incl_len > MAX_RECORD_LEN {
+            Some(MalformedRecord::CapExceeded { incl_len })
+        } else if incl_len > orig_len {
+            Some(MalformedRecord::LengthInconsistent { incl_len, orig_len })
+        } else {
+            None
+        };
+        let body = self.pos + 16;
+        let end = body.checked_add(incl_len as usize);
+        if let Some(m) = malformed {
+            // Skip the advertised bytes; a skip running off the end of the
+            // slice is the streaming reader's discard-hit-EOF case.
+            return Some(match end {
+                Some(end) if end <= self.data.len() => {
+                    self.pos = end;
+                    ViewOutcome::Skipped(m)
+                }
+                _ => {
+                    self.exhausted = true;
+                    ViewOutcome::TruncatedTail(m)
+                }
+            });
+        }
+        match end {
+            Some(end) if end <= self.data.len() => {
+                self.pos = end;
+                let ts_micros = if self.nanos { ts_frac / 1000 } else { ts_frac };
+                Some(ViewOutcome::Record(RecordView {
+                    ts: SimTime::from_secs(ts_sec as u64),
+                    ts_micros,
+                    data: &self.data[body..end],
+                }))
+            }
+            _ => {
+                self.exhausted = true;
+                Some(ViewOutcome::TruncatedTail(MalformedRecord::TruncatedBody {
+                    need: incl_len as usize,
+                    have: self.data.len() - body,
+                }))
+            }
+        }
+    }
+
+    /// Collects up to `chunk_records` outcomes into `out` (cleared first).
+    /// Returns `false` once the stream is finished and `out` is empty —
+    /// the chunked feed used by the streaming pipeline. Chunk boundaries
+    /// are invisible in the outcome sequence.
+    pub fn next_chunk(&mut self, chunk_records: usize, out: &mut Vec<ViewOutcome<'a>>) -> bool {
+        out.clear();
+        let want = chunk_records.max(1);
+        while out.len() < want {
+            match self.read_record_recovering() {
+                Some(outcome) => out.push(outcome),
+                None => break,
+            }
+        }
+        !out.is_empty()
+    }
+}
+
+impl<'a> Iterator for SliceReader<'a> {
+    type Item = ViewOutcome<'a>;
+    fn next(&mut self) -> Option<Self::Item> {
+        self.read_record_recovering()
+    }
+}
+
+#[cfg(unix)]
+mod mmap_sys {
+    //! Minimal read-only `mmap(2)` bindings.
+    //!
+    //! Declared directly (std already links libc on every unix target) so
+    //! the zero-copy reader needs no external crate. Only `PROT_READ` +
+    //! `MAP_PRIVATE` mappings of regular files are ever created.
+    use std::ffi::c_void;
+
+    pub const PROT_READ: i32 = 1;
+    pub const MAP_PRIVATE: i32 = 2;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> i32;
+    }
+}
+
+/// How a [`MappedPcap`] holds the file bytes.
+enum Backing {
+    /// A read-only private `mmap(2)` of the file.
+    #[cfg(unix)]
+    Mapped { ptr: *mut u8, len: usize },
+    /// The whole file read into memory (the fallback path).
+    Owned(Vec<u8>),
+}
+
+/// A capture file held as one contiguous byte slice, preferring `mmap(2)`.
+///
+/// [`MappedPcap::open`] maps the file read-only when possible and silently
+/// falls back to reading it into an owned buffer when it cannot (empty
+/// file, exotic filesystem, non-unix target). Either way [`MappedPcap::data`]
+/// exposes identical bytes, so [`SliceReader`]s built over it behave
+/// identically — the fallback changes memory residency, never statistics.
+///
+/// The mapping snapshots the file's length at open time; bytes appended by
+/// a still-running capture process are picked up by the *next* open, which
+/// matches the buffered reader's behavior of reading to the EOF it sees.
+pub struct MappedPcap {
+    backing: Backing,
+}
+
+// SAFETY: the mapping is PROT_READ/MAP_PRIVATE and never mutated or
+// remapped after construction, so shared references to its bytes may move
+// across threads like any other immutable buffer.
+unsafe impl Send for MappedPcap {}
+unsafe impl Sync for MappedPcap {}
+
+impl MappedPcap {
+    /// Opens `path`, mapping it when the platform and file allow and
+    /// falling back to a buffered whole-file read otherwise.
+    pub fn open(path: &Path) -> Result<Self, PacketError> {
+        let file = std::fs::File::open(path)?;
+        #[cfg(unix)]
+        {
+            let len = file.metadata()?.len();
+            // mmap(2) rejects zero-length mappings; tiny or empty files go
+            // through the fallback (and then fail header validation with
+            // the same error the streaming reader reports).
+            if len > 0 && usize::try_from(len).is_ok() {
+                use std::os::unix::io::AsRawFd;
+                let len = len as usize;
+                let ptr = unsafe {
+                    mmap_sys::mmap(
+                        std::ptr::null_mut(),
+                        len,
+                        mmap_sys::PROT_READ,
+                        mmap_sys::MAP_PRIVATE,
+                        file.as_raw_fd(),
+                        0,
+                    )
+                };
+                if ptr as isize != -1 && !ptr.is_null() {
+                    return Ok(MappedPcap {
+                        backing: Backing::Mapped {
+                            ptr: ptr as *mut u8,
+                            len,
+                        },
+                    });
+                }
+            }
+        }
+        Self::from_reader(file)
+    }
+
+    /// Opens `path` through the buffered fallback unconditionally — the
+    /// path exercised by tests that pin fallback/mmap equivalence.
+    pub fn open_buffered(path: &Path) -> Result<Self, PacketError> {
+        Self::from_reader(std::fs::File::open(path)?)
+    }
+
+    fn from_reader<R: Read>(mut input: R) -> Result<Self, PacketError> {
+        let mut buf = Vec::new();
+        input.read_to_end(&mut buf)?;
+        Ok(MappedPcap {
+            backing: Backing::Owned(buf),
+        })
+    }
+
+    /// The file bytes (identical on both backings).
+    pub fn data(&self) -> &[u8] {
+        match &self.backing {
+            #[cfg(unix)]
+            // SAFETY: ptr/len came from a successful mmap that lives until
+            // Drop, and the mapping is never written through.
+            Backing::Mapped { ptr, len } => unsafe {
+                std::slice::from_raw_parts(*ptr as *const u8, *len)
+            },
+            Backing::Owned(v) => v,
+        }
+    }
+
+    /// True when the bytes are an actual memory mapping (false on the
+    /// buffered fallback).
+    pub fn used_mmap(&self) -> bool {
+        match self.backing {
+            #[cfg(unix)]
+            Backing::Mapped { .. } => true,
+            Backing::Owned(_) => false,
+        }
+    }
+
+    /// A zero-copy recovering reader over the file bytes.
+    pub fn reader(&self) -> Result<SliceReader<'_>, PacketError> {
+        SliceReader::new(self.data())
+    }
+}
+
+impl Drop for MappedPcap {
+    fn drop(&mut self) {
+        #[cfg(unix)]
+        if let Backing::Mapped { ptr, len } = self.backing {
+            // SAFETY: exactly one munmap of a region this struct mmapped.
+            unsafe {
+                mmap_sys::munmap(ptr as *mut std::ffi::c_void, len);
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -635,6 +1010,159 @@ mod tests {
             ))
         ));
         assert!(r.read_record_recovering().unwrap().is_none());
+    }
+
+    /// Streams `bytes` through both the owned recovering reader and the
+    /// zero-copy slice reader and asserts identical outcome sequences.
+    fn assert_readers_agree(bytes: &[u8]) {
+        let mut owned = Vec::new();
+        let mut r = PcapReader::new(bytes).unwrap();
+        while let Some(outcome) = r.read_record_recovering().unwrap() {
+            owned.push(outcome);
+        }
+        let borrowed: Vec<RecordOutcome> = SliceReader::new(bytes)
+            .unwrap()
+            .map(|o| o.to_owned())
+            .collect();
+        assert_eq!(borrowed, owned);
+    }
+
+    #[test]
+    fn slice_reader_matches_streaming_reader_on_clean_files() {
+        let mut w = PcapWriter::new(Vec::new()).unwrap();
+        for r in sample_records() {
+            w.write_record(&r).unwrap();
+        }
+        assert_readers_agree(&w.into_inner().unwrap());
+    }
+
+    #[test]
+    fn slice_reader_matches_streaming_reader_on_damage() {
+        // Same damage catalog the owned-reader tests use: inconsistent
+        // lengths mid-file, a skip running off EOF, a truncated header.
+        let mut w = PcapWriter::new(Vec::new()).unwrap();
+        for r in sample_records() {
+            w.write_record(&r).unwrap();
+        }
+        let clean = w.into_inner().unwrap();
+
+        let mut skipped = clean.clone();
+        push_record(&mut skipped, 8, 4, &[0xee; 8]);
+        push_record(&mut skipped, 3, 3, &[1, 2, 3]);
+        assert_readers_agree(&skipped);
+
+        let mut tail_skip = clean.clone();
+        push_record(&mut tail_skip, 100, 50, &[0u8; 5]);
+        assert_readers_agree(&tail_skip);
+
+        let mut cut_header = clean.clone();
+        cut_header.extend_from_slice(&[0u8; 7]);
+        assert_readers_agree(&cut_header);
+
+        let cut_body = &clean[..clean.len() - 2];
+        assert_readers_agree(cut_body);
+    }
+
+    #[test]
+    fn slice_reader_rejects_the_same_headers() {
+        assert!(matches!(
+            SliceReader::new(&[0u8; 24]),
+            Err(PacketError::BadPcapMagic(0))
+        ));
+        assert!(matches!(
+            SliceReader::new(&[0u8; 3]),
+            Err(PacketError::Io(_))
+        ));
+        let mut w = PcapWriter::new(Vec::new()).unwrap();
+        w.write_record(&sample_records()[0]).unwrap();
+        let mut bytes = w.into_inner().unwrap();
+        bytes[20..24].copy_from_slice(&1u32.to_le_bytes());
+        assert!(matches!(
+            SliceReader::new(&bytes),
+            Err(PacketError::UnsupportedLinkType(1))
+        ));
+    }
+
+    #[test]
+    fn slice_reader_handles_big_endian_and_nanos() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC_LE_NS.to_le_bytes());
+        bytes.extend_from_slice(&2u16.to_le_bytes());
+        bytes.extend_from_slice(&4u16.to_le_bytes());
+        bytes.extend_from_slice(&0i32.to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        bytes.extend_from_slice(&65_535u32.to_le_bytes());
+        bytes.extend_from_slice(&LINKTYPE_RAW.to_le_bytes());
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.extend_from_slice(&5_000_000u32.to_le_bytes());
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.push(0x60);
+        let mut r = SliceReader::new(&bytes).unwrap();
+        match r.read_record_recovering() {
+            Some(ViewOutcome::Record(v)) => {
+                assert_eq!(v.ts_micros, 5000);
+                assert_eq!(v.data, &[0x60]);
+            }
+            other => panic!("expected record, got {other:?}"),
+        }
+        assert!(r.read_record_recovering().is_none());
+    }
+
+    #[test]
+    fn slice_chunks_are_boundary_invisible() {
+        let mut w = PcapWriter::new(Vec::new()).unwrap();
+        for r in sample_records() {
+            w.write_record(&r).unwrap();
+        }
+        let mut bytes = w.into_inner().unwrap();
+        push_record(&mut bytes, 8, 2, &[0xab; 8]);
+        let reference: Vec<RecordOutcome> = SliceReader::new(&bytes)
+            .unwrap()
+            .map(|o| o.to_owned())
+            .collect();
+        for chunk in [1usize, 2, 1000] {
+            let mut r = SliceReader::new(&bytes).unwrap();
+            let mut buf = Vec::new();
+            let mut collected = Vec::new();
+            while r.next_chunk(chunk, &mut buf) {
+                assert!(!buf.is_empty() && buf.len() <= chunk);
+                collected.extend(buf.iter().map(|o| o.to_owned()));
+            }
+            assert_eq!(collected, reference, "chunk size {chunk}");
+        }
+    }
+
+    #[test]
+    fn mapped_pcap_matches_buffered_fallback() {
+        let mut w = PcapWriter::new(Vec::new()).unwrap();
+        for r in sample_records() {
+            w.write_record(&r).unwrap();
+        }
+        let bytes = w.into_inner().unwrap();
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("sixscope-mmap-test-{}.pcap", std::process::id()));
+        std::fs::write(&path, &bytes).unwrap();
+        let mapped = MappedPcap::open(&path).unwrap();
+        let buffered = MappedPcap::open_buffered(&path).unwrap();
+        assert!(!buffered.used_mmap());
+        assert_eq!(mapped.data(), buffered.data());
+        let a: Vec<RecordOutcome> = mapped.reader().unwrap().map(|o| o.to_owned()).collect();
+        let b: Vec<RecordOutcome> = buffered.reader().unwrap().map(|o| o.to_owned()).collect();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 3);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn mapped_pcap_empty_file_falls_back_and_reports_header_error() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("sixscope-mmap-empty-{}.pcap", std::process::id()));
+        std::fs::write(&path, b"").unwrap();
+        let mapped = MappedPcap::open(&path).unwrap();
+        assert!(!mapped.used_mmap());
+        assert!(mapped.reader().is_err());
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

@@ -9,11 +9,13 @@
 //! * no returned record exceeds the [`MAX_RECORD_LEN`] allocation cap,
 //! * the walk always terminates (the test finishing is the proof),
 //! * the outcome is a pure function of the bytes: the same seed produces
-//!   the same aggregate statistics on every run.
+//!   the same aggregate statistics on every run,
+//! * the zero-copy [`SliceReader`] agrees with the owned [`PcapReader`]
+//!   outcome-for-outcome on every mutant (DESIGN.md §11).
 
 use sixscope_packet::{
     MalformedRecord, PacketBuilder, ParsedPacket, PcapReader, PcapRecord, PcapWriter,
-    RecordOutcome, MAX_RECORD_LEN,
+    RecordOutcome, SliceReader, MAX_RECORD_LEN,
 };
 use sixscope_types::{SimTime, Xoshiro256pp};
 
@@ -135,15 +137,30 @@ fn run(seed: u64, mutations: usize) -> RunSummary {
         let mut reader = match PcapReader::new(&buf[..]) {
             Ok(r) => r,
             Err(_) => {
+                assert!(
+                    SliceReader::new(&buf).is_err(),
+                    "slice reader accepted a header the owned reader rejected"
+                );
                 s.header_rejected += 1;
                 mix(&mut s, 1);
                 continue;
             }
         };
+        let mut slice_reader =
+            SliceReader::new(&buf).expect("slice reader rejected a header the owned reader took");
         loop {
+            let view = slice_reader.read_record_recovering().map(|v| v.to_owned());
             match reader.read_record_recovering() {
-                Ok(None) => break,
+                Ok(None) => {
+                    assert_eq!(view, None, "slice reader yielded past owned EOF");
+                    break;
+                }
                 Ok(Some(RecordOutcome::Record(rec))) => {
+                    assert_eq!(
+                        view,
+                        Some(RecordOutcome::Record(rec.clone())),
+                        "reader divergence on a record"
+                    );
                     assert!(
                         rec.data.len() as u32 <= MAX_RECORD_LEN,
                         "allocation cap violated: {} bytes",
@@ -163,10 +180,20 @@ fn run(seed: u64, mutations: usize) -> RunSummary {
                     }
                 }
                 Ok(Some(RecordOutcome::Skipped(m))) => {
+                    assert_eq!(
+                        view,
+                        Some(RecordOutcome::Skipped(m)),
+                        "reader divergence on a skip"
+                    );
                     s.skipped += 1;
                     mix(&mut s, m.reason_index() as u64);
                 }
                 Ok(Some(RecordOutcome::TruncatedTail(m))) => {
+                    assert_eq!(
+                        view,
+                        Some(RecordOutcome::TruncatedTail(m)),
+                        "reader divergence on a truncated tail"
+                    );
                     s.truncated_tails += 1;
                     mix(&mut s, 0x100 | m.reason_index() as u64);
                 }

@@ -9,7 +9,7 @@
 use crate::config::{TelescopeConfig, TelescopeId};
 use bytes::Bytes;
 use sixscope_packet::{
-    MalformedRecord, ParsedPacket, PcapRecord, PcapWriter, RecordOutcome, Transport,
+    MalformedRecord, ParsedView, PcapRecord, PcapWriter, RecordOutcome, Transport, ViewOutcome,
 };
 use sixscope_types::SimTime;
 use std::fmt;
@@ -191,8 +191,13 @@ impl Capture {
 
     /// Ingests raw IPv6 bytes arriving at `ts`. Returns `true` if the packet
     /// was recorded (parsed and matching the capture filter).
+    ///
+    /// Parsing is zero-copy ([`ParsedView`]): filtered and malformed
+    /// packets never allocate, and payload bytes are copied exactly once —
+    /// at retention, when the packet is promoted into the capture buffer
+    /// (DESIGN.md §11).
     pub fn ingest(&mut self, ts: SimTime, raw: &[u8]) -> bool {
-        let parsed = match ParsedPacket::parse(raw) {
+        let parsed = match ParsedView::parse(raw) {
             Ok(p) => p,
             Err(_) => {
                 self.malformed += 1;
@@ -224,7 +229,7 @@ impl Capture {
             protocol,
             src_port: parsed.src_port(),
             dst_port: parsed.dst_port(),
-            payload: parsed.payload,
+            payload: Bytes::copy_from_slice(parsed.payload),
         });
         true
     }
@@ -246,7 +251,16 @@ impl Capture {
             self.config.id, other.config.id,
             "absorbing across telescopes"
         );
+        // One exact reservation up front so the merge loop never grows the
+        // buffer mid-copy (realloc churn dominates repeated shard merges).
+        self.packets.reserve_exact(other.packets.len());
+        let cap_before = self.packets.capacity();
         self.packets.extend(other.packets);
+        debug_assert_eq!(
+            self.packets.capacity(),
+            cap_before,
+            "Capture::absorb reallocated mid-merge"
+        );
         self.filtered += other.filtered;
         self.malformed += other.malformed;
     }
@@ -335,17 +349,7 @@ impl Capture {
     /// file.
     pub fn apply_outcome(&mut self, outcome: RecordOutcome, stats: &mut IngestStats) {
         match outcome {
-            RecordOutcome::Record(rec) => {
-                stats.records_read += 1;
-                let (filtered, malformed) = (self.filtered, self.malformed);
-                if self.ingest(rec.ts, &rec.data) {
-                    stats.parsed += 1;
-                } else if self.filtered > filtered {
-                    stats.filtered += 1;
-                } else if self.malformed > malformed {
-                    stats.malformed_packets += 1;
-                }
-            }
+            RecordOutcome::Record(rec) => self.apply_record(rec.ts, &rec.data, stats),
             RecordOutcome::Skipped(m) => {
                 stats.skipped[m.reason_index()] += 1;
             }
@@ -353,6 +357,47 @@ impl Capture {
                 stats.skipped[m.reason_index()] += 1;
                 stats.truncated_tail = true;
             }
+        }
+    }
+
+    /// Zero-copy twin of [`Capture::apply_outcome`]: applies one borrowed
+    /// [`ViewOutcome`] with identical statistics semantics, without the
+    /// owned `Vec<u8>` per record.
+    pub fn apply_outcome_view(&mut self, outcome: &ViewOutcome<'_>, stats: &mut IngestStats) {
+        match outcome {
+            ViewOutcome::Record(rec) => self.apply_record(rec.ts, rec.data, stats),
+            ViewOutcome::Skipped(m) => {
+                stats.skipped[m.reason_index()] += 1;
+            }
+            ViewOutcome::TruncatedTail(m) => {
+                stats.skipped[m.reason_index()] += 1;
+                stats.truncated_tail = true;
+            }
+        }
+    }
+
+    /// Batched ingest kernel: applies a run of borrowed outcomes with one
+    /// capacity reservation for the whole run. This is the chunk feed the
+    /// streaming pipeline drives — record bytes stay borrowed from the
+    /// mapped file through parse and filtering, and only retained packets
+    /// copy their payload out.
+    pub fn extend_from_views(&mut self, run: &[ViewOutcome<'_>], stats: &mut IngestStats) {
+        self.packets.reserve(run.len());
+        for outcome in run {
+            self.apply_outcome_view(outcome, stats);
+        }
+    }
+
+    #[inline]
+    fn apply_record(&mut self, ts: SimTime, data: &[u8], stats: &mut IngestStats) {
+        stats.records_read += 1;
+        let (filtered, malformed) = (self.filtered, self.malformed);
+        if self.ingest(ts, data) {
+            stats.parsed += 1;
+        } else if self.filtered > filtered {
+            stats.filtered += 1;
+        } else if self.malformed > malformed {
+            stats.malformed_packets += 1;
         }
     }
 }

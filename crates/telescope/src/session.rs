@@ -9,7 +9,7 @@
 use crate::capture::{Capture, CapturedPacket, Protocol};
 use crate::config::TelescopeId;
 use crate::source::{AggLevel, SourceKey};
-use sixscope_types::{SimDuration, SimTime};
+use sixscope_types::{FxBuildHasher, SimDuration, SimTime};
 use std::collections::HashMap;
 
 /// The paper's session timeout (1 hour).
@@ -145,7 +145,13 @@ impl Sessionizer {
 pub struct IncrementalSessionizer {
     level: AggLevel,
     timeout: SimDuration,
-    open: HashMap<SourceKey, usize>,
+    /// Open-session table. Keyed with the deterministic FxHash mixer — the
+    /// per-packet lookup is the sessionizer's hottest operation, and
+    /// SipHash spent more cycles hashing the 17-byte key than the probe
+    /// itself. Iteration order is only ever used by `retain` (an
+    /// order-independent eviction) and `ready` (a `min` fold), so the
+    /// hasher change cannot affect output (DESIGN.md §11).
+    open: HashMap<SourceKey, usize, FxBuildHasher>,
     sessions: Vec<ScanSession>,
     last_sweep: SimTime,
     peak_open: usize,
@@ -154,10 +160,17 @@ pub struct IncrementalSessionizer {
 impl IncrementalSessionizer {
     /// An empty session table at the given level and idle timeout.
     pub fn new(level: AggLevel, timeout: SimDuration) -> Self {
+        Self::with_capacity(level, timeout, 0)
+    }
+
+    /// An empty session table pre-sized for roughly `sources` concurrently
+    /// open sources — chunked feeds size this from chunk statistics to
+    /// avoid rehash churn while the table warms up.
+    pub fn with_capacity(level: AggLevel, timeout: SimDuration, sources: usize) -> Self {
         IncrementalSessionizer {
             level,
             timeout,
-            open: HashMap::new(),
+            open: HashMap::with_capacity_and_hasher(sources, FxBuildHasher::default()),
             sessions: Vec::new(),
             last_sweep: SimTime::EPOCH,
             peak_open: 0,

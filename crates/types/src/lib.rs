@@ -18,6 +18,7 @@
 pub mod addr;
 pub mod asn;
 pub mod error;
+pub mod intern;
 pub mod parallel;
 pub mod ports;
 pub mod prefix;
@@ -28,6 +29,7 @@ pub mod trie;
 pub use addr::{iid, nibble, set_nibble, subnet_bits};
 pub use asn::{AsInfo, Asn, CountryCode, NetworkType};
 pub use error::TypeError;
+pub use intern::{FxBuildHasher, FxHasher, InternTable};
 pub use parallel::{chunk_ranges, map_indexed, num_threads, THREADS_ENV};
 pub use prefix::Ipv6Prefix;
 pub use rng::{SplitMix64, Xoshiro256pp};

@@ -6,20 +6,32 @@
 //! cloneable, immutable byte buffer.
 
 use std::ops::Deref;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// A cheaply cloneable immutable byte buffer (reference-counted).
 #[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Bytes(Arc<[u8]>);
 
+/// Shared zero-length allocation: empty buffers are common on the ingest
+/// hot path (payload-less probes), and cloning one `Arc` beats allocating
+/// a fresh empty slice each time.
+static EMPTY: OnceLock<Arc<[u8]>> = OnceLock::new();
+
+fn empty() -> Arc<[u8]> {
+    EMPTY.get_or_init(|| Arc::from(&[][..])).clone()
+}
+
 impl Bytes {
     /// Creates an empty buffer.
     pub fn new() -> Bytes {
-        Bytes(Arc::from(&[][..]))
+        Bytes(empty())
     }
 
     /// Copies a slice into a new buffer.
     pub fn copy_from_slice(data: &[u8]) -> Bytes {
+        if data.is_empty() {
+            return Bytes::new();
+        }
         Bytes(Arc::from(data))
     }
 
@@ -55,6 +67,9 @@ impl AsRef<[u8]> for Bytes {
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Bytes {
+        if v.is_empty() {
+            return Bytes::new();
+        }
         Bytes(Arc::from(v.into_boxed_slice()))
     }
 }
@@ -95,5 +110,15 @@ mod tests {
     #[test]
     fn from_vec_and_slice_agree() {
         assert_eq!(Bytes::from(vec![1, 2, 3]), Bytes::from(&[1u8, 2, 3][..]));
+    }
+
+    #[test]
+    fn empty_buffers_share_one_allocation() {
+        let a = Bytes::new();
+        let b = Bytes::copy_from_slice(&[]);
+        let c = Bytes::from(Vec::new());
+        assert!(Arc::ptr_eq(&a.0, &b.0));
+        assert!(Arc::ptr_eq(&a.0, &c.0));
+        assert!(a.is_empty());
     }
 }
