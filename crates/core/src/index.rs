@@ -352,6 +352,10 @@ impl IndexShard {
     ) {
         let packets = &capture.packets()[range];
         self.ts.reserve(packets.len());
+        // Packets are non-decreasing in time (asserted below), so the
+        // epoch lookup rides a monotone cursor instead of a binary search
+        // per packet.
+        let epoch_cursor = std::cell::Cell::new(0);
         for p in packets {
             assert!(
                 self.ts.last().is_none_or(|&t| t <= p.ts),
@@ -376,7 +380,7 @@ impl IndexShard {
             self.week.push(p.ts.week() as u32);
             self.day.push(p.ts.day() as u32);
             self.dst.push(u128::from(p.dst));
-            let prefix = match visibility.lpm(p.dst, p.ts) {
+            let prefix = match visibility.lpm_cached(p.dst, p.ts, &epoch_cursor) {
                 Some(pre) => self.prefix_ids.insert(pre).id,
                 None => NO_ID,
             };

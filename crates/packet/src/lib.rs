@@ -22,7 +22,7 @@ pub mod pcap;
 pub mod tcp;
 pub mod udp;
 
-pub use builder::PacketBuilder;
+pub use builder::{PacketBuilder, RunEncoder};
 pub use error::{MalformedRecord, PacketError};
 pub use icmpv6::{Icmpv6Header, Icmpv6Type};
 pub use ipv6::{Ipv6Header, NextHeader, IPV6_HEADER_LEN};

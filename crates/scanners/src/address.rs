@@ -78,10 +78,31 @@ impl AddressStrategy {
         rng: &mut Xoshiro256pp,
         hitlist: &[Ipv6Addr],
     ) -> Vec<Ipv6Addr> {
+        let mut out = Vec::new();
+        let mut inside = Vec::new();
+        self.generate_into(prefix, count, rng, hitlist, &mut inside, &mut out);
+        out
+    }
+
+    /// Appends `count` targets inside `prefix` to `out`.
+    ///
+    /// `inside` is scratch for the [`AddressStrategy::Hitlist`] filter so a
+    /// burst reuses one buffer. Addresses and RNG draws are identical to
+    /// [`AddressStrategy::generate`].
+    pub fn generate_into(
+        &self,
+        prefix: Ipv6Prefix,
+        count: u64,
+        rng: &mut Xoshiro256pp,
+        hitlist: &[Ipv6Addr],
+        inside: &mut Vec<Ipv6Addr>,
+        out: &mut Vec<Ipv6Addr>,
+    ) {
+        let base_len = out.len();
         match self {
             AddressStrategy::LowByte { max } => {
                 let per = count.min(*max).max(1);
-                let mut out = Vec::with_capacity(per as usize);
+                out.reserve(per as usize);
                 // Low-bytes of the prefix itself...
                 for i in 1..=per.min(count) {
                     out.push(prefix.nth_address(i as u128));
@@ -91,8 +112,8 @@ impl AddressStrategy {
                 if subnet_len <= prefix.len() {
                     subnet_len = prefix.len();
                 }
-                if out.len() < count as usize && subnet_len > prefix.len() {
-                    let deficit = count as usize - out.len();
+                if out.len() - base_len < count as usize && subnet_len > prefix.len() {
+                    let deficit = count as usize - (out.len() - base_len);
                     for _ in 0..deficit {
                         let sub_count = 1u64 << (subnet_len - prefix.len()).min(63);
                         let idx = rng.below(sub_count);
@@ -101,71 +122,61 @@ impl AddressStrategy {
                         out.push(Ipv6Addr::from(base | 1));
                     }
                 }
-                out.truncate(count as usize);
-                out
+                out.truncate(base_len + count as usize);
             }
-            AddressStrategy::LowByteOne => vec![prefix.low_byte_address()],
+            AddressStrategy::LowByteOne => out.push(prefix.low_byte_address()),
             AddressStrategy::SubnetAnycast => {
-                let mut out = vec![prefix.subnet_router_anycast()];
+                out.push(prefix.subnet_router_anycast());
                 let sub_len = prefix.len().clamp(56, 64);
-                while (out.len() as u64) < count && sub_len > prefix.len() {
+                while ((out.len() - base_len) as u64) < count && sub_len > prefix.len() {
                     let sub_count = 1u64 << (sub_len - prefix.len()).min(63);
                     let idx = rng.below(sub_count);
                     let step = 1u128 << (128 - sub_len as u32);
                     out.push(Ipv6Addr::from(prefix.bits() + idx as u128 * step));
-                    if out.len() as u64 >= count {
+                    if (out.len() - base_len) as u64 >= count {
                         break;
                     }
                 }
-                out.truncate(count as usize);
-                out
+                out.truncate(base_len + count as usize);
             }
             AddressStrategy::ServicePorts => {
                 const PORT_IIDS: [u64; 10] = [
                     0x80, 0x443, 0x22, 0x53, 0x21, 0x25, 0x8080, 0x50, 0x35, 0x443,
                 ];
-                (0..count)
-                    .map(|i| Ipv6Addr::from(prefix.bits() | PORT_IIDS[(i % 10) as usize] as u128))
-                    .collect()
+                out.extend(
+                    (0..count).map(|i| {
+                        Ipv6Addr::from(prefix.bits() | PORT_IIDS[(i % 10) as usize] as u128)
+                    }),
+                );
             }
-            AddressStrategy::EmbeddedIpv4 { base } => (0..count)
-                .map(|i| {
-                    let v4 = base.wrapping_add(i as u32);
-                    Ipv6Addr::from(prefix.bits() | v4 as u128)
-                })
-                .collect(),
-            AddressStrategy::Eui64 { oui } => (0..count)
-                .map(|i| {
-                    // EUI-64: OUI | ff:fe | NIC-specific low 24 bits.
-                    let nic = i & 0xff_ffff;
-                    let iid: u64 = ((oui[0] as u64) << 56)
-                        | ((oui[1] as u64) << 48)
-                        | ((oui[2] as u64) << 40)
-                        | (0xff_fe << 24)
-                        | nic;
-                    Ipv6Addr::from(prefix.bits() | iid as u128)
-                })
-                .collect(),
-            AddressStrategy::PatternWords => (0..count)
-                .map(|i| {
-                    let w = WORDS[(i % WORDS.len() as u64) as usize] as u128;
-                    let iid = w << 48 | w << 32 | w << 16 | w;
-                    Ipv6Addr::from(prefix.bits() | iid)
-                })
-                .collect(),
+            AddressStrategy::EmbeddedIpv4 { base } => out.extend((0..count).map(|i| {
+                let v4 = base.wrapping_add(i as u32);
+                Ipv6Addr::from(prefix.bits() | v4 as u128)
+            })),
+            AddressStrategy::Eui64 { oui } => out.extend((0..count).map(|i| {
+                // EUI-64: OUI | ff:fe | NIC-specific low 24 bits.
+                let nic = i & 0xff_ffff;
+                let iid: u64 = ((oui[0] as u64) << 56)
+                    | ((oui[1] as u64) << 48)
+                    | ((oui[2] as u64) << 40)
+                    | (0xff_fe << 24)
+                    | nic;
+                Ipv6Addr::from(prefix.bits() | iid as u128)
+            })),
+            AddressStrategy::PatternWords => out.extend((0..count).map(|i| {
+                let w = WORDS[(i % WORDS.len() as u64) as usize] as u128;
+                let iid = w << 48 | w << 32 | w << 16 | w;
+                Ipv6Addr::from(prefix.bits() | iid)
+            })),
             AddressStrategy::RandomIid => {
                 // Structured subnet (zero subnet bits), random IID.
                 let base = prefix.bits();
-                (0..count)
-                    .map(|_| Ipv6Addr::from(base | rng.next_u64() as u128))
-                    .collect()
+                out.extend((0..count).map(|_| Ipv6Addr::from(base | rng.next_u64() as u128)));
             }
-            AddressStrategy::RandomFull => (0..count)
-                .map(|_| {
-                    let host_mask = !Ipv6Prefix::mask(prefix.len());
-                    Ipv6Addr::from(prefix.bits() | (rng.next_u128() & host_mask))
-                })
-                .collect(),
+            AddressStrategy::RandomFull => out.extend((0..count).map(|_| {
+                let host_mask = !Ipv6Prefix::mask(prefix.len());
+                Ipv6Addr::from(prefix.bits() | (rng.next_u128() & host_mask))
+            })),
             AddressStrategy::SortedTraversal { stride_bits } => {
                 let sub_len = (prefix.len() + stride_bits).min(128);
                 let sub_count = 1u128 << (sub_len - prefix.len()).min(63);
@@ -173,29 +184,25 @@ impl AddressStrategy {
                 let take = count.min(sub_count as u64);
                 // Evenly spaced, strictly increasing traversal.
                 let stride = (sub_count / take as u128).max(1);
-                (0..take)
-                    .map(|i| Ipv6Addr::from((prefix.bits() + (i as u128 * stride) * step) | 1))
-                    .collect()
+                out.extend(
+                    (0..take)
+                        .map(|i| Ipv6Addr::from((prefix.bits() + (i as u128 * stride) * step) | 1)),
+                );
             }
             AddressStrategy::SequentialSubnets { sub_len } => {
                 let sub_len = (*sub_len).clamp(prefix.len(), 128);
                 let sub_count = 1u128 << (sub_len - prefix.len()).min(63);
                 let step = 1u128 << (128 - sub_len as u32);
                 let take = (count as u128).min(sub_count);
-                (0..take)
-                    .map(|i| Ipv6Addr::from((prefix.bits() + i * step) | 1))
-                    .collect()
+                out.extend((0..take).map(|i| Ipv6Addr::from((prefix.bits() + i * step) | 1)));
             }
             AddressStrategy::Hitlist => {
-                let inside: Vec<Ipv6Addr> = hitlist
-                    .iter()
-                    .filter(|&&a| prefix.contains(a))
-                    .copied()
-                    .collect();
+                inside.clear();
+                inside.extend(hitlist.iter().filter(|&&a| prefix.contains(a)).copied());
                 if inside.is_empty() {
-                    return Vec::new();
+                    return;
                 }
-                (0..count).map(|_| *rng.choose(&inside)).collect()
+                out.extend((0..count).map(|_| *rng.choose(inside)));
             }
         }
     }

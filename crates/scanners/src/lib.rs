@@ -23,6 +23,7 @@
 //! telescope internals.
 
 pub mod address;
+pub mod batch;
 pub mod netsel;
 pub mod population;
 pub mod scanner;
@@ -31,6 +32,7 @@ pub mod tga;
 pub mod tools;
 
 pub use address::AddressStrategy;
+pub use batch::{GenScratch, ProbeBatch};
 pub use netsel::NetworkStrategy;
 pub use population::{ExperimentLayout, PopulationSpec};
 pub use scanner::{Probe, ProbeKind, ScanContext, ScannerSpec, SourceModel};

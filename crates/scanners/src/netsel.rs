@@ -56,40 +56,56 @@ impl NetworkStrategy {
         session_index: u64,
         rng: &mut Xoshiro256pp,
     ) -> Vec<Ipv6Prefix> {
+        let mut out = Vec::new();
+        let mut weights = Vec::new();
+        self.select_into(announced, session_index, rng, &mut weights, &mut out);
+        out
+    }
+
+    /// Fills `out` (cleared first) with the session's prefixes. `weights` is
+    /// scratch for the size-proportional draw so a burst reuses one buffer.
+    /// Selections and RNG draws are identical to [`NetworkStrategy::select`].
+    pub fn select_into(
+        &self,
+        announced: &[Ipv6Prefix],
+        session_index: u64,
+        rng: &mut Xoshiro256pp,
+        weights: &mut Vec<f64>,
+        out: &mut Vec<Ipv6Prefix>,
+    ) {
+        out.clear();
         match self {
             NetworkStrategy::SinglePrefix => {
-                if announced.is_empty() {
-                    Vec::new()
-                } else {
-                    vec![*rng.choose(announced)]
+                if !announced.is_empty() {
+                    out.push(*rng.choose(announced));
                 }
             }
             NetworkStrategy::PinnedPrefix { salt } => {
                 if announced.is_empty() {
-                    return Vec::new();
+                    return;
                 }
                 let h = set_hash(announced, *salt);
-                vec![announced[(h % announced.len() as u64) as usize]]
+                out.push(announced[(h % announced.len() as u64) as usize]);
             }
-            NetworkStrategy::AllAnnounced => announced.to_vec(),
+            NetworkStrategy::AllAnnounced => out.extend_from_slice(announced),
             NetworkStrategy::SizeProportional { draws } => {
                 if announced.is_empty() {
-                    return Vec::new();
+                    return;
                 }
                 // Weights ∝ address count; use the prefix-length exponent
                 // directly to avoid astronomically large floats.
-                let weights: Vec<f64> = announced
-                    .iter()
-                    .map(|p| 2f64.powi((64 - p.len().min(64)) as i32))
-                    .collect();
-                let mut out = Vec::new();
+                weights.clear();
+                weights.extend(
+                    announced
+                        .iter()
+                        .map(|p| 2f64.powi((64 - p.len().min(64)) as i32)),
+                );
                 for _ in 0..*draws {
-                    let pick = announced[rng.weighted_index(&weights)];
+                    let pick = announced[rng.weighted_index(weights)];
                     if !out.contains(&pick) {
                         out.push(pick);
                     }
                 }
-                out
             }
             NetworkStrategy::Alternating => {
                 let _ = session_index;
@@ -97,16 +113,22 @@ impl NetworkStrategy {
                 // size parity flips every announcement period — a clean
                 // "changes behavior between periods" signal.
                 if announced.len() % 2 == 0 {
-                    NetworkStrategy::AllAnnounced.select(announced, session_index, rng)
+                    NetworkStrategy::AllAnnounced.select_into(
+                        announced,
+                        session_index,
+                        rng,
+                        weights,
+                        out,
+                    )
                 } else {
                     NetworkStrategy::PinnedPrefix {
                         salt: set_hash(announced, 1),
                     }
-                    .select(announced, session_index, rng)
+                    .select_into(announced, session_index, rng, weights, out)
                 }
             }
-            NetworkStrategy::FixedTargets(_) => Vec::new(),
-            NetworkStrategy::CoveringRandom(covering) => vec![*covering],
+            NetworkStrategy::FixedTargets(_) => {}
+            NetworkStrategy::CoveringRandom(covering) => out.push(*covering),
         }
     }
 }

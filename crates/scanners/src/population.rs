@@ -116,6 +116,16 @@ impl Population {
     pub fn as_info(&self, asn: Asn) -> Option<&AsInfo> {
         self.ases.iter().find(|a| a.asn == asn)
     }
+
+    /// Number of scanners in the population.
+    pub fn len(&self) -> usize {
+        self.scanners.len()
+    }
+
+    /// True when no scanners were generated.
+    pub fn is_empty(&self) -> bool {
+        self.scanners.is_empty()
+    }
 }
 
 /// Scales a paper-scale count, keeping small classes alive.

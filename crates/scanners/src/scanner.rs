@@ -9,10 +9,11 @@
 //! probes are encoded to real IPv6 wire bytes before delivery.
 
 use crate::address::AddressStrategy;
+use crate::batch::{GenScratch, ProbeBatch};
 use crate::netsel::NetworkStrategy;
 use crate::temporal::TemporalModel;
 use crate::tools::{ProbeKindTemplate, ToolProfile};
-use sixscope_packet::PacketBuilder;
+use sixscope_packet::{PacketBuilder, RunEncoder};
 use sixscope_types::{Asn, Ipv6Prefix, SimDuration, SimTime, Xoshiro256pp};
 use std::net::Ipv6Addr;
 
@@ -98,6 +99,35 @@ pub enum ProbeKind {
     },
 }
 
+impl ProbeKind {
+    /// Encodes a probe of this kind through a [`RunEncoder`], which caches
+    /// the pseudo-header checksum prefix across probes sharing a source.
+    /// `buf` is replaced with the wire bytes, identical to
+    /// [`Probe::encode_into`].
+    pub fn encode_run(
+        &self,
+        enc: &mut RunEncoder,
+        src: Ipv6Addr,
+        dst: Ipv6Addr,
+        payload: &[u8],
+        buf: &mut Vec<u8>,
+    ) {
+        match *self {
+            ProbeKind::Icmp { ident, seq } => {
+                enc.icmpv6_echo_request_into(src, dst, ident, seq, payload, buf)
+            }
+            ProbeKind::Tcp {
+                src_port,
+                dst_port,
+                seq,
+            } => enc.tcp_syn_into(src, dst, src_port, dst_port, seq, payload, buf),
+            ProbeKind::Udp { src_port, dst_port } => {
+                enc.udp_into(src, dst, src_port, dst_port, payload, buf)
+            }
+        }
+    }
+}
+
 /// One emitted probe.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Probe {
@@ -115,6 +145,7 @@ pub struct Probe {
 
 impl Probe {
     /// Encodes the probe to raw IPv6 wire bytes.
+    #[deprecated(note = "allocates per probe; use `encode_into` with a reused buffer")]
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::new();
         self.encode_into(&mut out);
@@ -140,6 +171,14 @@ impl Probe {
                 builder.udp_into(src_port, dst_port, &self.payload, buf)
             }
         }
+    }
+
+    /// Like [`Probe::encode_into`], but through a [`RunEncoder`] that
+    /// amortizes the pseudo-header checksum prefix across a run of probes
+    /// from the same source. The bytes are identical.
+    pub fn encode_into_run(&self, enc: &mut RunEncoder, buf: &mut Vec<u8>) {
+        self.kind
+            .encode_run(enc, self.src, self.dst, &self.payload, buf);
     }
 }
 
@@ -203,6 +242,48 @@ impl ScannerSpec {
         probes
     }
 
+    /// Batched variant of [`ScannerSpec::generate`]: emits the same probe
+    /// stream (same RNG draws, same values) into a columnar [`ProbeBatch`],
+    /// reusing `scratch` buffers so a warmed-up shard allocates nothing.
+    ///
+    /// The batch is left in emission order; call [`ProbeBatch::sort_by_ts`]
+    /// for the time order [`ScannerSpec::generate`] returns.
+    pub fn generate_into(
+        &self,
+        ctx: &dyn ScanContext,
+        rng: &mut Xoshiro256pp,
+        scratch: &mut GenScratch,
+        out: &mut ProbeBatch,
+    ) {
+        out.clear();
+        self.temporal.session_starts_into(rng, &mut scratch.starts);
+        if let Some(reactive) = &self.reactive {
+            for (ts, _prefix) in ctx.announce_events() {
+                if rng.bool(reactive.probability) {
+                    scratch.starts.push(*ts + reactive.delay);
+                }
+            }
+        }
+        let horizon = ctx.horizon();
+        scratch.starts.retain(|t| *t < horizon);
+        scratch.starts.sort_unstable();
+        self.tool.mix.weights_into(&mut scratch.mix_weights);
+        let mut probe_counter: u64 = 0;
+        let starts = std::mem::take(&mut scratch.starts);
+        for (session_index, &start) in starts.iter().enumerate() {
+            self.emit_session_into(
+                ctx,
+                rng,
+                start,
+                session_index as u64,
+                &mut probe_counter,
+                scratch,
+                out,
+            );
+        }
+        scratch.starts = starts;
+    }
+
     fn emit_session(
         &self,
         ctx: &dyn ScanContext,
@@ -260,7 +341,7 @@ impl ScannerSpec {
         // below the 1 h session timeout so one emission stays one session.
         let mean_gap = (1.0 / self.pps.max(1e-6)).min(1800.0);
         let mut t = start;
-        let mut session_src = self.current_src(rng, false);
+        let session_src = self.current_src(rng, false);
         for dst in targets {
             let src = match &self.source {
                 SourceModel::RotatingIid {
@@ -281,9 +362,102 @@ impl ScannerSpec {
             });
             let gap = rng.exponential(1.0 / mean_gap.max(1e-9)).min(3000.0);
             t += SimDuration::secs(gap.max(0.0) as u64);
-            // Re-roll the per-session source only when a new session would
-            // conceptually begin (never within this loop).
-            let _ = &mut session_src;
+        }
+    }
+
+    /// Scratch-backed twin of [`ScannerSpec::emit_session`]: the same RNG
+    /// draws in the same order, with every intermediate vector recycled and
+    /// payload bytes written straight into the batch arena.
+    #[allow(clippy::too_many_arguments)]
+    fn emit_session_into(
+        &self,
+        ctx: &dyn ScanContext,
+        rng: &mut Xoshiro256pp,
+        start: SimTime,
+        session_index: u64,
+        probe_counter: &mut u64,
+        scratch: &mut GenScratch,
+        out: &mut ProbeBatch,
+    ) {
+        let GenScratch {
+            prefixes,
+            weights,
+            mix_weights,
+            targets,
+            inside,
+            regions,
+            ..
+        } = scratch;
+        // Resolve this session's targets.
+        targets.clear();
+        match &self.network {
+            NetworkStrategy::FixedTargets(addrs) => {
+                for _ in 0..self.packets_per_prefix.max(1) {
+                    targets.extend_from_slice(addrs);
+                }
+            }
+            strategy => {
+                let announced = ctx.announced_at(start);
+                let hitlist = ctx.hitlist(start);
+                strategy.select_into(announced, session_index, rng, weights, prefixes);
+                for &prefix in prefixes.iter() {
+                    self.address.generate_into(
+                        prefix,
+                        self.packets_per_prefix,
+                        rng,
+                        hitlist,
+                        inside,
+                        targets,
+                    );
+                }
+            }
+        }
+        if targets.is_empty() {
+            return;
+        }
+        // Dynamic-TGA feedback: concentrate on the /48s of responders.
+        if let Some(followups) = self.tga_followups {
+            regions.clear();
+            regions.extend(
+                targets
+                    .iter()
+                    .filter(|&&t| ctx.responds(t))
+                    .map(|&t| Ipv6Prefix::new(t, 48).expect("48 is valid")),
+            );
+            regions.sort();
+            regions.dedup();
+            for &region in regions.iter().take(8) {
+                // Refinement probes use dense low-byte exploration of the
+                // responsive region regardless of the seeding strategy.
+                AddressStrategy::LowByte { max: followups }.generate_into(
+                    region,
+                    followups,
+                    rng,
+                    &[],
+                    inside,
+                    targets,
+                );
+            }
+        }
+        // Emit probes spaced at the scanner's rate. Gaps are capped well
+        // below the 1 h session timeout so one emission stays one session.
+        let mean_gap = (1.0 / self.pps.max(1e-6)).min(1800.0);
+        let mut t = start;
+        let session_src = self.current_src(rng, false);
+        for &dst in targets.iter() {
+            let src = match &self.source {
+                SourceModel::RotatingIid {
+                    per_probe: true, ..
+                } => self.current_src(rng, true),
+                _ => session_src,
+            };
+            let n = *probe_counter;
+            *probe_counter += 1;
+            self.tool.payload.bytes_into(n, rng, out.payload_arena());
+            let kind = self.make_kind_with(n, rng, mix_weights);
+            out.push(t, src, dst, kind);
+            let gap = rng.exponential(1.0 / mean_gap.max(1e-9)).min(3000.0);
+            t += SimDuration::secs(gap.max(0.0) as u64);
         }
     }
 
@@ -298,7 +472,26 @@ impl ScannerSpec {
 
     fn make_kind(&self, n: u64, rng: &mut Xoshiro256pp) -> ProbeKind {
         let ephemeral = 32_768 + (rng.next_u32() % 28_000) as u16;
-        match self.tool.mix.draw(rng) {
+        let template = self.tool.mix.draw(rng);
+        self.kind_from_template(n, ephemeral, template, rng)
+    }
+
+    /// [`ScannerSpec::make_kind`] with the protocol-mix weight column
+    /// precomputed once per burst.
+    fn make_kind_with(&self, n: u64, rng: &mut Xoshiro256pp, mix_weights: &[f64]) -> ProbeKind {
+        let ephemeral = 32_768 + (rng.next_u32() % 28_000) as u16;
+        let template = self.tool.mix.draw_with(mix_weights, rng);
+        self.kind_from_template(n, ephemeral, template, rng)
+    }
+
+    fn kind_from_template(
+        &self,
+        n: u64,
+        ephemeral: u16,
+        template: ProbeKindTemplate,
+        rng: &mut Xoshiro256pp,
+    ) -> ProbeKind {
+        match template {
             ProbeKindTemplate::Icmp => ProbeKind::Icmp {
                 ident: (self.id & 0xffff) as u16,
                 seq: (n & 0xffff) as u16,
@@ -416,12 +609,64 @@ mod tests {
     #[test]
     fn probes_encode_to_parseable_packets() {
         let probes = base_spec().generate(&ctx(), &mut rng());
+        let mut bytes = Vec::new();
         for probe in &probes {
-            let bytes = probe.to_bytes();
+            probe.encode_into(&mut bytes);
             let parsed = ParsedPacket::parse(&bytes).expect("wire bytes parse");
             assert_eq!(parsed.header.src, probe.src);
             assert_eq!(parsed.header.dst, probe.dst);
             assert_eq!(&parsed.payload[..], &probe.payload[..]);
+        }
+    }
+
+    #[test]
+    fn run_encoder_bytes_match_per_probe_encoding() {
+        let mut spec = base_spec();
+        // Mixed transports over rotating sources exercise the prefix cache.
+        spec.source = SourceModel::RotatingIid {
+            subnet: p("2001:db8:f00:1::/64"),
+            per_probe: true,
+        };
+        spec.tool = ToolProfile::caida_ark();
+        spec.packets_per_prefix = 30;
+        let probes = spec.generate(&ctx(), &mut rng());
+        let mut enc = sixscope_packet::RunEncoder::new();
+        let mut run_buf = Vec::new();
+        let mut ref_buf = Vec::new();
+        for probe in &probes {
+            probe.encode_into_run(&mut enc, &mut run_buf);
+            probe.encode_into(&mut ref_buf);
+            assert_eq!(run_buf, ref_buf);
+        }
+    }
+
+    #[test]
+    fn batched_generation_matches_reference() {
+        // Cover reactive triggering and TGA feedback in one spec.
+        let mut context = ctx();
+        context.events = vec![(SimTime::from_secs(10_000), p("2001:db8:8000::/34"))];
+        context.responsive = Some(p("2001:db8:4::/48"));
+        context.hitlist = vec!["2001:db8:4::1".parse().unwrap()];
+        let mut spec = base_spec();
+        spec.reactive = Some(Reactivity {
+            delay: SimDuration::mins(20),
+            probability: 0.5,
+        });
+        spec.tga_followups = Some(10);
+        spec.temporal = TemporalModel::Periodic {
+            start: SimTime::from_secs(1000),
+            period: SimDuration::weeks(2),
+            jitter: SimDuration::hours(1),
+            until: SimTime::EPOCH + SimDuration::weeks(40),
+        };
+        let reference = spec.generate(&context, &mut rng());
+        let mut batch = ProbeBatch::new();
+        let mut scratch = GenScratch::new();
+        spec.generate_into(&context, &mut rng(), &mut scratch, &mut batch);
+        batch.sort_by_ts();
+        assert_eq!(batch.len(), reference.len());
+        for (pos, &row) in batch.sorted().iter().enumerate() {
+            assert_eq!(batch.probe(row as usize), reference[pos], "row {pos}");
         }
     }
 

@@ -44,8 +44,18 @@ pub enum TemporalModel {
 impl TemporalModel {
     /// Generates the session start times.
     pub fn session_starts(&self, rng: &mut Xoshiro256pp) -> Vec<SimTime> {
+        let mut out = Vec::new();
+        self.session_starts_into(rng, &mut out);
+        out
+    }
+
+    /// Fills `out` (cleared first) with the session start times. The batched
+    /// generator reuses one scratch vector across scanners; values and RNG
+    /// draws are identical to [`TemporalModel::session_starts`].
+    pub fn session_starts_into(&self, rng: &mut Xoshiro256pp, out: &mut Vec<SimTime>) {
+        out.clear();
         match self {
-            TemporalModel::OneOff { at } => vec![*at],
+            TemporalModel::OneOff { at } => out.push(*at),
             TemporalModel::Periodic {
                 start,
                 period,
@@ -53,7 +63,6 @@ impl TemporalModel {
                 until,
             } => {
                 assert!(period.as_secs() > 0, "period must be positive");
-                let mut out = Vec::new();
                 let mut t = *start;
                 while t < *until {
                     let j = if jitter.as_secs() > 0 {
@@ -65,7 +74,6 @@ impl TemporalModel {
                     out.push(SimTime::from_secs(jittered));
                     t += *period;
                 }
-                out
             }
             TemporalModel::Intermittent {
                 start,
@@ -74,7 +82,7 @@ impl TemporalModel {
                 max_sessions,
             } => {
                 assert!(mean_gap.as_secs() > 0, "mean gap must be positive");
-                let mut out = vec![*start];
+                out.push(*start);
                 let mut t = *start;
                 while out.len() < *max_sessions as usize {
                     // Heavy-tailed gaps: exponential base, occasionally
@@ -93,7 +101,6 @@ impl TemporalModel {
                     }
                     out.push(t);
                 }
-                out
             }
         }
     }

@@ -27,15 +27,42 @@ pub enum Payload {
 impl Payload {
     /// Materializes the payload for the `n`-th probe.
     pub fn bytes(&self, n: u64, rng: &mut Xoshiro256pp) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.bytes_into(n, rng, &mut out);
+        out
+    }
+
+    /// Appends the payload for the `n`-th probe to `out`. The batched
+    /// generator writes straight into the probe arena; bytes and RNG draws
+    /// are identical to [`Payload::bytes`].
+    pub fn bytes_into(&self, n: u64, rng: &mut Xoshiro256pp, out: &mut Vec<u8>) {
         match self {
-            Payload::Empty => Vec::new(),
+            Payload::Empty => {}
             Payload::SignatureCounter(sig) => {
-                let mut out = sig.to_vec();
-                out.extend_from_slice(format!("-{n:010}").as_bytes());
-                out
+                out.extend_from_slice(sig);
+                // `-{n:010}` without the format machinery: a dash, then the
+                // decimal digits zero-padded to at least ten places.
+                let mut digits = [b'0'; 20];
+                let mut i = digits.len();
+                let mut v = n;
+                loop {
+                    i -= 1;
+                    digits[i] = b'0' + (v % 10) as u8;
+                    v /= 10;
+                    if v == 0 {
+                        break;
+                    }
+                }
+                i = i.min(digits.len() - 10);
+                out.push(b'-');
+                out.extend_from_slice(&digits[i..]);
             }
-            Payload::Random { len } => (0..*len).map(|_| rng.next_u32() as u8).collect(),
-            Payload::Fixed(bytes) => bytes.to_vec(),
+            Payload::Random { len } => {
+                for _ in 0..*len {
+                    out.push(rng.next_u32() as u8);
+                }
+            }
+            Payload::Fixed(bytes) => out.extend_from_slice(bytes),
         }
     }
 }
@@ -84,8 +111,21 @@ impl ProtocolMix {
 
     /// Draws a template for the `n`-th probe.
     pub fn draw(&self, rng: &mut Xoshiro256pp) -> ProbeKindTemplate {
-        let weights: Vec<f64> = self.choices.iter().map(|(_, w)| *w).collect();
-        self.choices[rng.weighted_index(&weights)].0
+        let mut weights = Vec::new();
+        self.weights_into(&mut weights);
+        self.draw_with(&weights, rng)
+    }
+
+    /// Fills `out` with the weight column, for reuse across a whole burst
+    /// via [`ProtocolMix::draw_with`].
+    pub fn weights_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(self.choices.iter().map(|(_, w)| *w));
+    }
+
+    /// Like [`ProtocolMix::draw`] with a precomputed weight column.
+    pub fn draw_with(&self, weights: &[f64], rng: &mut Xoshiro256pp) -> ProbeKindTemplate {
+        self.choices[rng.weighted_index(weights)].0
     }
 }
 
@@ -315,6 +355,25 @@ mod tests {
         assert_ne!(a, b);
         assert!(a.starts_with(signatures::YARRP6));
         assert!(b.starts_with(signatures::YARRP6));
+    }
+
+    #[test]
+    fn signature_counter_encoding_matches_format_at_all_widths() {
+        let mut r = rng();
+        let p = Payload::SignatureCounter(signatures::YARRP6);
+        for n in [
+            0u64,
+            1,
+            9,
+            1_234_567_890,
+            9_999_999_999,
+            10_000_000_000,
+            u64::MAX,
+        ] {
+            let mut expect = signatures::YARRP6.to_vec();
+            expect.extend_from_slice(format!("-{n:010}").as_bytes());
+            assert_eq!(p.bytes(n, &mut r), expect, "n = {n}");
+        }
     }
 
     #[test]

@@ -18,6 +18,7 @@
 
 use crate::visibility::Visibility;
 use sixscope_types::{Ipv6Prefix, PrefixTrie, SimTime};
+use std::cell::Cell;
 use std::net::Ipv6Addr;
 
 /// Visibility compiled into per-epoch snapshots.
@@ -32,7 +33,17 @@ pub struct CompiledVisibility {
     /// Visible prefixes per epoch, in prefix order (matching
     /// [`Visibility::announced_at`]).
     announced: Vec<Vec<Ipv6Prefix>>,
+    /// Visible prefixes per epoch in *descending length* order. For the
+    /// small announced sets real schedules produce, LPM by first-match
+    /// scan over this contiguous list beats the per-bit trie walk: equal
+    /// lengths cannot nest, so the first containing prefix in descending
+    /// length order is the longest match. Epochs with more than
+    /// [`SCAN_LPM_MAX`] prefixes leave this empty and use the trie.
+    by_len: Vec<Vec<Ipv6Prefix>>,
 }
+
+/// Largest announced set still served by the linear-scan LPM.
+const SCAN_LPM_MAX: usize = 32;
 
 impl CompiledVisibility {
     /// Compiles the interval structure into epoch snapshots.
@@ -40,6 +51,7 @@ impl CompiledVisibility {
         let starts = visibility.endpoints();
         let mut tries = Vec::with_capacity(starts.len());
         let mut announced = Vec::with_capacity(starts.len());
+        let mut by_len = Vec::with_capacity(starts.len());
         for &start in &starts {
             let visible = visibility.announced_at(start);
             let mut trie = PrefixTrie::new();
@@ -47,12 +59,20 @@ impl CompiledVisibility {
                 trie.insert(*prefix, ());
             }
             tries.push(trie);
+            if visible.len() <= SCAN_LPM_MAX {
+                let mut longest_first = visible.clone();
+                longest_first.sort_by_key(|p| std::cmp::Reverse(p.len()));
+                by_len.push(longest_first);
+            } else {
+                by_len.push(Vec::new());
+            }
             announced.push(visible);
         }
         CompiledVisibility {
             starts,
             tries,
             announced,
+            by_len,
         }
     }
 
@@ -61,11 +81,21 @@ impl CompiledVisibility {
         self.starts.partition_point(|&s| s <= t).checked_sub(1)
     }
 
+    /// LPM within epoch `e`: linear scan of the descending-length list
+    /// when the epoch qualifies, per-bit trie walk otherwise.
+    fn lpm_in_epoch(&self, e: usize, addr: Ipv6Addr) -> Option<Ipv6Prefix> {
+        let scan = &self.by_len[e];
+        if !scan.is_empty() || self.announced[e].is_empty() {
+            return scan.iter().find(|p| p.contains(addr)).copied();
+        }
+        self.tries[e].lookup(addr).map(|(p, _)| *p)
+    }
+
     /// Longest visible prefix covering `addr` at `t` — same result as
     /// [`Visibility::lpm`].
     pub fn lpm(&self, addr: Ipv6Addr, t: SimTime) -> Option<Ipv6Prefix> {
         let e = self.epoch(t)?;
-        self.tries[e].lookup(addr).map(|(p, _)| *p)
+        self.lpm_in_epoch(e, addr)
     }
 
     /// All prefixes visible at `t`, in prefix order — same content and
@@ -80,6 +110,75 @@ impl CompiledVisibility {
     /// Number of compiled epochs.
     pub fn epochs(&self) -> usize {
         self.starts.len()
+    }
+
+    /// Epoch index for `t` with a monotone cursor. The cursor holds the
+    /// count of epoch starts ≤ the previous query time; a time-sorted probe
+    /// burst advances it a step at a time instead of re-running the binary
+    /// search per probe, and a regressing `t` falls back to the search.
+    /// Results are identical to [`CompiledVisibility::epoch`] for any query
+    /// sequence.
+    fn epoch_cached(&self, t: SimTime, cursor: &Cell<usize>) -> Option<usize> {
+        let mut idx = cursor.get().min(self.starts.len());
+        if idx > 0 && self.starts[idx - 1] > t {
+            idx = self.starts.partition_point(|&s| s <= t);
+        } else {
+            while idx < self.starts.len() && self.starts[idx] <= t {
+                idx += 1;
+            }
+        }
+        cursor.set(idx);
+        idx.checked_sub(1)
+    }
+
+    /// [`CompiledVisibility::lpm`] with a burst cursor.
+    pub fn lpm_cached(
+        &self,
+        addr: Ipv6Addr,
+        t: SimTime,
+        cursor: &Cell<usize>,
+    ) -> Option<Ipv6Prefix> {
+        let e = self.epoch_cached(t, cursor)?;
+        self.lpm_in_epoch(e, addr)
+    }
+
+    /// [`CompiledVisibility::announced_at`] with a burst cursor.
+    pub fn announced_at_cached(&self, t: SimTime, cursor: &Cell<usize>) -> &[Ipv6Prefix] {
+        match self.epoch_cached(t, cursor) {
+            Some(e) => &self.announced[e],
+            None => &[],
+        }
+    }
+
+    /// True when any visible prefix covers `addr` at `t` — the boolean of
+    /// [`CompiledVisibility::lpm`], with both a burst cursor and a
+    /// covering-prefix hint. The DFZ gate only needs *some* visible cover,
+    /// not the longest one, so when the previous probe's covering prefix
+    /// is still visible (same epoch) and contains `addr`, the per-bit trie
+    /// walk is skipped entirely; scanners probe one region at a time, so
+    /// the hint hits for nearly every routed probe.
+    pub fn routed_cached(
+        &self,
+        addr: Ipv6Addr,
+        t: SimTime,
+        cursor: &Cell<usize>,
+        hint: &Cell<Option<(usize, Ipv6Prefix)>>,
+    ) -> bool {
+        let Some(e) = self.epoch_cached(t, cursor) else {
+            return false;
+        };
+        if let Some((hint_epoch, prefix)) = hint.get() {
+            if hint_epoch == e && prefix.contains(addr) {
+                return true;
+            }
+        }
+        match self.lpm_in_epoch(e, addr) {
+            Some(prefix) => {
+                hint.set(Some((e, prefix)));
+                true
+            }
+            None => false,
+        }
     }
 }
 
@@ -142,6 +241,67 @@ mod tests {
         let addr: Ipv6Addr = "2001:db8::1".parse().unwrap();
         assert_eq!(compiled.lpm(addr, SimTime::from_secs(99)), None);
         assert!(compiled.announced_at(SimTime::from_secs(99)).is_empty());
+    }
+
+    #[test]
+    fn cached_lookups_match_uncached_for_any_query_order() {
+        let vis = Visibility::from_events(&[
+            announce(100, "2001:db8::/32"),
+            announce(100, "2001:db8:1234::/48"),
+            withdraw(500, "2001:db8:1234::/48"),
+            announce(900, "2001:db8:1234::/48"),
+            withdraw(1200, "2001:db8::/32"),
+        ]);
+        let compiled = CompiledVisibility::compile(&vis);
+        let addr: Ipv6Addr = "2001:db8:1234::1".parse().unwrap();
+        // Forward sweep, a time regression mid-burst, then forward again.
+        let times = [
+            0u64, 99, 100, 450, 499, 500, 950, 120, 900, 1199, 1200, 9000,
+        ];
+        let cursor = Cell::new(0);
+        for ts in times {
+            let t = SimTime::from_secs(ts);
+            assert_eq!(
+                compiled.lpm_cached(addr, t, &cursor),
+                compiled.lpm(addr, t),
+                "lpm diverged at t={ts}"
+            );
+            assert_eq!(
+                compiled.announced_at_cached(t, &cursor),
+                compiled.announced_at(t),
+                "announced_at diverged at t={ts}"
+            );
+        }
+    }
+
+    #[test]
+    fn routed_cached_matches_lpm_presence_for_any_query_order() {
+        let vis = Visibility::from_events(&[
+            announce(100, "2001:db8::/32"),
+            announce(100, "2001:db8:1234::/48"),
+            withdraw(500, "2001:db8:1234::/48"),
+            withdraw(1200, "2001:db8::/32"),
+        ]);
+        let compiled = CompiledVisibility::compile(&vis);
+        let addrs: [Ipv6Addr; 3] = [
+            "2001:db8:1234::1".parse().unwrap(),
+            "2001:db8:ffff::1".parse().unwrap(),
+            "3fff::1".parse().unwrap(), // never routed
+        ];
+        let cursor = Cell::new(0);
+        let hint = Cell::new(None);
+        // Forward sweep with a regression, alternating addresses so the
+        // hint both hits and misses across epoch changes.
+        for ts in [0u64, 99, 100, 100, 450, 499, 500, 120, 900, 1200, 9000] {
+            let t = SimTime::from_secs(ts);
+            for addr in addrs {
+                assert_eq!(
+                    compiled.routed_cached(addr, t, &cursor, &hint),
+                    compiled.lpm(addr, t).is_some(),
+                    "routed diverged for {addr} at t={ts}"
+                );
+            }
+        }
     }
 
     #[test]

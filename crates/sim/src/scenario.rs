@@ -24,17 +24,29 @@ use crate::world::TumHitlist;
 use sixscope_bgp::irr::Route6Registry;
 use sixscope_bgp::topology::standard_topology;
 use sixscope_bgp::RouteEvent;
-use sixscope_packet::ParsedPacket;
+use sixscope_packet::{ParsedPacket, RunEncoder};
 use sixscope_scanners::population::Population;
-use sixscope_scanners::{ExperimentLayout, PopulationSpec, Probe, ScanContext, ScannerSpec};
+use sixscope_scanners::{
+    ExperimentLayout, GenScratch, PopulationSpec, Probe, ProbeBatch, ProbeKind, ScanContext,
+    ScannerSpec,
+};
 use sixscope_telescope::{
-    respond, Capture, ScheduleActionKind, SplitSchedule, TelescopeConfig, TelescopeId,
+    respond, Capture, Protocol, ScheduleActionKind, SplitSchedule, TelescopeConfig, TelescopeId,
 };
 use sixscope_types::{
     chunk_ranges, map_indexed, num_threads, Asn, Ipv6Prefix, SimDuration, SimTime, Xoshiro256pp,
 };
+use std::cell::Cell;
 use std::collections::BTreeMap;
 use std::net::Ipv6Addr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Safety cap on probes per scanner: a mis-scaled spec is clipped (after
+/// the time sort, so the kept prefix is the earliest probes) instead of
+/// exhausting memory. Overflow is surfaced as
+/// [`ExperimentResult::truncated_probes`].
+const GENERATION_CAP: usize = 4_000_000;
 
 /// How the upstream treats IRR route6 objects (§3.2).
 ///
@@ -200,6 +212,60 @@ impl ScanContext for WorldView {
     }
 }
 
+/// A per-scanner view over the shared [`WorldView`] that threads burst
+/// cursors through the epoch/hitlist lookups: one scanner's session starts
+/// are time-sorted, so each query usually advances the cursor a step
+/// instead of re-running a binary search. Answers are identical to the
+/// plain [`WorldView`] methods for any query sequence (the cursors fall
+/// back to the search on time regressions), so the RNG draw sequence — and
+/// therefore the output bytes — are unchanged.
+struct BurstView<'a> {
+    world: &'a WorldView,
+    epoch_cursor: Cell<usize>,
+    hitlist_cursor: Cell<usize>,
+}
+
+impl<'a> BurstView<'a> {
+    fn new(world: &'a WorldView) -> Self {
+        BurstView {
+            world,
+            epoch_cursor: Cell::new(0),
+            hitlist_cursor: Cell::new(0),
+        }
+    }
+}
+
+impl ScanContext for BurstView<'_> {
+    fn announced_at(&self, t: SimTime) -> &[Ipv6Prefix] {
+        self.world
+            .compiled
+            .announced_at_cached(t, &self.epoch_cursor)
+    }
+    fn announce_events(&self) -> &[(SimTime, Ipv6Prefix)] {
+        &self.world.transitions
+    }
+    fn hitlist(&self, t: SimTime) -> &[Ipv6Addr] {
+        self.world.hitlist.as_of_cached(t, &self.hitlist_cursor)
+    }
+    fn responds(&self, addr: Ipv6Addr) -> bool {
+        self.world.t4.contains(addr)
+    }
+    fn horizon(&self) -> SimTime {
+        self.world.end
+    }
+}
+
+/// Reusable per-worker state for the fused generate+deliver path. Pooled
+/// behind a mutex and checked out per scanner, so allocations amortize
+/// across the whole population instead of recurring per scanner.
+#[derive(Default)]
+struct FusedScratch {
+    scratch: GenScratch,
+    batch: ProbeBatch,
+    encoder: RunEncoder,
+    buf: Vec<u8>,
+}
+
 impl Scenario {
     /// Creates a scenario.
     pub fn new(config: ScenarioConfig) -> Self {
@@ -262,10 +328,205 @@ impl Scenario {
 
     /// Runs the full experiment and reports per-stage wall-clock times.
     ///
+    /// This is the fused fast path: each worker generates one scanner's
+    /// probes into a columnar [`ProbeBatch`] and immediately streams the
+    /// time-sorted batch through the LPM gate into per-(scanner, telescope)
+    /// capture segments, which a key-sorted merge then splices back into
+    /// the exact global delivery order ([`Capture::merge_time_sorted`]).
+    /// Output is byte-identical to [`Scenario::run_reference_timed`] — the
+    /// retained per-probe staged path — at any thread count; the
+    /// equivalence is pinned by the `fused_matches_reference_path` test
+    /// here and the property tests in `crates/sim/tests/`.
+    ///
     /// Timings are observational only — they never feed back into the
     /// simulation, so the result stays byte-identical to [`Scenario::run`].
+    /// Because generation and delivery interleave per scanner, the
+    /// generate/deliver split is attributed from per-stage nanosecond
+    /// accumulators prorated over the fused wall time (exact at one
+    /// thread, a faithful fraction at more).
     pub fn run_timed(&self) -> (ExperimentResult, ScenarioTimings) {
         let stage_start = std::time::Instant::now();
+        let (layout, events, population, world, threads) = self.setup();
+        let setup_secs = stage_start.elapsed().as_secs_f64();
+        let stage_start = std::time::Instant::now();
+
+        // RNG streams are split from the master *serially in population
+        // order* (split mutates the master) before fanning out.
+        let mut master = Xoshiro256pp::seed_from_u64(self.config.seed ^ 0x5ca_0b0e5);
+        let streams: Vec<Xoshiro256pp> = population
+            .scanners
+            .iter()
+            .map(|spec| master.split(&format!("scanner-{}", spec.id)))
+            .collect();
+        let gen_nanos = AtomicU64::new(0);
+        let del_nanos = AtomicU64::new(0);
+        let pool: Mutex<Vec<FusedScratch>> = Mutex::new(Vec::new());
+        type ScannerResult = ([Capture; 4], u64, u64, u64);
+        let per_scanner: Vec<ScannerResult> =
+            map_indexed(threads, &population.scanners, |i, spec| {
+                let mut fs = pool.lock().unwrap().pop().unwrap_or_default();
+                let mut rng = streams[i].clone();
+                let view = BurstView::new(&world);
+
+                let t0 = std::time::Instant::now();
+                spec.generate_into(&view, &mut rng, &mut fs.scratch, &mut fs.batch);
+                fs.batch.sort_by_ts();
+                let truncated = fs.batch.truncate_sorted(GENERATION_CAP);
+                gen_nanos.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+
+                let t0 = std::time::Instant::now();
+                let mut captures = Self::capture_array(&layout);
+                let mut t4_responses = 0u64;
+                let mut dropped_unrouted = 0u64;
+                let lpm_cursor = Cell::new(0);
+                let routed_hint = Cell::new(None);
+                for &row in fs.batch.sorted() {
+                    let row = row as usize;
+                    let (ts, dst) = (fs.batch.ts(row), fs.batch.dst(row));
+                    // The DFZ test: is the destination covered by a visible
+                    // prefix at send time? (Propagation delay for the data
+                    // path is negligible at our one-second resolution.)
+                    if !world
+                        .compiled
+                        .routed_cached(dst, ts, &lpm_cursor, &routed_hint)
+                    {
+                        dropped_unrouted += 1;
+                        continue;
+                    }
+                    let Some(telescope) = self.telescope_for(&layout, dst) else {
+                        continue; // routed, but not into observed space
+                    };
+                    if telescope == TelescopeId::T4 {
+                        // T4 answers probes: its responder consumes wire
+                        // bytes, so this (small) telescope keeps the
+                        // encode+parse round trip.
+                        fs.batch.kind(row).encode_run(
+                            &mut fs.encoder,
+                            fs.batch.src(row),
+                            dst,
+                            fs.batch.payload(row),
+                            &mut fs.buf,
+                        );
+                        let recorded = captures[telescope as usize].ingest(ts, &fs.buf);
+                        if recorded {
+                            if let Ok(parsed) = ParsedPacket::parse(&fs.buf) {
+                                if respond(&parsed).is_some() {
+                                    t4_responses += 1;
+                                }
+                            }
+                        }
+                        continue;
+                    }
+                    // Silent telescopes only retain decoded fields, all of
+                    // which the batch already holds — encoding to wire
+                    // bytes and parsing them back would reproduce exactly
+                    // these values (pinned by the fused-vs-reference
+                    // equivalence tests).
+                    let (protocol, src_port, dst_port) = match fs.batch.kind(row) {
+                        ProbeKind::Icmp { .. } => (Protocol::Icmpv6, None, None),
+                        ProbeKind::Tcp {
+                            src_port, dst_port, ..
+                        } => (Protocol::Tcp, Some(src_port), Some(dst_port)),
+                        ProbeKind::Udp { src_port, dst_port } => {
+                            (Protocol::Udp, Some(src_port), Some(dst_port))
+                        }
+                    };
+                    captures[telescope as usize].ingest_fields(
+                        ts,
+                        fs.batch.src(row),
+                        dst,
+                        protocol,
+                        src_port,
+                        dst_port,
+                        fs.batch.payload(row),
+                    );
+                }
+                del_nanos.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+
+                pool.lock().unwrap().push(fs);
+                (captures, t4_responses, dropped_unrouted, truncated)
+            });
+        let fused_secs = stage_start.elapsed().as_secs_f64();
+        let stage_start = std::time::Instant::now();
+
+        // Merge: collect each telescope's per-scanner segments in
+        // population order and splice them back into global time order.
+        let mut segments: [Vec<Capture>; 4] =
+            std::array::from_fn(|_| Vec::with_capacity(per_scanner.len()));
+        let mut t4_responses = 0u64;
+        let mut dropped_unrouted = 0u64;
+        let mut truncated_probes = 0u64;
+        for (scanner_captures, scanner_t4, scanner_dropped, scanner_truncated) in per_scanner {
+            for (segs, capture) in segments.iter_mut().zip(scanner_captures) {
+                segs.push(capture);
+            }
+            t4_responses += scanner_t4;
+            dropped_unrouted += scanner_dropped;
+            truncated_probes += scanner_truncated;
+        }
+        let mut captures = Self::fresh_captures(&layout);
+        for (&id, segs) in TelescopeId::ALL.iter().zip(segments) {
+            captures
+                .get_mut(&id)
+                .expect("telescope exists")
+                .merge_time_sorted(segs);
+        }
+        let merge_secs = stage_start.elapsed().as_secs_f64();
+        if std::env::var_os("SIXSCOPE_STAGE_DEBUG").is_some() {
+            eprintln!(
+                "fused={fused_secs:.3} gen_acc={:.3} del_acc={:.3} merge={merge_secs:.3}",
+                gen_nanos.load(Ordering::Relaxed) as f64 / 1e9,
+                del_nanos.load(Ordering::Relaxed) as f64 / 1e9,
+            );
+        }
+
+        // Prorate the fused wall time over the measured per-stage work so
+        // the generate/deliver split stays meaningful for regression
+        // tracking; the merge is delivery work.
+        let (gen, del) = (
+            gen_nanos.load(Ordering::Relaxed) as f64,
+            del_nanos.load(Ordering::Relaxed) as f64,
+        );
+        let gen_fraction = if gen + del > 0.0 {
+            gen / (gen + del)
+        } else {
+            0.0
+        };
+        let generate_secs = fused_secs * gen_fraction;
+        let deliver_secs = fused_secs - generate_secs + merge_secs;
+
+        (
+            ExperimentResult {
+                schedule: self.config.schedule(),
+                captures,
+                events,
+                visibility: world.visibility,
+                population,
+                hitlist: world.hitlist,
+                t4_responses,
+                dropped_unrouted,
+                truncated_probes,
+                layout,
+            },
+            ScenarioTimings {
+                setup: setup_secs,
+                generate: generate_secs,
+                deliver: deliver_secs,
+            },
+        )
+    }
+
+    /// Control plane, visibility, hitlist, population and world-view
+    /// construction — the shared prologue of both run paths.
+    fn setup(
+        &self,
+    ) -> (
+        ExperimentLayout,
+        Vec<RouteEvent>,
+        Population,
+        WorldView,
+        usize,
+    ) {
         let layout = self.config.layout.clone();
         let events = self.run_control_plane();
         let visibility = Visibility::from_events(&events);
@@ -273,14 +534,11 @@ impl Scenario {
             &[layout.t2_dns_exposed, layout.covering.low_byte_address()],
             &visibility,
         );
-
-        // Population.
         let population = PopulationSpec {
             seed: self.config.seed,
             scale: self.config.scale,
         }
         .build(&layout);
-
         let world = WorldView {
             compiled: CompiledVisibility::compile(&visibility),
             transitions: visibility.announce_transitions(),
@@ -290,6 +548,17 @@ impl Scenario {
             end: layout.end,
         };
         let threads = num_threads(self.config.threads);
+        (layout, events, population, world, threads)
+    }
+
+    /// The retained per-probe staged path: generate everything into one
+    /// `Vec<Probe>`, globally sort, then deliver in time-sharded ranges.
+    /// [`Scenario::run_timed`] is pinned byte-identical to this; it stays
+    /// as the equivalence oracle and the staged baseline for the
+    /// `simulate` benchmark group.
+    pub fn run_reference_timed(&self) -> (ExperimentResult, ScenarioTimings) {
+        let stage_start = std::time::Instant::now();
+        let (layout, events, population, world, threads) = self.setup();
         let setup_secs = stage_start.elapsed().as_secs_f64();
         let stage_start = std::time::Instant::now();
 
@@ -392,6 +661,17 @@ impl Scenario {
         )
     }
 
+    /// One empty capture per telescope, indexable by `TelescopeId as
+    /// usize` (declaration order matches [`TelescopeId::ALL`]).
+    fn capture_array(layout: &ExperimentLayout) -> [Capture; 4] {
+        [
+            Capture::new(TelescopeConfig::t1(layout.t1)),
+            Capture::new(TelescopeConfig::t2(layout.t2)),
+            Capture::new(TelescopeConfig::t3(layout.t3)),
+            Capture::new(TelescopeConfig::t4(layout.t4)),
+        ]
+    }
+
     /// One empty capture per telescope.
     fn fresh_captures(layout: &ExperimentLayout) -> BTreeMap<TelescopeId, Capture> {
         let mut captures = BTreeMap::new();
@@ -438,11 +718,10 @@ impl Scenario {
         world: &WorldView,
         rng: &mut Xoshiro256pp,
     ) -> (Vec<Probe>, u64) {
-        const CAP: usize = 4_000_000;
         let mut probes = spec.generate(world, rng);
-        let truncated = probes.len().saturating_sub(CAP) as u64;
+        let truncated = probes.len().saturating_sub(GENERATION_CAP) as u64;
         if truncated > 0 {
-            probes.truncate(CAP);
+            probes.truncate(GENERATION_CAP);
         }
         (probes, truncated)
     }
@@ -557,6 +836,27 @@ mod tests {
     #[test]
     fn tiny_run_reports_no_truncation() {
         assert_eq!(tiny().truncated_probes, 0);
+    }
+
+    #[test]
+    fn fused_matches_reference_path() {
+        let config = ScenarioConfig::new(42, 0.004);
+        let (fused, _) = Scenario::new(config.clone()).run_timed();
+        let (reference, _) = Scenario::new(config).run_reference_timed();
+        for id in TelescopeId::ALL {
+            assert_eq!(
+                fused.capture(id).packets(),
+                reference.capture(id).packets(),
+                "{id:?} diverged from the staged reference"
+            );
+            assert_eq!(
+                fused.capture(id).filtered(),
+                reference.capture(id).filtered()
+            );
+        }
+        assert_eq!(fused.t4_responses, reference.t4_responses);
+        assert_eq!(fused.dropped_unrouted, reference.dropped_unrouted);
+        assert_eq!(fused.truncated_probes, reference.truncated_probes);
     }
 
     #[test]

@@ -61,6 +61,7 @@ impl TumHitlist {
     }
 
     /// Addresses listed at `t`.
+    #[deprecated(note = "allocates a clone; use `as_of` for a borrowed snapshot")]
     pub fn at(&self, t: SimTime) -> Vec<Ipv6Addr> {
         self.as_of(t).to_vec()
     }
@@ -70,6 +71,24 @@ impl TumHitlist {
     /// behind `ScanContext::hitlist`.
     pub fn as_of(&self, t: SimTime) -> &[Ipv6Addr] {
         let n = self.entries.partition_point(|e| e.published <= t);
+        &self.addrs[..n]
+    }
+
+    /// [`TumHitlist::as_of`] with a monotone burst cursor holding the count
+    /// of entries published ≤ the previous query time: time-sorted probe
+    /// bursts advance it stepwise instead of re-running the binary search,
+    /// and a regressing `t` falls back to the search. Identical results to
+    /// [`TumHitlist::as_of`] for any query sequence.
+    pub fn as_of_cached(&self, t: SimTime, cursor: &std::cell::Cell<usize>) -> &[Ipv6Addr] {
+        let mut n = cursor.get().min(self.entries.len());
+        if n > 0 && self.entries[n - 1].published > t {
+            n = self.entries.partition_point(|e| e.published <= t);
+        } else {
+            while n < self.entries.len() && self.entries[n].published <= t {
+                n += 1;
+            }
+        }
+        cursor.set(n);
         &self.addrs[..n]
     }
 
@@ -126,10 +145,10 @@ mod tests {
             list.published_at(addr),
             Some(SimTime::from_secs(1000) + PUBLICATION_LAG)
         );
-        assert!(list.at(SimTime::from_secs(1000)).is_empty());
+        assert!(list.as_of(SimTime::from_secs(1000)).is_empty());
         assert_eq!(
-            list.at(SimTime::from_secs(1000) + PUBLICATION_LAG),
-            vec![addr]
+            list.as_of(SimTime::from_secs(1000) + PUBLICATION_LAG),
+            &[addr]
         );
     }
 
@@ -137,7 +156,7 @@ mod tests {
     fn static_entries_are_listed_from_epoch() {
         let addr: Ipv6Addr = "3fff:800::1".parse().unwrap();
         let list = TumHitlist::build(&[addr], &Visibility::default());
-        assert_eq!(list.at(SimTime::EPOCH), vec![addr]);
+        assert_eq!(list.as_of(SimTime::EPOCH), &[addr]);
         assert_eq!(list.len(), 1);
     }
 
@@ -157,6 +176,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn as_of_matches_at_for_every_boundary() {
         let v = vis(&[
             (100, "2001:db8::/33", true),
@@ -170,13 +190,35 @@ mod tests {
     }
 
     #[test]
+    fn as_of_cached_matches_as_of_for_any_query_order() {
+        let v = vis(&[
+            (100, "2001:db8::/33", true),
+            (5000, "2001:db8:8000::/33", true),
+        ]);
+        let list = TumHitlist::build(&["3fff::1".parse().unwrap()], &v);
+        let cursor = std::cell::Cell::new(0);
+        // Forward sweep with a mid-burst regression.
+        for ts in [
+            0,
+            99,
+            100 + 5 * 86_400,
+            50,
+            5000 + 5 * 86_400,
+            10_000_000u64,
+        ] {
+            let t = SimTime::from_secs(ts);
+            assert_eq!(list.as_of_cached(t, &cursor), list.as_of(t), "t={ts}");
+        }
+    }
+
+    #[test]
     fn entries_appear_in_publication_order() {
         let v = vis(&[
             (5000, "2001:db8:8000::/33", true),
             (100, "2001:db8::/33", true),
         ]);
         let list = TumHitlist::build(&[], &v);
-        let at_later = list.at(SimTime::from_secs(5000) + PUBLICATION_LAG);
+        let at_later = list.as_of(SimTime::from_secs(5000) + PUBLICATION_LAG);
         assert_eq!(at_later.len(), 2);
         assert_eq!(at_later[0], "2001:db8::1".parse::<Ipv6Addr>().unwrap());
     }

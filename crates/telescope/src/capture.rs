@@ -189,6 +189,45 @@ impl Capture {
         &self.config
     }
 
+    /// Fast-path ingest for packets whose decoded fields are already
+    /// known — the simulator's fused delivery loop built the probe, so
+    /// re-encoding and re-parsing it would only reproduce these same
+    /// values. Applies the same capture filter and counters as
+    /// [`Capture::ingest`]; the caller guarantees the fields describe a
+    /// well-formed packet (the fused-vs-reference equivalence tests pin
+    /// this). Requires no pcap tee, which needs raw bytes.
+    #[allow(clippy::too_many_arguments)]
+    pub fn ingest_fields(
+        &mut self,
+        ts: SimTime,
+        src: Ipv6Addr,
+        dst: Ipv6Addr,
+        protocol: Protocol,
+        src_port: Option<u16>,
+        dst_port: Option<u16>,
+        payload: &[u8],
+    ) -> bool {
+        debug_assert!(
+            self.pcap.is_none(),
+            "pcap tee requires raw bytes — use ingest"
+        );
+        if !self.config.captures(dst) {
+            self.filtered += 1;
+            return false;
+        }
+        self.packets.push(CapturedPacket {
+            ts,
+            telescope: self.config.id,
+            src,
+            dst,
+            protocol,
+            src_port,
+            dst_port,
+            payload: Bytes::copy_from_slice(payload),
+        });
+        true
+    }
+
     /// Ingests raw IPv6 bytes arriving at `ts`. Returns `true` if the packet
     /// was recorded (parsed and matching the capture filter).
     ///
@@ -263,6 +302,82 @@ impl Capture {
         );
         self.filtered += other.filtered;
         self.malformed += other.malformed;
+    }
+
+    /// Merges per-scanner capture segments into one time-sorted capture.
+    ///
+    /// The fused delivery engine produces one segment per scanner, each
+    /// time-sorted internally but overlapping the others in time, so plain
+    /// [`Capture::absorb`] concatenation cannot apply. The merge key is
+    /// `(ts, segment index, position)` packed into a `u128`, matching the
+    /// order a global stable sort by timestamp over the segment-ordered
+    /// concatenation would produce — which is exactly the staged reference
+    /// path's order. Counters add up as in [`Capture::absorb`].
+    pub fn merge_time_sorted(&mut self, segments: Vec<Capture>) {
+        let mut total = 0usize;
+        for seg in &segments {
+            debug_assert_eq!(self.config.id, seg.config.id, "merging across telescopes");
+            debug_assert!(
+                seg.packets.len() < (1 << 32),
+                "segment exceeds u32 positions"
+            );
+            self.filtered += seg.filtered;
+            self.malformed += seg.malformed;
+            total += seg.packets.len();
+        }
+        debug_assert!(segments.len() < (1 << 32), "too many segments");
+        // Gather: within a segment, positions are consumed in increasing
+        // order (ts is non-decreasing with position), so per-segment
+        // iterators hand out packets FIFO. When (ts, segment, position)
+        // all fit in one u64 — true for every realistic run: timestamps
+        // below 2²⁶ s (≈ 2 years), at most 2¹⁶ segments, position below
+        // the generation cap — sort packed u64 keys; otherwise fall back
+        // to the u128 packing. Both orders are identical.
+        let max_ts = segments
+            .iter()
+            .flat_map(|s| s.packets.last())
+            .map(|p| p.ts.as_secs())
+            .max()
+            .unwrap_or(0);
+        let max_len = segments.iter().map(|s| s.packets.len()).max().unwrap_or(0);
+        self.packets.reserve_exact(total);
+        if max_ts < (1 << 26) && segments.len() <= (1 << 16) && max_len <= (1 << 22) {
+            let mut keys: Vec<u64> = Vec::with_capacity(total);
+            for (si, seg) in segments.iter().enumerate() {
+                for (pi, p) in seg.packets.iter().enumerate() {
+                    keys.push((p.ts.as_secs() << 38) | ((si as u64) << 22) | pi as u64);
+                }
+            }
+            keys.sort_unstable();
+            let mut iters: Vec<std::vec::IntoIter<CapturedPacket>> = segments
+                .into_iter()
+                .map(|seg| seg.packets.into_iter())
+                .collect();
+            for key in keys {
+                let si = ((key >> 22) & 0xffff) as usize;
+                let p = iters[si].next().expect("one packet per key");
+                debug_assert_eq!(p.ts.as_secs(), key >> 38, "gather out of order");
+                self.packets.push(p);
+            }
+        } else {
+            let mut keys: Vec<u128> = Vec::with_capacity(total);
+            for (si, seg) in segments.iter().enumerate() {
+                for (pi, p) in seg.packets.iter().enumerate() {
+                    keys.push(((p.ts.as_secs() as u128) << 64) | ((si as u128) << 32) | pi as u128);
+                }
+            }
+            keys.sort_unstable();
+            let mut iters: Vec<std::vec::IntoIter<CapturedPacket>> = segments
+                .into_iter()
+                .map(|seg| seg.packets.into_iter())
+                .collect();
+            for key in keys {
+                let si = ((key >> 32) & 0xffff_ffff) as usize;
+                let p = iters[si].next().expect("one packet per key");
+                debug_assert_eq!(p.ts.as_secs() as u128, key >> 64, "gather out of order");
+                self.packets.push(p);
+            }
+        }
     }
 
     /// Stable-sorts the packets into non-decreasing time order (arrival
@@ -456,6 +571,78 @@ mod tests {
         assert_eq!(a.filtered(), 1);
         assert_eq!(a.malformed(), 1);
         assert!(a.packets().windows(2).all(|w| w[0].ts <= w[1].ts));
+    }
+
+    #[test]
+    fn merge_time_sorted_equals_stable_sort_of_concatenation() {
+        // Three overlapping segments with duplicate timestamps across and
+        // within segments — the stable tie-break (segment order, then
+        // position) must match a stable sort of the concatenation.
+        let mut segments = Vec::new();
+        let plans: [&[(u64, &str)]; 3] = [
+            &[
+                (1, "2001:db8:3::1"),
+                (5, "2001:db8:3::2"),
+                (5, "2001:db8:3::3"),
+            ],
+            &[(0, "2001:db8:3::4"), (5, "2001:db8:3::5")],
+            &[
+                (2, "2001:db8:3::6"),
+                (2, "2001:db8:3::7"),
+                (9, "2001:db8:3::8"),
+            ],
+        ];
+        let mut expected = Vec::new();
+        for plan in plans {
+            let mut seg = t3_capture();
+            for (ts, dst) in plan {
+                assert!(seg.ingest(SimTime::from_secs(*ts), &probe(dst)));
+            }
+            assert!(!seg.ingest(SimTime::from_secs(1), &probe("2001:db8:9::1")));
+            expected.extend(seg.packets().to_vec());
+            segments.push(seg);
+        }
+        expected.sort_by_key(|p| p.ts); // stable: keeps segment order on ties
+        let mut merged = t3_capture();
+        merged.merge_time_sorted(segments);
+        assert_eq!(merged.packets(), &expected[..]);
+        assert_eq!(merged.filtered(), 3);
+        assert!(merged.is_time_sorted());
+    }
+
+    #[test]
+    fn merge_falls_back_to_wide_keys_for_huge_timestamps() {
+        // Timestamps past the u64 packing budget (≥ 2²⁶ s) take the u128
+        // path; the tie-break order must be the same.
+        let base = 1u64 << 27;
+        let mut segments = Vec::new();
+        let mut expected = Vec::new();
+        for plan in [
+            [(base + 1, "2001:db8:3::1"), (base + 5, "2001:db8:3::2")],
+            [(base, "2001:db8:3::3"), (base + 5, "2001:db8:3::4")],
+        ] {
+            let mut seg = t3_capture();
+            for (ts, dst) in plan {
+                assert!(seg.ingest(SimTime::from_secs(ts), &probe(dst)));
+            }
+            expected.extend(seg.packets().to_vec());
+            segments.push(seg);
+        }
+        expected.sort_by_key(|p| p.ts);
+        let mut merged = t3_capture();
+        merged.merge_time_sorted(segments);
+        assert_eq!(merged.packets(), &expected[..]);
+    }
+
+    #[test]
+    fn merge_into_nonempty_capture_appends_after_existing() {
+        let mut merged = t3_capture();
+        assert!(merged.ingest(SimTime::from_secs(1), &probe("2001:db8:3::a")));
+        let mut seg = t3_capture();
+        assert!(seg.ingest(SimTime::from_secs(2), &probe("2001:db8:3::b")));
+        merged.merge_time_sorted(vec![seg]);
+        assert_eq!(merged.len(), 2);
+        assert!(merged.is_time_sorted());
     }
 
     #[test]

@@ -92,10 +92,12 @@ fn main() {
     let mut live = Capture::new(config.clone());
     live.attach_pcap(file).expect("attach pcap tee");
     let mut wire: Vec<(SimTime, Vec<u8>)> = Vec::new();
+    let mut buf = Vec::new();
     for spec in &scanners {
         let mut stream = rng.split(&format!("scanner-{}", spec.id));
         for probe in spec.generate(&ctx, &mut stream) {
-            wire.push((probe.ts, probe.to_bytes()));
+            probe.encode_into(&mut buf);
+            wire.push((probe.ts, buf.clone()));
         }
     }
     wire.sort_by_key(|(ts, _)| *ts);

@@ -13,6 +13,30 @@ fn run_with(threads: usize) -> ExperimentResult {
     Scenario::new(config).run()
 }
 
+/// The fused generate+deliver path at any thread count reproduces the
+/// staged per-probe reference path bit-for-bit: same captures, same
+/// counters. This is the cross-path half of the contract — the
+/// cross-thread half is below.
+#[test]
+fn fused_path_matches_staged_reference_at_any_thread_count() {
+    let mut config = ScenarioConfig::new(20_230_824, 0.008);
+    config.threads = Some(1);
+    let (reference, _) = Scenario::new(config).run_reference_timed();
+    for threads in [1, 2, 8] {
+        let fused = run_with(threads);
+        for id in TelescopeId::ALL {
+            assert_eq!(
+                fused.capture(id).packets(),
+                reference.capture(id).packets(),
+                "{id:?} fused capture diverged from staged reference at {threads} threads"
+            );
+        }
+        assert_eq!(fused.dropped_unrouted, reference.dropped_unrouted);
+        assert_eq!(fused.t4_responses, reference.t4_responses);
+        assert_eq!(fused.truncated_probes, reference.truncated_probes);
+    }
+}
+
 #[test]
 fn captures_are_byte_identical_across_thread_counts() {
     let serial = run_with(1);

@@ -37,10 +37,14 @@ fn wire_traffic() -> Vec<(SimTime, Vec<u8>)> {
         tga_followups: None,
     };
     let mut rng = Xoshiro256pp::seed_from_u64(123);
+    let mut buf = Vec::new();
     let mut wire: Vec<(SimTime, Vec<u8>)> = spec
         .generate(&ctx, &mut rng)
         .into_iter()
-        .map(|pr| (pr.ts, pr.to_bytes()))
+        .map(|pr| {
+            pr.encode_into(&mut buf);
+            (pr.ts, buf.clone())
+        })
         .collect();
     wire.sort_by_key(|(ts, _)| *ts);
     wire

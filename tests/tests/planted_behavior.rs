@@ -38,8 +38,10 @@ fn run_and_sessionize(
     let mut rng = Xoshiro256pp::seed_from_u64(seed);
     let mut probes = spec.generate(context, &mut rng);
     probes.sort_by_key(|p| p.ts);
+    let mut buf = Vec::new();
     for probe in &probes {
-        capture.ingest(probe.ts, &probe.to_bytes());
+        probe.encode_into(&mut buf);
+        capture.ingest(probe.ts, &buf);
     }
     let sessions = Sessionizer::paper(AggLevel::Addr128).sessionize(&capture);
     (capture, sessions)
@@ -227,8 +229,10 @@ fn rotating_source_collapses_at_64_aggregation() {
     spec.packets_per_prefix = 50;
     let mut capture = Capture::new(TelescopeConfig::t1(t1_prefix()));
     let mut rng = Xoshiro256pp::seed_from_u64(5);
+    let mut buf = Vec::new();
     for probe in spec.generate(&context, &mut rng) {
-        capture.ingest(probe.ts, &probe.to_bytes());
+        probe.encode_into(&mut buf);
+        capture.ingest(probe.ts, &buf);
     }
     let s128 = Sessionizer::paper(AggLevel::Addr128).sessionize(&capture);
     let s64 = Sessionizer::paper(AggLevel::Subnet64).sessionize(&capture);
