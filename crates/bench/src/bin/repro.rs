@@ -16,10 +16,23 @@ use sixscope_bench::{comparisons_markdown, peak_rss_kib, take_comparisons, SEED}
 use std::fmt::Write as _;
 use std::time::Instant;
 
+/// Prints a pipeline error (with its cause chain) and exits with the
+/// error's CLI exit code.
+fn fail(err: &sixscope::Error) -> ! {
+    eprintln!("repro: {err}");
+    let mut source = std::error::Error::source(err);
+    while let Some(cause) = source {
+        eprintln!("  caused by: {cause}");
+        source = std::error::Error::source(cause);
+    }
+    std::process::exit(err.exit_code() as i32);
+}
+
 fn main() {
     let mut scale = sixscope_bench::SCALE;
     let mut timing = false;
     let mut chunk: Option<usize> = None;
+    let mut shards: Option<usize> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         if arg == "--timing" {
@@ -29,16 +42,28 @@ fn main() {
             // value (the CI equivalence check drives this).
             let value = args.next().unwrap_or_default();
             match value.parse() {
-                Ok(n) => chunk = Some(n),
-                Err(_) => {
-                    eprintln!("invalid --chunk value {value:?}");
+                Ok(0) | Err(_) => {
+                    eprintln!("invalid --chunk value {value:?} (need a record count ≥ 1)");
                     std::process::exit(2);
                 }
+                Ok(n) => chunk = Some(n),
+            }
+        } else if arg == "--shards" {
+            // Scatter the corpus over K shard files per telescope and
+            // gather them back — output must be byte-identical to the
+            // in-process run (the CI equivalence check drives this).
+            let value = args.next().unwrap_or_default();
+            match value.parse() {
+                Ok(0) | Err(_) => {
+                    eprintln!("invalid --shards value {value:?} (need a shard count ≥ 1)");
+                    std::process::exit(2);
+                }
+                Ok(n) => shards = Some(n),
             }
         } else if let Ok(s) = arg.parse::<f64>() {
             scale = s;
         } else {
-            eprintln!("usage: repro [scale] [--timing] [--chunk N]");
+            eprintln!("usage: repro [scale] [--timing] [--chunk N] [--shards K]");
             std::process::exit(2);
         }
     }
@@ -47,12 +72,27 @@ fn main() {
         "running experiment: seed={SEED} scale={scale} (paper = 1.0), {threads} worker thread(s) …"
     );
     let t0 = Instant::now();
-    let mut pipeline = Pipeline::simulate(ScenarioConfig::new(SEED, scale));
-    if let Some(n) = chunk {
-        pipeline = pipeline.chunk_records(n);
-    }
-    let out = pipeline.run_detailed().expect("simulated runs cannot fail");
-    let (a, sim) = (out.analyzed, out.sim);
+    let (a, sim) = if let Some(pieces) = shards {
+        // Scatter/gather round trip: simulate once, write the corpus as
+        // `pieces` shard files per telescope, then merge the files back.
+        let (result, sim) =
+            sixscope::sim::Scenario::new(ScenarioConfig::new(SEED, scale)).run_timed();
+        let dir = std::env::temp_dir().join(format!("sixscope-shards-{}", std::process::id()));
+        let paths = sixscope::shardfile::write_experiment_shards(&result, pieces, &dir)
+            .unwrap_or_else(|e| fail(&e));
+        eprintln!("scattered {} shard files to {}", paths.len(), dir.display());
+        let analyzed = sixscope::shardfile::merge_experiment(result, &paths, None)
+            .unwrap_or_else(|e| fail(&e));
+        let _ = std::fs::remove_dir_all(&dir);
+        (analyzed, sim)
+    } else {
+        let mut pipeline = Pipeline::simulate(ScenarioConfig::new(SEED, scale));
+        if let Some(n) = chunk {
+            pipeline = pipeline.chunk_records(n);
+        }
+        let out = pipeline.run_detailed().expect("simulated runs cannot fail");
+        (out.analyzed, out.sim)
+    };
     eprintln!(
         "experiment done in {:.1?}: {} packets captured, {} dropped unrouted, {} T4 responses",
         t0.elapsed(),

@@ -4,6 +4,8 @@
 //! sixscope run [--seed N] [--scale F] [--out DIR]   run the full experiment
 //! sixscope ingest <file.pcap>… [--report out.md]    hardened real-pcap ingest
 //! sixscope analyze <telescope-prefix> <file.pcap>…  analyze real captures
+//! sixscope shard <file.pcap>… --out f.sixshard      ingest one worker's shard
+//! sixscope merge <f.sixshard>…                      gather shards and analyze
 //! sixscope schedule <covering/32>                   print the Fig.-2 split plan
 //! sixscope classify <addr>…                         RFC 7707 address typing
 //! ```
@@ -12,7 +14,7 @@
 //! flags are `--name value` pairs, everything else is positional, and
 //! `--threads N` is accepted everywhere. Errors exit with a per-category
 //! code ([`sixscope::Error::exit_code`]): 2 usage, 3 I/O, 4 pcap,
-//! 5 BGP, 6 analysis.
+//! 5 BGP, 6 analysis, 7 shard file.
 
 use sixscope::cli::Flags;
 use sixscope::json::Json;
@@ -35,6 +37,8 @@ fn main() -> ExitCode {
         "run" => cmd_run(rest),
         "ingest" => cmd_ingest(rest),
         "analyze" => cmd_analyze(rest),
+        "shard" => cmd_shard(rest),
+        "merge" => cmd_merge(rest),
         "schedule" => cmd_schedule(rest),
         "classify" => cmd_classify(rest),
         "--help" | "-h" | "help" => {
@@ -83,6 +87,16 @@ USAGE:
             [--chunk N] [--json]
         Analyze real pcap captures (LINKTYPE_RAW) of a telescope:
         sessions, temporal classes, address selection, tools.
+
+    sixscope shard <capture.pcap> [more.pcap…] --out <file.sixshard>
+            [--prefix P] [--chunk N]
+        Ingest and sessionize one worker's captures and write the result
+        as one .sixshard file — the scatter side of federated sharding.
+
+    sixscope merge <file.sixshard> [more.sixshard…] [--json]
+        Gather .sixshard files (in capture order per telescope) and run
+        the full analysis; the output is byte-identical to analyzing the
+        concatenated pcaps in one process.
 
     sixscope schedule <covering-prefix/32> [--weeks-baseline N]
         Print the bi-weekly asymmetric split plan (paper Fig. 2).
@@ -180,17 +194,27 @@ fn run_pcap_pipeline(
     if let Some(n) = flags.apply_threads()? {
         pipeline = pipeline.threads(n);
     }
-    if let Some(n) = flags.parsed("chunk")? {
+    if let Some(n) = flags.chunk()? {
         pipeline = pipeline.chunk_records(n);
     }
     let out = pipeline.run_detailed()?;
-    for (file, stats) in &out.file_stats {
+    print_file_stats(&out.file_stats, &out.stats);
+    Ok(out)
+}
+
+/// Logs per-file recovery statistics (and the total, when there are
+/// several files) to stderr, keeping stdout byte-comparable across the
+/// pcap and shard paths.
+fn print_file_stats(
+    file_stats: &[(String, sixscope_telescope::IngestStats)],
+    total: &sixscope_telescope::IngestStats,
+) {
+    for (file, stats) in file_stats {
         eprintln!("{file}: {stats}");
     }
-    if out.file_stats.len() > 1 {
-        eprintln!("total: {}", out.stats);
+    if file_stats.len() > 1 {
+        eprintln!("total: {total}");
     }
-    Ok(out)
 }
 
 /// JSON rendering of one [`sixscope_telescope::IngestStats`].
@@ -283,10 +307,19 @@ fn cmd_analyze(args: &[String]) -> Result<(), Error> {
         .parse()
         .map_err(|e| Error::Usage(format!("bad telescope prefix: {e}")))?;
     let out = run_pcap_pipeline(files, prefix, &flags)?;
+    print_analysis(&out, flags.is_true("json"))
+}
+
+/// Prints the `analyze` report for a pipeline run — shared verbatim by
+/// `analyze` (pcaps) and `merge` (shard files), so the two stdouts can be
+/// byte-compared over the same packets. The telescope prefix length comes
+/// from the T1 capture's own configuration.
+fn print_analysis(out: &PipelineOutput, json: bool) -> Result<(), Error> {
     let capture = out.analyzed.capture(TelescopeId::T1);
+    let prefix = capture.config().prefix;
     let sessions = out.analyzed.sessions128(TelescopeId::T1);
     let profiles = profile_scanners(sessions);
-    if flags.is_true("json") {
+    if json {
         let doc = Json::obj([
             ("stats", stats_json(&out.stats)),
             ("packets", Json::u(capture.len() as u64)),
@@ -341,6 +374,55 @@ fn cmd_analyze(args: &[String]) -> Result<(), Error> {
         );
     }
     Ok(())
+}
+
+fn cmd_shard(args: &[String]) -> Result<(), Error> {
+    let flags = Flags::parse(args, &["prefix", "out", "threads", "chunk"])?;
+    let files = flags.positional().to_vec();
+    if files.is_empty() {
+        return Err(Error::Usage(
+            "usage: sixscope shard <capture.pcap>… --out <file.sixshard>".into(),
+        ));
+    }
+    let Some(out_path) = flags.get("out") else {
+        return Err(Error::Usage(
+            "shard needs --out <file.sixshard> (the shard file to write)".into(),
+        ));
+    };
+    let prefix: Ipv6Prefix = flags
+        .parsed("prefix")?
+        .unwrap_or_else(Ipv6Prefix::default_route);
+    let mut pipeline = Pipeline::from_pcaps(&files).prefix(prefix);
+    if let Some(n) = flags.apply_threads()? {
+        pipeline = pipeline.threads(n);
+    }
+    if let Some(n) = flags.chunk()? {
+        pipeline = pipeline.chunk_records(n);
+    }
+    let out = pipeline.to_shard(out_path)?;
+    print_file_stats(&out.file_stats, &out.stats);
+    eprintln!(
+        "wrote {out_path}: {} packets, {} sessions (/128), {} sessions (/64)",
+        out.packets, out.sessions128, out.sessions64
+    );
+    Ok(())
+}
+
+fn cmd_merge(args: &[String]) -> Result<(), Error> {
+    let flags = Flags::parse(args, &["json", "threads"])?;
+    let files = flags.positional().to_vec();
+    if files.is_empty() {
+        return Err(Error::Usage(
+            "usage: sixscope merge <file.sixshard>…".into(),
+        ));
+    }
+    let mut pipeline = Pipeline::from_shards(&files);
+    if let Some(n) = flags.apply_threads()? {
+        pipeline = pipeline.threads(n);
+    }
+    let out = pipeline.run_detailed()?;
+    print_file_stats(&out.file_stats, &out.stats);
+    print_analysis(&out, flags.is_true("json"))
 }
 
 fn cmd_schedule(args: &[String]) -> Result<(), Error> {

@@ -86,9 +86,26 @@ impl Flags {
     }
 
     /// The `--threads` cap, if given. [`Flags::apply_threads`] also mirrors
-    /// it into the `SIXSCOPE_THREADS` environment variable.
+    /// it into the `SIXSCOPE_THREADS` environment variable. Zero is
+    /// rejected here rather than silently clamped downstream, so the flag's
+    /// semantics match the builder's.
     pub fn threads(&self) -> Result<Option<usize>, Error> {
-        self.parsed("threads")
+        match self.parsed("threads")? {
+            Some(0) => Err(Error::Usage(
+                "--threads must be at least 1 (0 workers cannot make progress)".into(),
+            )),
+            other => Ok(other),
+        }
+    }
+
+    /// The `--chunk` streaming chunk size, if given. Zero is rejected here
+    /// rather than silently clamped by `Pipeline::chunk_records`'s
+    /// `.max(1)`, so the flag's semantics match the builder's.
+    pub fn chunk(&self) -> Result<Option<usize>, Error> {
+        match self.parsed("chunk")? {
+            Some(0) => Err(Error::Usage("--chunk must be at least 1 record".into())),
+            other => Ok(other),
+        }
     }
 
     /// Mirrors `--threads` into `SIXSCOPE_THREADS` so every internal
@@ -140,6 +157,26 @@ mod tests {
         let msg = err.to_string();
         assert!(msg.contains("--bogus"), "{msg}");
         assert!(msg.contains("--seed"), "{msg}");
+    }
+
+    #[test]
+    fn zero_threads_is_a_usage_error() {
+        let f = Flags::parse(&argv(&["--threads", "0"]), &["threads"]).unwrap();
+        let err = f.threads().unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        assert!(err.to_string().contains("--threads"), "{err}");
+        let err = f.apply_threads().unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+    }
+
+    #[test]
+    fn zero_chunk_is_a_usage_error() {
+        let f = Flags::parse(&argv(&["--chunk", "0"]), &["chunk"]).unwrap();
+        let err = f.chunk().unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        assert!(err.to_string().contains("--chunk"), "{err}");
+        let f = Flags::parse(&argv(&["--chunk", "512"]), &["chunk"]).unwrap();
+        assert_eq!(f.chunk().unwrap(), Some(512));
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! stay reachable through [`std::error::Error::source`] for full
 //! `caused by:` chains.
 
+use crate::shardfile::ShardError;
 use sixscope_bgp::BgpError;
 use sixscope_packet::PacketError;
 use std::fmt;
@@ -22,6 +23,7 @@ use std::fmt;
 /// | [`Error::Pcap`] | pcap stream unrecoverably damaged | 4 |
 /// | [`Error::Bgp`] | BGP message parsing / session failure | 5 |
 /// | [`Error::Analysis`] | analysis-stage invariant violated | 6 |
+/// | [`Error::Shard`] | shard file damaged / wrong version | 7 |
 #[derive(Debug)]
 pub enum Error {
     /// The command line (or a library builder argument) was invalid.
@@ -44,6 +46,13 @@ pub enum Error {
     Bgp(BgpError),
     /// An analysis stage hit an invariant violation.
     Analysis(String),
+    /// A `.sixshard` file was damaged, truncated, or of the wrong version.
+    Shard {
+        /// The shard file being read.
+        path: String,
+        /// The underlying decode error.
+        source: ShardError,
+    },
 }
 
 impl Error {
@@ -56,6 +65,7 @@ impl Error {
             Error::Pcap { .. } => 4,
             Error::Bgp(_) => 5,
             Error::Analysis(_) => 6,
+            Error::Shard { .. } => 7,
         }
     }
 }
@@ -68,6 +78,7 @@ impl fmt::Display for Error {
             Error::Pcap { path, .. } => write!(f, "pcap error in {path}"),
             Error::Bgp(_) => write!(f, "bgp error"),
             Error::Analysis(msg) => write!(f, "analysis error: {msg}"),
+            Error::Shard { path, .. } => write!(f, "shard file error in {path}"),
         }
     }
 }
@@ -79,6 +90,7 @@ impl std::error::Error for Error {
             Error::Io { source, .. } => Some(source),
             Error::Pcap { source, .. } => Some(source),
             Error::Bgp(source) => Some(source),
+            Error::Shard { source, .. } => Some(source),
         }
     }
 }
@@ -109,6 +121,10 @@ mod tests {
             },
             Error::Bgp(BgpError::BadMarker),
             Error::Analysis("shard mismatch".into()),
+            Error::Shard {
+                path: "t1-0.sixshard".into(),
+                source: ShardError::BadMagic,
+            },
         ];
         let mut codes: Vec<u8> = errors.iter().map(Error::exit_code).collect();
         assert!(codes.iter().all(|&c| c >= 2));

@@ -20,6 +20,7 @@
 //! lists. Captures are time-sorted by construction, which makes every time
 //! window a `partition_point` slice.
 
+use crate::error::Error;
 use sixscope_analysis::addrtype::classify;
 use sixscope_analysis::classify::{
     addr_selection, profile_scanners, AddrSelection, ScannerProfile,
@@ -300,21 +301,24 @@ pub struct IndexShard {
     /// Shard-local source interning. Arena order is first-encounter; the
     /// merge sorts the union, so final ids still land in ascending key
     /// order exactly as the old `BTreeSet` union assigned them.
-    sources128: InternTable<SourceKey>,
-    sources64: InternTable<SourceKey>,
-    ts: Vec<SimTime>,
+    ///
+    /// (Fields are `pub(crate)` so the shard-file codec can write them out
+    /// and rebuild validated shards without an intermediate copy.)
+    pub(crate) sources128: InternTable<SourceKey>,
+    pub(crate) sources64: InternTable<SourceKey>,
+    pub(crate) ts: Vec<SimTime>,
     /// Raw source address per packet (resolved to ids at merge time).
-    src: Vec<u128>,
-    class: Vec<u8>,
-    proto: Vec<u8>,
-    port: Vec<u32>,
-    week: Vec<u32>,
-    day: Vec<u32>,
-    dst: Vec<u128>,
-    prefix: Vec<u32>,
+    pub(crate) src: Vec<u128>,
+    pub(crate) class: Vec<u8>,
+    pub(crate) proto: Vec<u8>,
+    pub(crate) port: Vec<u32>,
+    pub(crate) week: Vec<u32>,
+    pub(crate) day: Vec<u32>,
+    pub(crate) dst: Vec<u128>,
+    pub(crate) prefix: Vec<u32>,
     /// Shard-local announced-prefix interning (first-encounter order, as in
     /// [`PacketColumns::build`]); remapped on absorb.
-    prefix_ids: InternTable<Ipv6Prefix>,
+    pub(crate) prefix_ids: InternTable<Ipv6Prefix>,
 }
 
 impl IndexShard {
@@ -395,11 +399,41 @@ impl IndexShard {
     /// is indistinguishable from one built sequentially.
     ///
     /// # Panics
-    /// Panics when `other` starts before this shard ends (time order).
+    /// Panics when `other` starts before this shard ends (time order) —
+    /// appropriate for the in-process streaming path, where chunk order is
+    /// a pipeline invariant and violating it is a bug. File-loaded shards
+    /// are user input, not invariants: route those through
+    /// [`IndexShard::try_absorb`] instead.
     pub fn absorb(&mut self, other: IndexShard) {
         if let (Some(&end), Some(&start)) = (self.ts.last(), other.ts.first()) {
             assert!(end <= start, "absorbing an out-of-order index shard");
         }
+        self.merge_unchecked(other);
+    }
+
+    /// Checked form of [`IndexShard::absorb`] for shards loaded from files:
+    /// an out-of-order shard yields [`Error::Analysis`] (CLI exit code 6)
+    /// instead of aborting the process, and `self` is left untouched.
+    pub fn try_absorb(&mut self, other: IndexShard) -> Result<(), Error> {
+        if let (Some(&end), Some(&start)) = (self.ts.last(), other.ts.first()) {
+            if end > start {
+                return Err(Error::Analysis(format!(
+                    "out-of-order index shard: previous shard ends at t={} \
+                     but next starts at t={} — pass shard files in capture \
+                     order",
+                    end.as_secs(),
+                    start.as_secs()
+                )));
+            }
+        }
+        self.merge_unchecked(other);
+        Ok(())
+    }
+
+    /// The shared merge body of [`IndexShard::absorb`] and
+    /// [`IndexShard::try_absorb`]; callers have already established time
+    /// order.
+    fn merge_unchecked(&mut self, other: IndexShard) {
         let remap: Vec<u32> = other
             .prefix_ids
             .keys()
@@ -967,6 +1001,49 @@ mod tests {
             assert!(encode_port(w[0]) < encode_port(w[1]));
             assert!(w[0] < w[1]);
         }
+    }
+
+    /// A minimal shard whose packets sit at the given timestamps — enough
+    /// structure to exercise the absorb order check.
+    fn shard_at(ts: &[u64]) -> IndexShard {
+        let mut s = IndexShard::new();
+        for &t in ts {
+            s.ts.push(SimTime::from_secs(t));
+            s.src.push(1);
+            s.class.push(0);
+            s.proto.push(0);
+            s.port.push(0);
+            s.week.push(0);
+            s.day.push(0);
+            s.dst.push(2);
+            s.prefix.push(NO_ID);
+        }
+        s
+    }
+
+    #[test]
+    fn try_absorb_accepts_in_order_shards() {
+        let mut acc = shard_at(&[0, 10]);
+        acc.try_absorb(shard_at(&[10, 20])).unwrap();
+        acc.try_absorb(shard_at(&[])).unwrap();
+        acc.try_absorb(shard_at(&[20])).unwrap();
+        assert_eq!(acc.len(), 5);
+    }
+
+    #[test]
+    fn try_absorb_rejects_out_of_order_shards_without_mutating() {
+        let mut acc = shard_at(&[0, 10]);
+        let err = acc.try_absorb(shard_at(&[9])).unwrap_err();
+        assert!(matches!(err, Error::Analysis(_)));
+        assert!(err.to_string().contains("out-of-order"));
+        assert_eq!(acc.len(), 2, "failed absorb must leave the shard intact");
+    }
+
+    #[test]
+    #[should_panic(expected = "out-of-order")]
+    fn absorb_panics_on_out_of_order_shards() {
+        let mut acc = shard_at(&[0, 10]);
+        acc.absorb(shard_at(&[9]));
     }
 
     #[test]

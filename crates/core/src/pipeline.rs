@@ -29,6 +29,7 @@
 use crate::corpus::{AnalysisTimings, Analyzed, StreamSettings};
 use crate::index::{CorpusIndex, IndexShard};
 use crate::ingest::passive_config;
+use crate::shardfile::{merge_group, read_shard, write_shard, TelescopeShard};
 use crate::Error;
 use sixscope_packet::{MappedPcap, PacketError, ViewOutcome};
 use sixscope_scanners::population::Population;
@@ -55,6 +56,8 @@ enum Source {
         paths: Vec<PathBuf>,
         prefix: Ipv6Prefix,
     },
+    /// Gather `.sixshard` files written by [`Pipeline::to_shard`] workers.
+    Shards(Vec<PathBuf>),
 }
 
 /// Builder for one analysis run — see the [module docs](self).
@@ -81,6 +84,20 @@ pub struct PipelineOutput {
     pub file_stats: Vec<(String, IngestStats)>,
 }
 
+/// What a [`Pipeline::to_shard`] scatter run produced.
+pub struct ShardOutput {
+    /// Packets retained by the capture filter and written to the shard.
+    pub packets: usize,
+    /// Scan sessions at /128 written to the shard.
+    pub sessions128: usize,
+    /// Scan sessions at /64 written to the shard.
+    pub sessions64: usize,
+    /// Combined recovery statistics over all input files.
+    pub stats: IngestStats,
+    /// Per-file recovery statistics, in input order.
+    pub file_stats: Vec<(String, IngestStats)>,
+}
+
 impl Pipeline {
     /// Analyzes a simulated experiment.
     pub fn simulate(config: ScenarioConfig) -> Pipeline {
@@ -99,6 +116,20 @@ impl Pipeline {
             paths: paths.into_iter().map(Into::into).collect(),
             prefix: Ipv6Prefix::default_route(),
         })
+    }
+
+    /// Gathers `.sixshard` files (written by [`Pipeline::to_shard`]
+    /// workers) into one analyzed corpus. Shards of the same telescope
+    /// must be given in capture order; their id-interned tables are
+    /// remapped and absorbed exactly as the streaming path absorbs
+    /// in-process chunks, so the merged corpus is byte-identical to a
+    /// single-process run over the concatenated packets.
+    pub fn from_shards<I, P>(paths: I) -> Pipeline
+    where
+        I: IntoIterator<Item = P>,
+        P: Into<PathBuf>,
+    {
+        Pipeline::new(Source::Shards(paths.into_iter().map(Into::into).collect()))
     }
 
     fn new(source: Source) -> Pipeline {
@@ -170,26 +201,76 @@ impl Pipeline {
                 })
             }
             Source::Pcaps { paths, prefix } => stream_pcaps(&paths, prefix, &settings),
+            Source::Shards(paths) => stream_shards(&paths, &settings),
         }
+    }
+
+    /// Runs the ingest half of the pipeline only and writes the result as
+    /// one `.sixshard` file — the scatter side of federated sharding. Only
+    /// the pcap source can scatter; simulated and shard sources are
+    /// [`Error::Usage`].
+    pub fn to_shard<P: AsRef<std::path::Path>>(self, out: P) -> Result<ShardOutput, Error> {
+        let settings = StreamSettings {
+            chunk_records: self.chunk_records,
+            session_timeout: self.session_timeout,
+            threads: self.threads,
+        };
+        let (paths, prefix) = match self.source {
+            Source::Pcaps { paths, prefix } => (paths, prefix),
+            _ => {
+                return Err(Error::Usage(
+                    "shard export requires a pcap source (Pipeline::from_pcaps)".into(),
+                ))
+            }
+        };
+        let ing = ingest_pcaps(&paths, prefix, &settings)?;
+        let shard = TelescopeShard {
+            capture: ing.capture,
+            session_timeout: settings.session_timeout,
+            stats: ing.stats.clone(),
+            sessions128: ing.sessions128,
+            sessions64: ing.sessions64,
+            index: ing.shard,
+        };
+        write_shard(out.as_ref(), &shard)?;
+        Ok(ShardOutput {
+            packets: shard.capture.len(),
+            sessions128: shard.sessions128.len(),
+            sessions64: shard.sessions64.len(),
+            stats: ing.stats,
+            file_stats: ing.file_stats,
+        })
     }
 }
 
-/// The streaming pcap path: each file is mapped (or buffered in as a
+/// One telescope's fully ingested state: what the scatter side writes to a
+/// shard file and what the in-process path feeds straight to the merge.
+struct IngestedTelescope {
+    capture: Capture,
+    sessions128: Vec<ScanSession>,
+    sessions64: Vec<ScanSession>,
+    shard: IndexShard,
+    sessionize: f64,
+    peak: usize,
+    stats: IngestStats,
+    file_stats: Vec<(String, IngestStats)>,
+}
+
+/// The streaming pcap ingest: each file is mapped (or buffered in as a
 /// fallback) and walked as borrowed record views; every chunk of views
 /// feeds the incremental sessionizers and the shard accumulator before the
 /// next chunk is cut, so the only per-record heap traffic is the retained
 /// packets themselves.
 ///
 /// If a file delivers packets out of time order the incremental feed is
-/// abandoned and the capture is sorted and re-streamed at the end — the
+/// abandoned and the capture is sorted and re-fed at the end — the
 /// bounded-memory property is lost but the output contract
 /// (byte-identical to batch) is kept.
-fn stream_pcaps(
+fn ingest_pcaps(
     paths: &[PathBuf],
     prefix: Ipv6Prefix,
     settings: &StreamSettings,
-) -> Result<PipelineOutput, Error> {
-    let ingest_start = Instant::now();
+) -> Result<IngestedTelescope, Error> {
     let mut capture = Capture::new(passive_config(prefix));
     let mut total = IngestStats::default();
     let mut file_stats = Vec::with_capacity(paths.len());
@@ -265,35 +346,146 @@ fn stream_pcaps(
         total.absorb(&stats);
         file_stats.push((display, stats));
     }
-    let ingest = ingest_start.elapsed().as_secs_f64();
 
     if !sorted {
+        // Out-of-order input: the incremental feed was abandoned, so sort
+        // the capture and re-feed fresh sessionizers and a fresh shard over
+        // the sorted order. Chunk boundaries are invisible (DESIGN.md §10),
+        // so this equals the batch path byte for byte.
         capture.sort_by_time();
-        let result = pcap_result(capture, visibility);
-        let analyzed = Analyzed::stream(result, settings);
-        return Ok(PipelineOutput {
-            analyzed,
-            sim: ScenarioTimings::default(),
-            ingest,
-            stats: total,
-            file_stats,
-        });
+        let push_start = Instant::now();
+        s128 = IncrementalSessionizer::with_capacity(
+            AggLevel::Addr128,
+            settings.session_timeout,
+            sources_hint,
+        );
+        s64 = IncrementalSessionizer::with_capacity(
+            AggLevel::Subnet64,
+            settings.session_timeout,
+            sources_hint,
+        );
+        shard = IndexShard::new();
+        let n = capture.len();
+        let mut start = 0;
+        while start < n {
+            let end = start.saturating_add(settings.chunk_records).min(n);
+            for (i, p) in capture.packets()[start..end].iter().enumerate() {
+                let idx = (start + i) as u32;
+                s128.push(idx, p);
+                s64.push(idx, p);
+            }
+            let mut piece = IndexShard::new();
+            piece.push_range(&capture, start..end, &compiled);
+            shard.absorb(piece);
+            start = end;
+        }
+        sessionize = push_start.elapsed().as_secs_f64();
     }
 
     let peak = s128.peak_open().max(s64.peak_open());
+    Ok(IngestedTelescope {
+        capture,
+        sessions128: s128.finish(),
+        sessions64: s64.finish(),
+        shard,
+        sessionize,
+        peak,
+        stats: total,
+        file_stats,
+    })
+}
+
+/// The in-process pcap path: ingest into one telescope, then gather it
+/// exactly as the shard-file merge gathers its telescopes.
+fn stream_pcaps(
+    paths: &[PathBuf],
+    prefix: Ipv6Prefix,
+    settings: &StreamSettings,
+) -> Result<PipelineOutput, Error> {
+    let ingest_start = Instant::now();
+    let ing = ingest_pcaps(paths, prefix, settings)?;
+    let ingest = ingest_start.elapsed().as_secs_f64();
+    let mut merged = BTreeMap::new();
+    let id = ing.capture.config().id;
+    merged.insert(
+        id,
+        (ing.capture, ing.sessions128, ing.sessions64, ing.shard),
+    );
+    assemble_gathered(
+        merged,
+        ingest,
+        ing.sessionize,
+        ing.peak,
+        ing.stats,
+        ing.file_stats,
+        settings,
+    )
+}
+
+/// The gather side of federated sharding: reads every `.sixshard` file,
+/// groups them by telescope in path order, merges each group exactly as
+/// the streaming path absorbs in-process chunks, and assembles the corpus.
+fn stream_shards(paths: &[PathBuf], settings: &StreamSettings) -> Result<PipelineOutput, Error> {
+    if paths.is_empty() {
+        return Err(Error::Usage(
+            "merge requires at least one .sixshard file".into(),
+        ));
+    }
+    let ingest_start = Instant::now();
+    let mut groups: BTreeMap<TelescopeId, Vec<(String, TelescopeShard)>> = BTreeMap::new();
+    let mut file_stats = Vec::with_capacity(paths.len());
+    for path in paths {
+        let display = path.display().to_string();
+        let shard = read_shard(path)?;
+        file_stats.push((display.clone(), shard.stats.clone()));
+        groups
+            .entry(shard.capture.config().id)
+            .or_default()
+            .push((display, shard));
+    }
+    let mut total = IngestStats::default();
+    let mut merged = BTreeMap::new();
+    for (id, group) in groups {
+        let m = merge_group(group)?;
+        total.absorb(&m.stats);
+        merged.insert(id, (m.capture, m.sessions128, m.sessions64, m.index));
+    }
+    let ingest = ingest_start.elapsed().as_secs_f64();
+    assemble_gathered(merged, ingest, 0.0, 0, total, file_stats, settings)
+}
+
+/// The gather half shared by the in-process pcap path and the shard-file
+/// merge: wraps the merged telescopes into an [`ExperimentResult`], builds
+/// the corpus index, and assembles the final [`Analyzed`]. Telescopes with
+/// no capture are filled in empty, so both paths produce the same corpus
+/// shape from the same packets.
+#[allow(clippy::type_complexity)]
+fn assemble_gathered(
+    merged: BTreeMap<TelescopeId, (Capture, Vec<ScanSession>, Vec<ScanSession>, IndexShard)>,
+    ingest: f64,
+    sessionize: f64,
+    peak: usize,
+    stats: IngestStats,
+    file_stats: Vec<(String, IngestStats)>,
+    settings: &StreamSettings,
+) -> Result<PipelineOutput, Error> {
+    let mut present = BTreeMap::new();
     let mut sessions128 = BTreeMap::new();
     let mut sessions64 = BTreeMap::new();
     let mut shards = BTreeMap::new();
-    sessions128.insert(TelescopeId::T1, s128.finish());
-    sessions64.insert(TelescopeId::T1, s64.finish());
-    shards.insert(TelescopeId::T1, shard);
-    for id in [TelescopeId::T2, TelescopeId::T3, TelescopeId::T4] {
-        sessions128.insert(id, Vec::<ScanSession>::new());
-        sessions64.insert(id, Vec::new());
-        shards.insert(id, IndexShard::new());
+    for (id, (capture, s128, s64, shard)) in merged {
+        present.insert(id, capture);
+        sessions128.insert(id, s128);
+        sessions64.insert(id, s64);
+        shards.insert(id, shard);
+    }
+    for id in TelescopeId::ALL {
+        sessions128.entry(id).or_default();
+        sessions64.entry(id).or_default();
+        shards.entry(id).or_insert_with(IndexShard::new);
     }
 
-    let result = pcap_result(capture, visibility);
+    let result = gathered_result(present, Visibility::from_events(&[]));
     let index_start = Instant::now();
     let threads = num_threads(settings.threads);
     let index = CorpusIndex::from_shards(&result, shards, &sessions128, &sessions64, threads);
@@ -314,35 +506,36 @@ fn stream_pcaps(
         analyzed,
         sim: ScenarioTimings::default(),
         ingest,
-        stats: total,
+        stats,
         file_stats,
     })
 }
 
-/// Wraps a real ingested capture into the [`ExperimentResult`] shape the
-/// analysis layer consumes: the capture becomes T1, the other telescopes
-/// are empty, and all simulation-only metadata (events, population,
-/// hitlist) is empty.
-fn pcap_result(capture: Capture, visibility: Visibility) -> ExperimentResult {
+/// Wraps gathered captures into the [`ExperimentResult`] shape the
+/// analysis layer consumes: telescopes without a capture get an empty one,
+/// and all simulation-only metadata (events, population, hitlist) is
+/// empty.
+fn gathered_result(
+    mut present: BTreeMap<TelescopeId, Capture>,
+    visibility: Visibility,
+) -> ExperimentResult {
     let mut layout = ExperimentLayout::default_plan();
     layout.start = SimTime::EPOCH + SimDuration::days(1);
     let schedule = SplitSchedule::paper(layout.t1, layout.start);
     layout.end = schedule.end();
     let hitlist = TumHitlist::build(&[], &visibility);
     let mut captures = BTreeMap::new();
-    captures.insert(
-        TelescopeId::T2,
-        Capture::new(TelescopeConfig::t2(layout.t2)),
-    );
-    captures.insert(
-        TelescopeId::T3,
-        Capture::new(TelescopeConfig::t3(layout.t3)),
-    );
-    captures.insert(
-        TelescopeId::T4,
-        Capture::new(TelescopeConfig::t4(layout.t4)),
-    );
-    captures.insert(TelescopeId::T1, capture);
+    for id in TelescopeId::ALL {
+        let capture = present.remove(&id).unwrap_or_else(|| {
+            Capture::new(match id {
+                TelescopeId::T1 => TelescopeConfig::t1(layout.t1),
+                TelescopeId::T2 => TelescopeConfig::t2(layout.t2),
+                TelescopeId::T3 => TelescopeConfig::t3(layout.t3),
+                TelescopeId::T4 => TelescopeConfig::t4(layout.t4),
+            })
+        });
+        captures.insert(id, capture);
+    }
     ExperimentResult {
         layout,
         schedule,

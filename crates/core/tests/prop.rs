@@ -266,4 +266,41 @@ proptest! {
         prop_assert_eq!(ov.ases, ases.len() as u64);
         prop_assert_eq!(ov.countries, countries.len() as u64);
     }
+
+    /// Scatter the corpus over shard *files* and gather them back: the
+    /// merged corpus must equal the in-process one — packets, sessions at
+    /// both aggregation levels, and the rendered tables — for any capture
+    /// and any piece count (DESIGN.md §13).
+    #[test]
+    fn shard_files_round_trip_to_the_in_process_corpus(
+        raws in proptest::collection::vec(raw_packet(), 0..60),
+        pieces in 1..4usize,
+    ) {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static CASE: AtomicUsize = AtomicUsize::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "sixscope-prop-shards-{}-{}",
+            std::process::id(),
+            CASE.fetch_add(1, Ordering::Relaxed)
+        ));
+        let direct = Analyzed::from_result(build_result(&raws));
+        let paths = sixscope::shardfile::write_experiment_shards(&build_result(&raws), pieces, &dir)
+            .expect("scatter of a valid corpus cannot fail");
+        let merged = sixscope::shardfile::merge_experiment(build_result(&raws), &paths, None)
+            .expect("gather of freshly written shards cannot fail");
+        std::fs::remove_dir_all(&dir).ok();
+        for id in TelescopeId::ALL {
+            prop_assert_eq!(merged.capture(id).packets(), direct.capture(id).packets());
+            prop_assert_eq!(merged.sessions128(id), direct.sessions128(id));
+            prop_assert_eq!(merged.sessions64(id), direct.sessions64(id));
+        }
+        prop_assert_eq!(
+            sixscope::render::render_table2(&tables::table2(&merged)),
+            sixscope::render::render_table2(&tables::table2(&direct))
+        );
+        prop_assert_eq!(
+            sixscope::render::render_table3(&tables::table3(&merged)),
+            sixscope::render::render_table3(&tables::table3(&direct))
+        );
+    }
 }

@@ -304,6 +304,26 @@ impl Capture {
         self.malformed += other.malformed;
     }
 
+    /// Reconstructs a capture from decoded shard-file parts. Packets must
+    /// already be in stored (time-sorted) order; the counters restore the
+    /// filter/malformed tallies the original ingest recorded. No pcap tee
+    /// is attached — a restored capture is an analysis input, not a live
+    /// ingest target.
+    pub fn restore(
+        config: TelescopeConfig,
+        packets: Vec<CapturedPacket>,
+        filtered: u64,
+        malformed: u64,
+    ) -> Capture {
+        Capture {
+            config,
+            packets,
+            pcap: None,
+            filtered,
+            malformed,
+        }
+    }
+
     /// Merges per-scanner capture segments into one time-sorted capture.
     ///
     /// The fused delivery engine produces one segment per scanner, each
@@ -399,6 +419,11 @@ impl Capture {
     /// All captured packets in arrival order.
     pub fn packets(&self) -> &[CapturedPacket] {
         &self.packets
+    }
+
+    /// Consumes the capture into its packet vector (shard gather path).
+    pub fn into_packets(self) -> Vec<CapturedPacket> {
+        self.packets
     }
 
     /// Number of captured packets.

@@ -29,5 +29,7 @@ pub use capture::{Capture, CapturedPacket, IngestStats, Protocol};
 pub use config::{TelescopeConfig, TelescopeId, TelescopeKind};
 pub use reactive::respond;
 pub use schedule::{ScheduleAction, ScheduleActionKind, SplitSchedule};
-pub use session::{IncrementalSessionizer, ScanSession, Sessionizer, SESSION_TIMEOUT};
+pub use session::{
+    IncrementalSessionizer, ScanSession, SessionStitcher, Sessionizer, SESSION_TIMEOUT,
+};
 pub use source::{AggLevel, SourceKey};

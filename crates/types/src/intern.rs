@@ -178,6 +178,29 @@ impl<K: Copy + Eq + Ord + std::hash::Hash> InternTable<K> {
         self.keys
     }
 
+    /// The interned keys in ascending order, leaving the table intact —
+    /// the stable export of the shard wire format
+    /// ([`InternTable::sorted_remap`] is the consuming form that also
+    /// yields the id remap).
+    pub fn sorted_keys(&self) -> Vec<K> {
+        let mut keys = self.keys.clone();
+        keys.sort_unstable();
+        keys
+    }
+
+    /// Rebuilds a table by interning `keys` in iteration order — the
+    /// import dual of [`InternTable::keys`]/[`InternTable::sorted_keys`].
+    /// Ids land in iteration order, so feeding back an exported arena
+    /// reproduces the original id assignment exactly.
+    pub fn from_keys<I: IntoIterator<Item = K>>(keys: I) -> Self {
+        let iter = keys.into_iter();
+        let mut table = Self::with_capacity(iter.size_hint().0);
+        for key in iter {
+            table.insert(key);
+        }
+        table
+    }
+
     #[inline]
     fn hash_of(key: &K) -> u64 {
         let mut h = FxHasher::default();
@@ -330,6 +353,31 @@ mod tests {
         for (&k, &fid) in keys.iter().zip(&first_ids) {
             let sid = remap[fid as usize] as usize;
             assert_eq!(sorted[sid], k);
+        }
+    }
+
+    #[test]
+    fn sorted_keys_exports_without_consuming() {
+        let mut t = InternTable::new();
+        for k in [9u64, 3, 7, 3] {
+            t.insert(k);
+        }
+        assert_eq!(t.sorted_keys(), vec![3, 7, 9]);
+        // The table is still usable with its original ids.
+        assert_eq!(t.get(&9), Some(0));
+        assert_eq!(t.keys(), &[9, 3, 7]);
+    }
+
+    #[test]
+    fn from_keys_round_trips_the_arena() {
+        let mut t = InternTable::new();
+        for k in [42u64, 5, 17] {
+            t.insert(k);
+        }
+        let rebuilt = InternTable::from_keys(t.keys().iter().copied());
+        assert_eq!(rebuilt.keys(), t.keys());
+        for (id, k) in t.keys().iter().enumerate() {
+            assert_eq!(rebuilt.get(k), Some(id as u32));
         }
     }
 
