@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! sixscope run [--seed N] [--scale F] [--out DIR]   run the full experiment
+//! sixscope serve <file.pcap|--sim F> [--out DIR]    live telescope daemon
 //! sixscope ingest <file.pcap>… [--report out.md]    hardened real-pcap ingest
 //! sixscope analyze <telescope-prefix> <file.pcap>…  analyze real captures
 //! sixscope shard <file.pcap>… --out f.sixshard      ingest one worker's shard
@@ -16,12 +17,13 @@
 //! code ([`sixscope::Error::exit_code`]): 2 usage, 3 I/O, 4 pcap,
 //! 5 BGP, 6 analysis, 7 shard file.
 
-use sixscope::cli::Flags;
+use sixscope::cli::{stats_json, Flags};
 use sixscope::json::Json;
+use sixscope::serve::{self, ServeOptions};
 use sixscope::sim::ScenarioConfig;
-use sixscope::{ingest, render, tables, Error, Pipeline, PipelineOutput};
+use sixscope::{ingest, Error, Pipeline, PipelineOutput};
 use sixscope_analysis::addrtype;
-use sixscope_analysis::classify::{addr_selection, profile_scanners};
+use sixscope_analysis::classify::profile_scanners;
 use sixscope_telescope::{Capture, SplitSchedule, TelescopeId};
 use sixscope_types::{Ipv6Prefix, SimTime};
 use std::net::Ipv6Addr;
@@ -35,6 +37,7 @@ fn main() -> ExitCode {
     };
     let result = match command.as_str() {
         "run" => cmd_run(rest),
+        "serve" => cmd_serve(rest),
         "ingest" => cmd_ingest(rest),
         "analyze" => cmd_analyze(rest),
         "shard" => cmd_shard(rest),
@@ -88,6 +91,19 @@ USAGE:
         Analyze real pcap captures (LINKTYPE_RAW) of a telescope:
         sessions, temporal classes, address selection, tools.
 
+    sixscope serve <capture.pcap | --sim SCALE> [--out DIR]
+            [--snapshot-every N] [--status-fd FD] [--prefix P]
+            [--seed N] [--poll-ms MS] [--quiesce-ms MS] [--chunk N] [--json]
+        Live telescope daemon. Follows a growing pcap (remapping as the
+        file grows; records older than the session-eviction horizon are
+        counted as late, not replayed into closed sessions) — or, with
+        --sim SCALE, replays a simulated experiment as a live source.
+        Checkpoints go to --out DIR as snapshot-NNNNNN.md plus latest.md,
+        written atomically; --status-fd emits one JSON line per
+        checkpoint. SIGTERM/SIGINT flush a final checkpoint and exit 0;
+        the final checkpoint over a finished pcap is byte-identical to
+        `sixscope analyze` over the same file.
+
     sixscope shard <capture.pcap> [more.pcap…] --out <file.sixshard>
             [--prefix P] [--chunk N]
         Ingest and sessionize one worker's captures and write the result
@@ -116,7 +132,7 @@ fn cmd_run(args: &[String]) -> Result<(), Error> {
     }
     let analyzed = pipeline.run()?;
     if flags.is_true("json") {
-        println!("{}", sixscope::json::tables_json(&analyzed).render());
+        print!("{}", serve::tables_report(&analyzed, true));
         return Ok(());
     }
     if let Some(dir) = flags.get("pcap-dir") {
@@ -131,14 +147,72 @@ fn cmd_run(args: &[String]) -> Result<(), Error> {
             eprintln!("wrote {path}");
         }
     }
-    println!("{}", render::render_table2(&tables::table2(&analyzed)));
-    println!("{}", render::render_table3(&tables::table3(&analyzed)));
-    println!("{}", render::render_table4(&tables::table4(&analyzed)));
-    println!("{}", render::render_table5(&tables::table5(&analyzed)));
-    println!("{}", render::render_table6(&tables::table6(&analyzed)));
-    println!("{}", render::render_table7(&tables::table7(&analyzed)));
-    println!("{}", render::render_table8(&tables::table8(&analyzed)));
-    println!("{}", render::render_headline(&tables::headline(&analyzed)));
+    print!("{}", serve::tables_report(&analyzed, false));
+    Ok(())
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), Error> {
+    let flags = Flags::parse(
+        args,
+        &[
+            "sim",
+            "seed",
+            "prefix",
+            "snapshot-every",
+            "out",
+            "status-fd",
+            "poll-ms",
+            "quiesce-ms",
+            "threads",
+            "chunk",
+            "json",
+        ],
+    )?;
+    let threads = flags.apply_threads()?;
+    let out_dir = flags.get("out").unwrap_or("serve-out").to_string();
+    let mut opts = match flags.parsed::<f64>("sim")? {
+        Some(scale) => {
+            if !flags.positional().is_empty() {
+                return Err(Error::Usage(
+                    "serve --sim SCALE takes no pcap arguments".into(),
+                ));
+            }
+            let seed: u64 = flags.parsed("seed")?.unwrap_or(20230824);
+            ServeOptions::sim(seed, scale, &out_dir)
+        }
+        None => {
+            let [path] = flags.positional() else {
+                return Err(Error::Usage(
+                    "usage: sixscope serve <capture.pcap | --sim SCALE> [--out DIR]".into(),
+                ));
+            };
+            ServeOptions::pcap(path, &out_dir)
+        }
+    };
+    opts.threads = threads;
+    if let Some(n) = flags.chunk()? {
+        opts.chunk_records = n;
+    }
+    opts.snapshot_every = flags.parsed("snapshot-every")?;
+    opts.json = flags.is_true("json");
+    opts.status_fd = flags.parsed("status-fd")?;
+    if let Some(ms) = flags.parsed("poll-ms")? {
+        opts.poll_ms = ms;
+    }
+    if let Some(ms) = flags.parsed("quiesce-ms")? {
+        opts.quiesce_ms = ms;
+    }
+    if let Some(prefix) = flags.parsed("prefix")? {
+        opts.prefix = prefix;
+    }
+    let summary = serve::serve(opts)?;
+    eprintln!(
+        "serve: {} packets, {} snapshots, {} late records; latest at {}",
+        summary.packets,
+        summary.snapshots,
+        summary.late_records,
+        summary.latest.display()
+    );
     Ok(())
 }
 
@@ -215,18 +289,6 @@ fn print_file_stats(
     if file_stats.len() > 1 {
         eprintln!("total: {total}");
     }
-}
-
-/// JSON rendering of one [`sixscope_telescope::IngestStats`].
-fn stats_json(stats: &sixscope_telescope::IngestStats) -> Json {
-    Json::obj([
-        ("records_read", Json::u(stats.records_read)),
-        ("parsed", Json::u(stats.parsed)),
-        ("filtered", Json::u(stats.filtered)),
-        ("malformed_packets", Json::u(stats.malformed_packets)),
-        ("skipped", Json::u(stats.skipped_total())),
-        ("truncated_tail", Json::Bool(stats.truncated_tail)),
-    ])
 }
 
 fn cmd_ingest(args: &[String]) -> Result<(), Error> {
@@ -311,68 +373,14 @@ fn cmd_analyze(args: &[String]) -> Result<(), Error> {
 }
 
 /// Prints the `analyze` report for a pipeline run — shared verbatim by
-/// `analyze` (pcaps) and `merge` (shard files), so the two stdouts can be
-/// byte-compared over the same packets. The telescope prefix length comes
-/// from the T1 capture's own configuration.
+/// `analyze` (pcaps), `merge` (shard files), and the serve daemon's
+/// checkpoints ([`serve::analysis_report`]), so all three outputs can be
+/// byte-compared over the same packets.
 fn print_analysis(out: &PipelineOutput, json: bool) -> Result<(), Error> {
-    let capture = out.analyzed.capture(TelescopeId::T1);
-    let prefix = capture.config().prefix;
-    let sessions = out.analyzed.sessions128(TelescopeId::T1);
-    let profiles = profile_scanners(sessions);
-    if json {
-        let doc = Json::obj([
-            ("stats", stats_json(&out.stats)),
-            ("packets", Json::u(capture.len() as u64)),
-            ("sessions_128", Json::u(sessions.len() as u64)),
-            (
-                "scanners",
-                Json::Arr(
-                    profiles
-                        .iter()
-                        .map(|profile| {
-                            let first = &sessions[profile.session_indices[0]];
-                            Json::obj([
-                                ("source", Json::s(profile.source.to_string())),
-                                ("sessions", Json::u(profile.session_indices.len() as u64)),
-                                ("packets", Json::u(profile.packets)),
-                                ("temporal", Json::s(profile.temporal.to_string())),
-                                (
-                                    "addr_selection",
-                                    Json::s(
-                                        addr_selection(first, capture, prefix.len()).to_string(),
-                                    ),
-                                ),
-                            ])
-                        })
-                        .collect(),
-                ),
-            ),
-        ]);
-        println!("{}", doc.render());
-        return Ok(());
-    }
-    println!("total packets: {}", capture.len());
-    println!(
-        "sessions (/128): {}, scanners: {}\n",
-        sessions.len(),
-        profiles.len()
+    print!(
+        "{}",
+        serve::analysis_report(&out.analyzed, &out.stats, json)
     );
-    println!(
-        "{:<42} {:>6} {:>8}  {:<13} addr-selection (first session)",
-        "source", "sess", "packets", "temporal"
-    );
-    for profile in &profiles {
-        let first = &sessions[profile.session_indices[0]];
-        let selection = addr_selection(first, capture, prefix.len());
-        println!(
-            "{:<42} {:>6} {:>8}  {:<13} {}",
-            profile.source.to_string(),
-            profile.session_indices.len(),
-            profile.packets,
-            profile.temporal.to_string(),
-            selection
-        );
-    }
     Ok(())
 }
 

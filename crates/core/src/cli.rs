@@ -8,11 +8,26 @@
 //! way everywhere (`flag --x needs a value`), and `--threads N` is
 //! accepted uniformly.
 
+use crate::json::Json;
 use crate::Error;
+use sixscope_telescope::IngestStats;
 use sixscope_types::THREADS_ENV;
 
 /// Flags that take no value: present means `true`.
 const VALUELESS: &[&str] = &["json"];
+
+/// JSON rendering of one [`IngestStats`] — shared by the binary's
+/// `ingest`/`analyze` summaries and the serve daemon's checkpoints.
+pub fn stats_json(stats: &IngestStats) -> Json {
+    Json::obj([
+        ("records_read", Json::u(stats.records_read)),
+        ("parsed", Json::u(stats.parsed)),
+        ("filtered", Json::u(stats.filtered)),
+        ("malformed_packets", Json::u(stats.malformed_packets)),
+        ("skipped", Json::u(stats.skipped_total())),
+        ("truncated_tail", Json::Bool(stats.truncated_tail)),
+    ])
+}
 
 /// Parsed `--name value` flag pairs plus the remaining positionals.
 #[derive(Debug)]

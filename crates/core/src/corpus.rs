@@ -1,54 +1,17 @@
 //! The analyzed corpus: experiment output plus pre-computed sessions, the
 //! columnar corpus index and metadata join helpers.
 
-use crate::index::{CorpusIndex, IndexShard};
+use crate::index::CorpusIndex;
+use crate::pipeline::FeedConsumer;
 use sixscope_analysis::classify::ScannerProfile;
-use sixscope_sim::{CompiledVisibility, ExperimentResult, ScenarioConfig, ScenarioTimings};
+use sixscope_sim::{CompiledVisibility, ExperimentResult};
 use sixscope_telescope::{
-    AggLevel, Capture, IncrementalSessionizer, ScanSession, SourceKey, TelescopeId, SESSION_TIMEOUT,
+    Capture, Feed, ScanSession, SimFeed, SourceKey, TelescopeId, SESSION_TIMEOUT,
 };
 use sixscope_types::{map_indexed, num_threads, AsInfo, Asn, PrefixTrie, SimDuration, SimTime};
 use std::collections::BTreeMap;
 use std::net::Ipv6Addr;
 use std::time::Instant;
-
-/// The historical entry point; superseded by [`crate::Pipeline`].
-#[deprecated(note = "use sixscope::Pipeline::simulate(ScenarioConfig::new(seed, scale)) instead")]
-pub struct Experiment {
-    config: ScenarioConfig,
-}
-
-#[allow(deprecated)]
-impl Experiment {
-    /// Creates an experiment with the default address plan.
-    ///
-    /// `scale` is relative to the paper's population (1.0 ≈ 36k sources /
-    /// 51M packets; the default reproduction runs use 0.02–0.05).
-    pub fn new(seed: u64, scale: f64) -> Self {
-        Experiment {
-            config: ScenarioConfig::new(seed, scale),
-        }
-    }
-
-    /// Access to the underlying configuration.
-    pub fn config(&self) -> &ScenarioConfig {
-        &self.config
-    }
-
-    /// Runs the experiment and builds the analyzed corpus.
-    pub fn run(&self) -> Analyzed {
-        self.run_timed().0
-    }
-
-    /// Runs the experiment and reports per-stage simulation wall-clock
-    /// (analysis timings live on [`Analyzed::timings`]).
-    pub fn run_timed(&self) -> (Analyzed, ScenarioTimings) {
-        let out = crate::Pipeline::simulate(self.config.clone())
-            .run_detailed()
-            .expect("simulated runs cannot fail");
-        (out.analyzed, out.sim)
-    }
-}
 
 /// Wall-clock seconds of the analysis stages in [`Analyzed::from_result`].
 #[derive(Debug, Clone, Copy, Default)]
@@ -114,9 +77,10 @@ impl Analyzed {
         Self::stream(result, &StreamSettings::default())
     }
 
-    /// Builds the corpus by feeding each capture chunk-wise through an
-    /// [`IncrementalSessionizer`] pair (/128 and /64) and an [`IndexShard`]
-    /// accumulator, then merging the shards into the [`CorpusIndex`].
+    /// Builds the corpus by driving each capture through a [`SimFeed`] into
+    /// a [`FeedConsumer`] (incremental sessionizers at /128 and /64 plus an
+    /// index-shard accumulator), then merging the shards into the
+    /// [`CorpusIndex`] — the same consumer the pcap and live paths use.
     ///
     /// The four per-telescope feeds are independent pure functions of
     /// their capture, so they run on worker threads (`SIXSCOPE_THREADS`
@@ -129,42 +93,25 @@ impl Analyzed {
         let compiled = CompiledVisibility::compile(&result.visibility);
         let fed = map_indexed(threads, &TelescopeId::ALL, |_, id| {
             let capture = &result.captures[id];
-            let packets = capture.packets();
-            // Pre-size the open-session tables: distinct live sources are a
-            // small fraction of packets, so a capped fraction of the packet
-            // count skips the rehash ladder without overshooting memory.
-            let sources_hint = (packets.len() / 8).clamp(16, 1 << 16);
-            let mut s128 = IncrementalSessionizer::with_capacity(
-                AggLevel::Addr128,
-                settings.session_timeout,
-                sources_hint,
-            );
-            let mut s64 = IncrementalSessionizer::with_capacity(
-                AggLevel::Subnet64,
-                settings.session_timeout,
-                sources_hint,
-            );
-            let mut shard = IndexShard::new();
-            let mut sessionize = 0.0;
-            let mut start = 0usize;
-            while start < packets.len() {
-                let end = start
-                    .saturating_add(settings.chunk_records)
-                    .min(packets.len());
-                let push_start = Instant::now();
-                for (i, p) in packets[start..end].iter().enumerate() {
-                    let idx = (start + i) as u32;
-                    s128.push(idx, p);
-                    s64.push(idx, p);
+            let mut feed = SimFeed::new(capture, settings.chunk_records);
+            let mut consumer = FeedConsumer::new(feed.sources_hint(), settings);
+            loop {
+                let chunk = feed.next_chunk().expect("sim feeds cannot fail");
+                consumer.consume(capture, chunk.range, &compiled);
+                if chunk.end_of_feed {
+                    break;
                 }
-                sessionize += push_start.elapsed().as_secs_f64();
-                let mut piece = IndexShard::new();
-                piece.push_range(capture, start..end, &compiled);
-                shard.absorb(piece);
-                start = end;
             }
-            let peak = s128.peak_open().max(s64.peak_open());
-            (s128.finish(), s64.finish(), shard, sessionize, peak)
+            // Simulated captures are produced in time order, so the
+            // incremental state is final as-is.
+            let done = consumer.finish_in_order();
+            (
+                done.sessions128,
+                done.sessions64,
+                done.shard,
+                done.sessionize,
+                done.peak,
+            )
         });
         let streaming = stream_start.elapsed().as_secs_f64();
         let mut sessions128 = BTreeMap::new();
@@ -309,6 +256,7 @@ impl Analyzed {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sixscope_sim::ScenarioConfig;
 
     fn analyzed() -> Analyzed {
         crate::Pipeline::simulate(ScenarioConfig::new(7, 0.004))

@@ -24,6 +24,11 @@ use std::fmt;
 /// | [`Error::Bgp`] | BGP message parsing / session failure | 5 |
 /// | [`Error::Analysis`] | analysis-stage invariant violated | 6 |
 /// | [`Error::Shard`] | shard file damaged / wrong version | 7 |
+///
+/// `sixscope serve` uses the same table: a live feed that fails maps to
+/// [`Error::Io`] / [`Error::Pcap`] like its batch equivalent, bad flags are
+/// [`Error::Usage`], and a clean shutdown (feed drained, or SIGTERM/SIGINT
+/// received and the final checkpoint flushed) exits 0.
 #[derive(Debug)]
 pub enum Error {
     /// The command line (or a library builder argument) was invalid.
@@ -98,6 +103,16 @@ impl std::error::Error for Error {
 impl From<BgpError> for Error {
     fn from(source: BgpError) -> Self {
         Error::Bgp(source)
+    }
+}
+
+impl From<sixscope_telescope::FeedError> for Error {
+    fn from(source: sixscope_telescope::FeedError) -> Self {
+        use sixscope_telescope::FeedError;
+        match source {
+            FeedError::Io { path, source } => Error::Io { path, source },
+            FeedError::Pcap { path, source } => Error::Pcap { path, source },
+        }
     }
 }
 

@@ -15,25 +15,14 @@
 
 use sixscope_analysis::classify::{addr_selection, profile_scanners};
 use sixscope_analysis::fingerprint::identify;
-use sixscope_packet::PacketError;
 use sixscope_telescope::{
-    AggLevel, Capture, IngestStats, Protocol, ScanSession, Sessionizer, TelescopeConfig,
-    TelescopeId, TelescopeKind,
+    Capture, IngestStats, Protocol, ScanSession, TelescopeConfig, TelescopeId, TelescopeKind,
 };
 use sixscope_types::{map_indexed, num_threads, Ipv6Prefix};
 use std::collections::BTreeMap;
-use std::io::Read;
 
 /// How many destination ports the report lists.
 const TOP_PORTS: usize = 10;
-
-/// An ingest run: the accumulating capture plus combined recovery
-/// statistics across all files fed to it.
-#[deprecated(note = "use sixscope::Pipeline::from_pcaps(paths).prefix(p).run_detailed() instead")]
-pub struct Ingest {
-    capture: Capture,
-    stats: IngestStats,
-}
 
 /// The passive telescope configuration real-capture ingestion uses: plain
 /// prefix filtering, no productive subnet, no DNS attractor. `::/0`
@@ -181,91 +170,4 @@ fn render_scanners(capture: &Capture, sessions: &[ScanSession], out: &mut String
         out.push_str(&row);
     }
     out.push('\n');
-}
-
-#[allow(deprecated)]
-impl Ingest {
-    /// Starts an ingest run filtering to `prefix`.
-    pub fn new(prefix: Ipv6Prefix) -> Self {
-        Ingest {
-            capture: Capture::new(passive_config(prefix)),
-            stats: IngestStats::default(),
-        }
-    }
-
-    /// Ingests one pcap stream with per-record recovery; returns this
-    /// file's statistics (the run's combined statistics accumulate).
-    pub fn add_pcap<R: Read>(&mut self, reader: R) -> Result<IngestStats, PacketError> {
-        let stats = self.capture.ingest_pcap_recovering(reader)?;
-        self.stats.absorb(&stats);
-        Ok(stats)
-    }
-
-    /// The packets accepted so far.
-    pub fn capture(&self) -> &Capture {
-        &self.capture
-    }
-
-    /// Combined statistics across all ingested files.
-    pub fn stats(&self) -> &IngestStats {
-        &self.stats
-    }
-
-    /// Renders the full markdown report — see [`render_report`].
-    pub fn report(&self, source_label: &str) -> String {
-        let sessions = Sessionizer::paper(AggLevel::Addr128).sessionize(&self.capture);
-        render_report(&self.capture, &sessions, &self.stats, source_label)
-    }
-}
-
-#[cfg(test)]
-#[allow(deprecated)]
-mod tests {
-    use super::*;
-    use sixscope_packet::{PacketBuilder, PcapRecord, PcapWriter};
-    use sixscope_types::SimTime;
-
-    fn tiny_pcap() -> Vec<u8> {
-        let b = PacketBuilder::new(
-            "2a0a::1:1".parse().unwrap(),
-            "2001:db8:3::1".parse().unwrap(),
-        );
-        let mut w = PcapWriter::new(Vec::new()).unwrap();
-        for (ts, data) in [
-            (10, b.icmpv6_echo_request(1, 1, b"yarrp")),
-            (11, b.tcp_syn(40_000, 443, 1, &[])),
-            (12, b.udp(40_001, 33_434, b"trace")),
-        ] {
-            w.write_record(&PcapRecord {
-                ts: SimTime::from_secs(ts),
-                ts_micros: 0,
-                data,
-            })
-            .unwrap();
-        }
-        w.into_inner().unwrap()
-    }
-
-    #[test]
-    fn ingest_accepts_everything_under_default_route() {
-        let mut ing = Ingest::new(Ipv6Prefix::default_route());
-        let stats = ing.add_pcap(&tiny_pcap()[..]).unwrap();
-        assert_eq!(stats.parsed, 3);
-        assert_eq!(stats.skipped_total(), 0);
-        assert!(!stats.truncated_tail);
-        let report = ing.report("test.pcap");
-        assert!(report.contains("| records read | 3 |"), "{report}");
-        assert!(report.contains("| ICMPv6 | 1 |"), "{report}");
-        assert!(report.contains("| 443 | 1 |"), "{report}");
-        assert!(report.contains("2a0a::1:1"), "{report}");
-    }
-
-    #[test]
-    fn multi_file_stats_accumulate() {
-        let mut ing = Ingest::new("2001:db8:3::/48".parse().unwrap());
-        ing.add_pcap(&tiny_pcap()[..]).unwrap();
-        ing.add_pcap(&tiny_pcap()[..]).unwrap();
-        assert_eq!(ing.stats().parsed, 6);
-        assert_eq!(ing.capture().len(), 6);
-    }
 }

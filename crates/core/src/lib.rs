@@ -47,17 +47,15 @@ pub mod ingest;
 pub mod json;
 pub mod pipeline;
 pub mod render;
+pub mod serve;
 pub mod shardfile;
 pub mod tables;
 
 pub use corpus::Analyzed;
-#[allow(deprecated)]
-pub use corpus::Experiment;
 pub use error::Error;
 pub use index::CorpusIndex;
-#[allow(deprecated)]
-pub use ingest::Ingest;
 pub use pipeline::{Pipeline, PipelineOutput};
+pub use serve::{ServeOptions, ServeSource};
 
 // Re-export the workspace surface so downstream users need one dependency.
 pub use sixscope_analysis as analysis;

@@ -31,7 +31,6 @@ use crate::index::{CorpusIndex, IndexShard};
 use crate::ingest::passive_config;
 use crate::shardfile::{merge_group, read_shard, write_shard, TelescopeShard};
 use crate::Error;
-use sixscope_packet::{MappedPcap, PacketError, ViewOutcome};
 use sixscope_scanners::population::Population;
 use sixscope_scanners::ExperimentLayout;
 use sixscope_sim::{
@@ -39,11 +38,12 @@ use sixscope_sim::{
     Visibility,
 };
 use sixscope_telescope::{
-    AggLevel, Capture, IncrementalSessionizer, IngestStats, ScanSession, SplitSchedule,
-    TelescopeConfig, TelescopeId, SESSION_TIMEOUT,
+    AggLevel, Capture, Feed, IncrementalSessionizer, IngestStats, PcapFeed, ScanSession,
+    SplitSchedule, TelescopeConfig, TelescopeId, SESSION_TIMEOUT,
 };
 use sixscope_types::{num_threads, Ipv6Prefix, SimDuration, SimTime};
 use std::collections::BTreeMap;
+use std::ops::Range;
 use std::path::PathBuf;
 use std::time::Instant;
 
@@ -256,141 +256,231 @@ struct IngestedTelescope {
     file_stats: Vec<(String, IngestStats)>,
 }
 
-/// The streaming pcap ingest: each file is mapped (or buffered in as a
-/// fallback) and walked as borrowed record views; every chunk of views
-/// feeds the incremental sessionizers and the shard accumulator before the
-/// next chunk is cut, so the only per-record heap traffic is the retained
-/// packets themselves.
+/// The stateful half of a feed-driven ingest: incremental sessionizers at
+/// /128 and /64 plus an [`IndexShard`] accumulator, fed one
+/// [`sixscope_telescope::FeedChunk`] at a time.
 ///
-/// If a file delivers packets out of time order the incremental feed is
-/// abandoned and the capture is sorted and re-fed at the end — the
+/// The consumer is the same for every [`Feed`]: batch pcaps, a live tail,
+/// or a simulated capture. If the feed ever delivers packets out of time
+/// order (live feeds admit in-horizon disorder; finite feeds simply
+/// reflect their files) the incremental state is abandoned and
+/// [`FeedConsumer::finish`] falls back to sort + re-feed — the
 /// bounded-memory property is lost but the output contract
-/// (byte-identical to batch) is kept.
+/// (byte-identical to batch) is kept. A snapshotting caller checks
+/// [`FeedConsumer::is_sorted`] and clones either the live state or a
+/// sorted copy of the capture.
+pub(crate) struct FeedConsumer {
+    s128: IncrementalSessionizer,
+    s64: IncrementalSessionizer,
+    shard: IndexShard,
+    sessionize: f64,
+    sorted: bool,
+    timeout: SimDuration,
+    sources_hint: usize,
+    chunk_records: usize,
+}
+
+/// What a drained [`FeedConsumer`] hands to the gather stage.
+pub(crate) struct ConsumedFeed {
+    pub sessions128: Vec<ScanSession>,
+    pub sessions64: Vec<ScanSession>,
+    pub shard: IndexShard,
+    pub sessionize: f64,
+    pub peak: usize,
+}
+
+impl FeedConsumer {
+    pub(crate) fn new(sources_hint: usize, settings: &StreamSettings) -> FeedConsumer {
+        FeedConsumer {
+            s128: IncrementalSessionizer::with_capacity(
+                AggLevel::Addr128,
+                settings.session_timeout,
+                sources_hint,
+            ),
+            s64: IncrementalSessionizer::with_capacity(
+                AggLevel::Subnet64,
+                settings.session_timeout,
+                sources_hint,
+            ),
+            shard: IndexShard::new(),
+            sessionize: 0.0,
+            sorted: true,
+            timeout: settings.session_timeout,
+            sources_hint,
+            chunk_records: settings.chunk_records,
+        }
+    }
+
+    /// True while the incremental state still mirrors the capture (no
+    /// out-of-order packet has been seen).
+    pub(crate) fn is_sorted(&self) -> bool {
+        self.sorted
+    }
+
+    /// High-water mark of the open-session tables.
+    pub(crate) fn peak_open(&self) -> usize {
+        self.s128.peak_open().max(self.s64.peak_open())
+    }
+
+    /// Open + closed session counts at /128 and /64 (snapshot statistics).
+    pub(crate) fn session_counts(&self) -> (usize, usize) {
+        (self.s128.sessions().len(), self.s64.sessions().len())
+    }
+
+    /// Clones the incremental state for a checkpoint. Only meaningful
+    /// while [`FeedConsumer::is_sorted`]; an unsorted consumer's state is
+    /// stale by construction.
+    pub(crate) fn snapshot(&self) -> (Vec<ScanSession>, Vec<ScanSession>, IndexShard) {
+        (
+            self.s128.sessions().to_vec(),
+            self.s64.sessions().to_vec(),
+            self.shard.clone(),
+        )
+    }
+
+    /// Feeds the capture packets `range` (one feed chunk) into the
+    /// incremental state.
+    pub(crate) fn consume(
+        &mut self,
+        capture: &Capture,
+        range: Range<usize>,
+        compiled: &CompiledVisibility,
+    ) {
+        if range.is_empty() || !self.sorted {
+            return;
+        }
+        let packets = capture.packets();
+        // Include the boundary with the previous chunk in the order check.
+        let boundary = range.start.saturating_sub(1);
+        if packets[boundary..range.end]
+            .windows(2)
+            .any(|w| w[0].ts > w[1].ts)
+        {
+            // Out-of-order input: abandon the incremental feed and fall
+            // back to sort + re-stream at finish time.
+            self.sorted = false;
+            return;
+        }
+        let push_start = Instant::now();
+        for (i, p) in packets[range.clone()].iter().enumerate() {
+            let idx = (range.start + i) as u32;
+            self.s128.push(idx, p);
+            self.s64.push(idx, p);
+        }
+        self.sessionize += push_start.elapsed().as_secs_f64();
+        let mut piece = IndexShard::new();
+        piece.push_range(capture, range, compiled);
+        self.shard.absorb(piece);
+    }
+
+    /// Closes the consumer. If disorder was seen, sorts the capture and
+    /// re-feeds fresh state over the sorted order — chunk boundaries are
+    /// invisible (DESIGN.md §10), so this equals the batch path byte for
+    /// byte.
+    pub(crate) fn finish(
+        mut self,
+        capture: &mut Capture,
+        compiled: &CompiledVisibility,
+    ) -> ConsumedFeed {
+        if !self.sorted {
+            capture.sort_by_time();
+            let push_start = Instant::now();
+            let (s128, s64, shard) = sessionize_sorted(
+                capture,
+                self.timeout,
+                self.sources_hint,
+                self.chunk_records,
+                compiled,
+            );
+            self.s128 = s128;
+            self.s64 = s64;
+            self.shard = shard;
+            self.sessionize = push_start.elapsed().as_secs_f64();
+            self.sorted = true;
+        }
+        self.finish_in_order()
+    }
+
+    /// Closes the consumer without a fallback path, for feeds whose source
+    /// guarantees time order (simulated captures).
+    pub(crate) fn finish_in_order(self) -> ConsumedFeed {
+        debug_assert!(self.sorted, "in-order finish over a disordered feed");
+        let peak = self.peak_open();
+        ConsumedFeed {
+            sessions128: self.s128.finish(),
+            sessions64: self.s64.finish(),
+            shard: self.shard,
+            sessionize: self.sessionize,
+            peak,
+        }
+    }
+}
+
+/// Feeds an already time-sorted capture through fresh incremental state in
+/// `chunk_records` chunks. Shared by the out-of-order fallback and the
+/// serve snapshotter's unsorted path.
+pub(crate) fn sessionize_sorted(
+    capture: &Capture,
+    timeout: SimDuration,
+    sources_hint: usize,
+    chunk_records: usize,
+    compiled: &CompiledVisibility,
+) -> (IncrementalSessionizer, IncrementalSessionizer, IndexShard) {
+    let mut s128 = IncrementalSessionizer::with_capacity(AggLevel::Addr128, timeout, sources_hint);
+    let mut s64 = IncrementalSessionizer::with_capacity(AggLevel::Subnet64, timeout, sources_hint);
+    let mut shard = IndexShard::new();
+    let n = capture.len();
+    let mut start = 0;
+    while start < n {
+        let end = start.saturating_add(chunk_records).min(n);
+        for (i, p) in capture.packets()[start..end].iter().enumerate() {
+            let idx = (start + i) as u32;
+            s128.push(idx, p);
+            s64.push(idx, p);
+        }
+        let mut piece = IndexShard::new();
+        piece.push_range(capture, start..end, compiled);
+        shard.absorb(piece);
+        start = end;
+    }
+    (s128, s64, shard)
+}
+
+/// The streaming pcap ingest, now phrased over [`PcapFeed`]: the feed maps
+/// each file (buffered fallback included) and appends borrowed record
+/// views to the capture; the [`FeedConsumer`] sessionizes and indexes each
+/// chunk before the next one is cut, so the only per-record heap traffic
+/// is the retained packets themselves.
 fn ingest_pcaps(
     paths: &[PathBuf],
     prefix: Ipv6Prefix,
     settings: &StreamSettings,
 ) -> Result<IngestedTelescope, Error> {
-    let mut capture = Capture::new(passive_config(prefix));
-    let mut total = IngestStats::default();
-    let mut file_stats = Vec::with_capacity(paths.len());
-
     let visibility = Visibility::from_events(&[]);
     let compiled = CompiledVisibility::compile(&visibility);
-    // Pre-size the open-session tables from the input sizes: a record is at
-    // least 56 bytes (16-byte pcap header + IPv6 header) and distinct live
-    // sources are a small fraction of records, so this skips the rehash
-    // ladder without overshooting memory. Capacity never affects output.
-    let input_bytes: u64 = paths
-        .iter()
-        .filter_map(|p| std::fs::metadata(p).ok())
-        .map(|m| m.len())
-        .sum();
-    let sources_hint = ((input_bytes / 56 / 8) as usize).clamp(16, 1 << 16);
-    let mut s128 = IncrementalSessionizer::with_capacity(
-        AggLevel::Addr128,
-        settings.session_timeout,
-        sources_hint,
+    let mut feed = PcapFeed::new(
+        Capture::new(passive_config(prefix)),
+        paths.iter().cloned(),
+        settings.chunk_records,
     );
-    let mut s64 = IncrementalSessionizer::with_capacity(
-        AggLevel::Subnet64,
-        settings.session_timeout,
-        sources_hint,
-    );
-    let mut shard = IndexShard::new();
-    let mut sessionize = 0.0;
-    let mut sorted = true;
-
-    for path in paths {
-        let display = path.display().to_string();
-        let mapped = MappedPcap::open(path).map_err(|source| match source {
-            PacketError::Io(source) => Error::Io {
-                path: display.clone(),
-                source,
-            },
-            source => Error::Pcap {
-                path: display.clone(),
-                source,
-            },
-        })?;
-        let mut reader = mapped.reader().map_err(|source| Error::Pcap {
-            path: display.clone(),
-            source,
-        })?;
-        let mut stats = IngestStats::default();
-        let mut views: Vec<ViewOutcome<'_>> = Vec::new();
-        while reader.next_chunk(settings.chunk_records, &mut views) {
-            let before = capture.len();
-            capture.extend_from_views(&views, &mut stats);
-            if sorted {
-                let packets = capture.packets();
-                let boundary = before.saturating_sub(1);
-                if packets[boundary..].windows(2).any(|w| w[0].ts > w[1].ts) {
-                    // Out-of-order input: abandon the incremental feed and
-                    // fall back to sort + re-stream after ingestion.
-                    sorted = false;
-                } else {
-                    let push_start = Instant::now();
-                    for (i, p) in packets[before..].iter().enumerate() {
-                        let idx = (before + i) as u32;
-                        s128.push(idx, p);
-                        s64.push(idx, p);
-                    }
-                    sessionize += push_start.elapsed().as_secs_f64();
-                    let mut piece = IndexShard::new();
-                    piece.push_range(&capture, before..capture.len(), &compiled);
-                    shard.absorb(piece);
-                }
-            }
+    let mut consumer = FeedConsumer::new(feed.sources_hint(), settings);
+    loop {
+        let chunk = feed.next_chunk()?;
+        consumer.consume(feed.capture(), chunk.range.clone(), &compiled);
+        if chunk.end_of_feed {
+            break;
         }
-        total.absorb(&stats);
-        file_stats.push((display, stats));
     }
-
-    if !sorted {
-        // Out-of-order input: the incremental feed was abandoned, so sort
-        // the capture and re-feed fresh sessionizers and a fresh shard over
-        // the sorted order. Chunk boundaries are invisible (DESIGN.md §10),
-        // so this equals the batch path byte for byte.
-        capture.sort_by_time();
-        let push_start = Instant::now();
-        s128 = IncrementalSessionizer::with_capacity(
-            AggLevel::Addr128,
-            settings.session_timeout,
-            sources_hint,
-        );
-        s64 = IncrementalSessionizer::with_capacity(
-            AggLevel::Subnet64,
-            settings.session_timeout,
-            sources_hint,
-        );
-        shard = IndexShard::new();
-        let n = capture.len();
-        let mut start = 0;
-        while start < n {
-            let end = start.saturating_add(settings.chunk_records).min(n);
-            for (i, p) in capture.packets()[start..end].iter().enumerate() {
-                let idx = (start + i) as u32;
-                s128.push(idx, p);
-                s64.push(idx, p);
-            }
-            let mut piece = IndexShard::new();
-            piece.push_range(&capture, start..end, &compiled);
-            shard.absorb(piece);
-            start = end;
-        }
-        sessionize = push_start.elapsed().as_secs_f64();
-    }
-
-    let peak = s128.peak_open().max(s64.peak_open());
+    let (mut capture, stats, file_stats) = feed.finish();
+    let done = consumer.finish(&mut capture, &compiled);
     Ok(IngestedTelescope {
         capture,
-        sessions128: s128.finish(),
-        sessions64: s64.finish(),
-        shard,
-        sessionize,
-        peak,
-        stats: total,
+        sessions128: done.sessions128,
+        sessions64: done.sessions64,
+        shard: done.shard,
+        sessionize: done.sessionize,
+        peak: done.peak,
+        stats,
         file_stats,
     })
 }
@@ -460,7 +550,7 @@ fn stream_shards(paths: &[PathBuf], settings: &StreamSettings) -> Result<Pipelin
 /// no capture are filled in empty, so both paths produce the same corpus
 /// shape from the same packets.
 #[allow(clippy::type_complexity)]
-fn assemble_gathered(
+pub(crate) fn assemble_gathered(
     merged: BTreeMap<TelescopeId, (Capture, Vec<ScanSession>, Vec<ScanSession>, IndexShard)>,
     ingest: f64,
     sessionize: f64,
@@ -515,7 +605,7 @@ fn assemble_gathered(
 /// analysis layer consumes: telescopes without a capture get an empty one,
 /// and all simulation-only metadata (events, population, hitlist) is
 /// empty.
-fn gathered_result(
+pub(crate) fn gathered_result(
     mut present: BTreeMap<TelescopeId, Capture>,
     visibility: Visibility,
 ) -> ExperimentResult {

@@ -1,0 +1,761 @@
+//! `sixscope serve` — the live telescope daemon.
+//!
+//! A long-running loop that drives a [`Feed`] (a growing pcap via
+//! [`TailFeed`], or a simulated experiment via [`SimFeed`]) through the
+//! same [`FeedConsumer`] the batch pipeline uses, and checkpoints the
+//! analysis as it goes:
+//!
+//! * **Snapshots** — every `--snapshot-every N` revealed records the
+//!   current report is written to `--out DIR` as `snapshot-NNNNNN.md`
+//!   plus `latest.md`, each via write-to-temp + atomic rename, so a
+//!   reader never observes a torn file.
+//! * **Status** — one JSON line per checkpoint (packets, sessions, peak
+//!   open sessions, late/skipped counts, watermark) to `--status-fd`.
+//! * **Shutdown** — SIGTERM/SIGINT set a flag; the loop notices, flushes
+//!   a final checkpoint, and exits cleanly (exit code 0).
+//!
+//! The final checkpoint over a finished pcap is byte-identical to batch
+//! `sixscope analyze` over the same file (and, for `--sim`, to the
+//! pipeline's [`Analyzed::stream`]): the daemon's incremental state *is*
+//! the batch state once the feed drains, and disorder falls back to the
+//! same sort-and-re-feed path (DESIGN.md §10, §14).
+
+use crate::corpus::{AnalysisTimings, Analyzed, StreamSettings};
+use crate::index::{CorpusIndex, IndexShard};
+use crate::ingest::passive_config;
+use crate::json::Json;
+use crate::pipeline::{assemble_gathered, sessionize_sorted, FeedConsumer};
+use crate::{render, tables, Error};
+use sixscope_analysis::classify::{addr_selection, profile_scanners};
+use sixscope_sim::{CompiledVisibility, ExperimentResult, Scenario, ScenarioConfig, Visibility};
+use sixscope_telescope::{
+    Capture, Feed, IngestStats, ScanSession, SimFeed, TailFeed, TelescopeId, SESSION_TIMEOUT,
+};
+use sixscope_types::{num_threads, Ipv6Prefix, SimTime};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+/// What the daemon serves.
+pub enum ServeSource {
+    /// Follow one growing pcap file (telescope operator mode).
+    Pcap(PathBuf),
+    /// Run the simulated experiment and replay its captures as a live
+    /// source (deterministic testing mode).
+    Sim {
+        /// Scenario seed.
+        seed: u64,
+        /// Population scale relative to the paper.
+        scale: f64,
+    },
+}
+
+/// Configuration of one [`serve`] run.
+pub struct ServeOptions {
+    /// The input feed.
+    pub source: ServeSource,
+    /// Directory receiving `snapshot-NNNNNN.md` and `latest.md`.
+    pub out_dir: PathBuf,
+    /// Checkpoint every this many revealed records (`None`: only the
+    /// final checkpoint).
+    pub snapshot_every: Option<u64>,
+    /// Worker-thread cap (`None` defers to `SIXSCOPE_THREADS`). Output
+    /// bytes never depend on it.
+    pub threads: Option<usize>,
+    /// Feed chunk size in records.
+    pub chunk_records: usize,
+    /// Render checkpoints as JSON instead of text.
+    pub json: bool,
+    /// File descriptor receiving one JSON status line per checkpoint.
+    pub status_fd: Option<i32>,
+    /// Base idle-poll interval for the live tail, in milliseconds.
+    pub poll_ms: u64,
+    /// Cumulative idle time after which the live tail quiesces, in
+    /// milliseconds.
+    pub quiesce_ms: u64,
+    /// Telescope prefix filter for the pcap source (default `::/0`).
+    pub prefix: Ipv6Prefix,
+}
+
+impl ServeOptions {
+    /// Serves a growing pcap into `out_dir` with default knobs.
+    pub fn pcap<P: Into<PathBuf>, O: Into<PathBuf>>(path: P, out_dir: O) -> ServeOptions {
+        ServeOptions {
+            source: ServeSource::Pcap(path.into()),
+            out_dir: out_dir.into(),
+            snapshot_every: None,
+            threads: None,
+            chunk_records: usize::MAX,
+            json: false,
+            status_fd: None,
+            poll_ms: 50,
+            quiesce_ms: 2_000,
+            prefix: Ipv6Prefix::default_route(),
+        }
+    }
+
+    /// Serves a simulated experiment into `out_dir` with default knobs.
+    pub fn sim<O: Into<PathBuf>>(seed: u64, scale: f64, out_dir: O) -> ServeOptions {
+        ServeOptions {
+            source: ServeSource::Sim { seed, scale },
+            ..ServeOptions::pcap("", out_dir)
+        }
+    }
+}
+
+/// What a finished [`serve`] run reports back.
+pub struct ServeSummary {
+    /// Numbered snapshots written (the final checkpoint included).
+    pub snapshots: usize,
+    /// Packets admitted into the capture(s).
+    pub packets: usize,
+    /// Live-feed records dropped as older than the eviction horizon.
+    pub late_records: u64,
+    /// Path of the final checkpoint (`latest.md`).
+    pub latest: PathBuf,
+}
+
+/// Set by SIGTERM/SIGINT; polled by the serve loop between chunks.
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod signal_sys {
+    //! Minimal libc-free signal binding, same pattern as the packet
+    //! crate's `mmap_sys`: declare the symbols we need directly.
+    pub const SIGINT: i32 = 2;
+    pub const SIGTERM: i32 = 15;
+    pub type Handler = extern "C" fn(i32);
+    extern "C" {
+        pub fn signal(signum: i32, handler: Handler) -> usize;
+    }
+}
+
+#[cfg(unix)]
+extern "C" fn on_signal(_sig: i32) {
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+fn install_signal_handlers() {
+    SHUTDOWN.store(false, Ordering::SeqCst);
+    #[cfg(unix)]
+    // SAFETY: `on_signal` only touches an atomic, which is async-signal-safe.
+    unsafe {
+        signal_sys::signal(signal_sys::SIGINT, on_signal);
+        signal_sys::signal(signal_sys::SIGTERM, on_signal);
+    }
+}
+
+/// True once SIGTERM/SIGINT has been received.
+fn shutdown_requested() -> bool {
+    SHUTDOWN.load(Ordering::SeqCst)
+}
+
+/// The status-line sink: an already-open file descriptor the caller owns.
+/// The daemon writes but never closes it.
+struct StatusSink {
+    #[cfg(unix)]
+    file: Option<std::mem::ManuallyDrop<std::fs::File>>,
+    #[cfg(not(unix))]
+    file: Option<()>,
+}
+
+impl StatusSink {
+    fn new(fd: Option<i32>) -> StatusSink {
+        #[cfg(unix)]
+        {
+            use std::os::unix::io::FromRawFd;
+            StatusSink {
+                // SAFETY: the caller passed this fd for us to write to; the
+                // ManuallyDrop keeps us from closing a descriptor we do not
+                // own.
+                file: fd.map(|fd| {
+                    std::mem::ManuallyDrop::new(unsafe { std::fs::File::from_raw_fd(fd) })
+                }),
+            }
+        }
+        #[cfg(not(unix))]
+        {
+            let _ = fd;
+            StatusSink { file: None }
+        }
+    }
+
+    fn emit(&mut self, line: &Json) {
+        #[cfg(unix)]
+        if let Some(file) = &mut self.file {
+            use std::io::Write;
+            let _ = writeln!(file, "{}", line.render());
+            let _ = file.flush();
+        }
+        #[cfg(not(unix))]
+        let _ = line;
+    }
+}
+
+/// One checkpoint's statistics, for the status line.
+struct Checkpoint<'a> {
+    event: &'a str,
+    snapshot: usize,
+    packets: usize,
+    sessions128: usize,
+    sessions64: usize,
+    peak_open: usize,
+    late: u64,
+    stats: &'a IngestStats,
+    watermark: SimTime,
+}
+
+impl Checkpoint<'_> {
+    fn json(&self) -> Json {
+        Json::obj([
+            ("event", Json::s(self.event.to_string())),
+            ("snapshot", Json::u(self.snapshot as u64)),
+            ("packets", Json::u(self.packets as u64)),
+            ("sessions_128", Json::u(self.sessions128 as u64)),
+            ("sessions_64", Json::u(self.sessions64 as u64)),
+            ("peak_open_sessions", Json::u(self.peak_open as u64)),
+            ("late_records", Json::u(self.late)),
+            ("skipped", Json::u(self.stats.skipped_total())),
+            ("truncated_tail", Json::Bool(self.stats.truncated_tail)),
+            ("watermark", Json::u(self.watermark.as_secs())),
+        ])
+    }
+}
+
+/// Writes one checkpoint atomically: the report goes to a temp file in
+/// `dir`, is renamed to `snapshot-NNNNNN.md`, and the same bytes are then
+/// renamed over `latest.md`. Readers only ever see complete files.
+fn write_snapshot(dir: &Path, seq: usize, report: &str) -> Result<PathBuf, Error> {
+    let io_err = |p: &Path| {
+        let path = p.display().to_string();
+        move |source| Error::Io {
+            path: path.clone(),
+            source,
+        }
+    };
+    std::fs::create_dir_all(dir).map_err(io_err(dir))?;
+    let tmp = dir.join(".snapshot.tmp");
+    let numbered = dir.join(format!("snapshot-{seq:06}.md"));
+    let latest = dir.join("latest.md");
+    std::fs::write(&tmp, report).map_err(io_err(&tmp))?;
+    std::fs::rename(&tmp, &numbered).map_err(io_err(&numbered))?;
+    std::fs::write(&tmp, report).map_err(io_err(&tmp))?;
+    std::fs::rename(&tmp, &latest).map_err(io_err(&latest))?;
+    Ok(latest)
+}
+
+/// Renders the `analyze`-style report for a corpus — the exact stdout
+/// bytes of `sixscope analyze` (and `merge`) over the same packets, so a
+/// serve checkpoint can be `cmp`'d against the batch run.
+pub fn analysis_report(analyzed: &Analyzed, stats: &IngestStats, json: bool) -> String {
+    let capture = analyzed.capture(TelescopeId::T1);
+    let prefix = capture.config().prefix;
+    let sessions = analyzed.sessions128(TelescopeId::T1);
+    let profiles = profile_scanners(sessions);
+    if json {
+        let doc = Json::obj([
+            ("stats", crate::cli::stats_json(stats)),
+            ("packets", Json::u(capture.len() as u64)),
+            ("sessions_128", Json::u(sessions.len() as u64)),
+            (
+                "scanners",
+                Json::Arr(
+                    profiles
+                        .iter()
+                        .map(|profile| {
+                            let first = &sessions[profile.session_indices[0]];
+                            Json::obj([
+                                ("source", Json::s(profile.source.to_string())),
+                                ("sessions", Json::u(profile.session_indices.len() as u64)),
+                                ("packets", Json::u(profile.packets)),
+                                ("temporal", Json::s(profile.temporal.to_string())),
+                                (
+                                    "addr_selection",
+                                    Json::s(
+                                        addr_selection(first, capture, prefix.len()).to_string(),
+                                    ),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]);
+        return format!("{}\n", doc.render());
+    }
+    let mut out = String::new();
+    out.push_str(&format!("total packets: {}\n", capture.len()));
+    out.push_str(&format!(
+        "sessions (/128): {}, scanners: {}\n\n",
+        sessions.len(),
+        profiles.len()
+    ));
+    out.push_str(&format!(
+        "{:<42} {:>6} {:>8}  {:<13} addr-selection (first session)\n",
+        "source", "sess", "packets", "temporal"
+    ));
+    for profile in &profiles {
+        let first = &sessions[profile.session_indices[0]];
+        let selection = addr_selection(first, capture, prefix.len());
+        out.push_str(&format!(
+            "{:<42} {:>6} {:>8}  {:<13} {}\n",
+            profile.source.to_string(),
+            profile.session_indices.len(),
+            profile.packets,
+            profile.temporal.to_string(),
+            selection
+        ));
+    }
+    out
+}
+
+/// Renders the `run`-style full-tables report — the exact stdout bytes of
+/// `sixscope run` over the same corpus.
+pub fn tables_report(analyzed: &Analyzed, json: bool) -> String {
+    if json {
+        return format!("{}\n", crate::json::tables_json(analyzed).render());
+    }
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{}\n",
+        render::render_table2(&tables::table2(analyzed))
+    ));
+    out.push_str(&format!(
+        "{}\n",
+        render::render_table3(&tables::table3(analyzed))
+    ));
+    out.push_str(&format!(
+        "{}\n",
+        render::render_table4(&tables::table4(analyzed))
+    ));
+    out.push_str(&format!(
+        "{}\n",
+        render::render_table5(&tables::table5(analyzed))
+    ));
+    out.push_str(&format!(
+        "{}\n",
+        render::render_table6(&tables::table6(analyzed))
+    ));
+    out.push_str(&format!(
+        "{}\n",
+        render::render_table7(&tables::table7(analyzed))
+    ));
+    out.push_str(&format!(
+        "{}\n",
+        render::render_table8(&tables::table8(analyzed))
+    ));
+    out.push_str(&format!(
+        "{}\n",
+        render::render_headline(&tables::headline(analyzed))
+    ));
+    out
+}
+
+/// Runs the daemon to completion (feed drained, or SIGTERM/SIGINT).
+pub fn serve(opts: ServeOptions) -> Result<ServeSummary, Error> {
+    install_signal_handlers();
+    let mut status = StatusSink::new(opts.status_fd);
+    match &opts.source {
+        ServeSource::Pcap(path) => serve_pcap(&opts, &path.clone(), &mut status),
+        ServeSource::Sim { seed, scale } => serve_sim(&opts, *seed, *scale, &mut status),
+    }
+}
+
+fn settings_of(opts: &ServeOptions) -> StreamSettings {
+    StreamSettings {
+        chunk_records: opts.chunk_records,
+        session_timeout: SESSION_TIMEOUT,
+        threads: opts.threads,
+    }
+}
+
+/// One telescope's sessionized state, ready to assemble into a report.
+struct PcapState {
+    capture: Capture,
+    sessions128: Vec<ScanSession>,
+    sessions64: Vec<ScanSession>,
+    shard: IndexShard,
+    peak: usize,
+}
+
+/// Assembles and renders the pcap-mode report from one telescope's state.
+fn render_pcap_state(
+    state: PcapState,
+    stats: &IngestStats,
+    settings: &StreamSettings,
+    json: bool,
+) -> Result<String, Error> {
+    let mut merged = BTreeMap::new();
+    merged.insert(
+        state.capture.config().id,
+        (
+            state.capture,
+            state.sessions128,
+            state.sessions64,
+            state.shard,
+        ),
+    );
+    let out = assemble_gathered(
+        merged,
+        0.0,
+        0.0,
+        state.peak,
+        stats.clone(),
+        Vec::new(),
+        settings,
+    )?;
+    Ok(analysis_report(&out.analyzed, stats, json))
+}
+
+/// A mid-stream checkpoint of the live pcap feed: clone the admitted
+/// packets and either the live incremental state (in-order input) or a
+/// sorted re-feed of the clone (the batch fallback, applied to the prefix
+/// seen so far).
+fn pcap_snapshot_report(
+    capture: &Capture,
+    consumer: &FeedConsumer,
+    stats: &IngestStats,
+    settings: &StreamSettings,
+    compiled: &CompiledVisibility,
+    json: bool,
+) -> Result<String, Error> {
+    let mut restored = Capture::restore(
+        capture.config().clone(),
+        capture.packets().to_vec(),
+        capture.filtered(),
+        capture.malformed(),
+    );
+    let (sessions128, sessions64, shard, peak) = if consumer.is_sorted() {
+        let (s128, s64, shard) = consumer.snapshot();
+        (s128, s64, shard, consumer.peak_open())
+    } else {
+        restored.sort_by_time();
+        let hint = (restored.len() / 8).clamp(16, 1 << 16);
+        let (a, b, shard) = sessionize_sorted(
+            &restored,
+            settings.session_timeout,
+            hint,
+            settings.chunk_records,
+            compiled,
+        );
+        let peak = a.peak_open().max(b.peak_open());
+        (a.finish(), b.finish(), shard, peak)
+    };
+    render_pcap_state(
+        PcapState {
+            capture: restored,
+            sessions128,
+            sessions64,
+            shard,
+            peak,
+        },
+        stats,
+        settings,
+        json,
+    )
+}
+
+fn serve_pcap(
+    opts: &ServeOptions,
+    path: &Path,
+    status: &mut StatusSink,
+) -> Result<ServeSummary, Error> {
+    let settings = settings_of(opts);
+    let visibility = Visibility::from_events(&[]);
+    let compiled = CompiledVisibility::compile(&visibility);
+    let mut feed = TailFeed::new(
+        Capture::new(passive_config(opts.prefix)),
+        path,
+        settings.chunk_records,
+        settings.session_timeout,
+    )
+    .poll_interval(Duration::from_millis(opts.poll_ms))
+    .quiesce_after(Duration::from_millis(opts.quiesce_ms));
+    let mut consumer = FeedConsumer::new(feed.sources_hint(), &settings);
+
+    let mut revealed: u64 = 0;
+    let mut next_snapshot = opts.snapshot_every;
+    let mut seq = 0usize;
+    loop {
+        if shutdown_requested() {
+            break;
+        }
+        let chunk = feed.next_chunk()?;
+        consumer.consume(feed.capture(), chunk.range.clone(), &compiled);
+        revealed += chunk.range.len() as u64;
+        if chunk.end_of_feed {
+            break;
+        }
+        while next_snapshot.is_some_and(|at| revealed >= at) {
+            seq += 1;
+            let stats = feed.stats();
+            let report = pcap_snapshot_report(
+                feed.capture(),
+                &consumer,
+                &stats,
+                &settings,
+                &compiled,
+                opts.json,
+            )?;
+            write_snapshot(&opts.out_dir, seq, &report)?;
+            let (sessions128, sessions64) = consumer.session_counts();
+            status.emit(
+                &Checkpoint {
+                    event: "snapshot",
+                    snapshot: seq,
+                    packets: feed.capture().len(),
+                    sessions128,
+                    sessions64,
+                    peak_open: consumer.peak_open(),
+                    late: feed.late_records(),
+                    stats: &stats,
+                    watermark: feed.watermark(),
+                }
+                .json(),
+            );
+            next_snapshot = opts
+                .snapshot_every
+                .map(|every| revealed + every - revealed % every);
+        }
+    }
+
+    // Final checkpoint: once the feed has drained, this state is the batch
+    // state — byte-identical to `sixscope analyze` over the finished file.
+    let late = feed.late_records();
+    let watermark = feed.watermark();
+    let (mut capture, stats) = feed.finish();
+    let done = consumer.finish(&mut capture, &compiled);
+    seq += 1;
+    let packets = capture.len();
+    let (n128, n64) = (done.sessions128.len(), done.sessions64.len());
+    let peak = done.peak;
+    let report = render_pcap_state(
+        PcapState {
+            capture,
+            sessions128: done.sessions128,
+            sessions64: done.sessions64,
+            shard: done.shard,
+            peak: done.peak,
+        },
+        &stats,
+        &settings,
+        opts.json,
+    )?;
+    let latest = write_snapshot(&opts.out_dir, seq, &report)?;
+    status.emit(
+        &Checkpoint {
+            event: "final",
+            snapshot: seq,
+            packets,
+            sessions128: n128,
+            sessions64: n64,
+            peak_open: peak,
+            late,
+            stats: &stats,
+            watermark,
+        }
+        .json(),
+    );
+    Ok(ServeSummary {
+        snapshots: seq,
+        packets,
+        late_records: late,
+        latest,
+    })
+}
+
+/// Clones the experiment's metadata around partial captures: each
+/// telescope keeps only its first `revealed[id]` packets. The counters are
+/// carried over whole — they describe the run, not the reveal.
+fn partial_result(
+    result: &ExperimentResult,
+    revealed: &BTreeMap<TelescopeId, usize>,
+) -> ExperimentResult {
+    let mut captures = BTreeMap::new();
+    for id in TelescopeId::ALL {
+        let full = &result.captures[&id];
+        let k = revealed.get(&id).copied().unwrap_or(0);
+        captures.insert(
+            id,
+            Capture::restore(
+                full.config().clone(),
+                full.packets()[..k].to_vec(),
+                full.filtered(),
+                full.malformed(),
+            ),
+        );
+    }
+    ExperimentResult {
+        layout: result.layout.clone(),
+        schedule: result.schedule.clone(),
+        captures,
+        events: result.events.clone(),
+        visibility: result.visibility.clone(),
+        population: result.population.clone(),
+        hitlist: result.hitlist.clone(),
+        t4_responses: result.t4_responses,
+        dropped_unrouted: result.dropped_unrouted,
+        truncated_probes: result.truncated_probes,
+    }
+}
+
+/// Assembles the corpus from per-telescope consumer state and renders the
+/// full-tables report.
+#[allow(clippy::type_complexity)]
+fn render_sim_state(
+    result: ExperimentResult,
+    fed: BTreeMap<TelescopeId, (Vec<ScanSession>, Vec<ScanSession>, IndexShard, usize)>,
+    threads: usize,
+    json: bool,
+) -> String {
+    let mut sessions128 = BTreeMap::new();
+    let mut sessions64 = BTreeMap::new();
+    let mut shards = BTreeMap::new();
+    let mut peak = 0usize;
+    for (id, (s128, s64, shard, p)) in fed {
+        sessions128.insert(id, s128);
+        sessions64.insert(id, s64);
+        shards.insert(id, shard);
+        peak = peak.max(p);
+    }
+    let index = CorpusIndex::from_shards(&result, shards, &sessions128, &sessions64, threads);
+    let analyzed = Analyzed::assemble(
+        result,
+        sessions128,
+        sessions64,
+        index,
+        AnalysisTimings::default(),
+        peak,
+    );
+    tables_report(&analyzed, json)
+}
+
+fn serve_sim(
+    opts: &ServeOptions,
+    seed: u64,
+    scale: f64,
+    status: &mut StatusSink,
+) -> Result<ServeSummary, Error> {
+    let settings = settings_of(opts);
+    let threads = num_threads(opts.threads);
+    let mut config = ScenarioConfig::new(seed, scale);
+    config.threads = opts.threads;
+    let (result, _sim) = Scenario::new(config).run_timed();
+    let compiled = CompiledVisibility::compile(&result.visibility);
+
+    let mut revealed: u64 = 0;
+    let mut next_snapshot = opts.snapshot_every;
+    let mut seq = 0usize;
+    let sim_stats = IngestStats::default();
+    let mut watermark = SimTime::EPOCH;
+    let fed: BTreeMap<TelescopeId, (Vec<ScanSession>, Vec<ScanSession>, IndexShard, usize)>;
+    {
+        let mut lanes: Vec<(TelescopeId, SimFeed<'_>, FeedConsumer, bool)> = TelescopeId::ALL
+            .into_iter()
+            .map(|id| {
+                let feed = SimFeed::new(&result.captures[&id], settings.chunk_records);
+                let consumer = FeedConsumer::new(feed.sources_hint(), &settings);
+                (id, feed, consumer, false)
+            })
+            .collect();
+        // Round-robin over the four telescopes, one chunk each per round,
+        // so checkpoints interleave the captures deterministically.
+        while !lanes.iter().all(|(_, _, _, done)| *done) && !shutdown_requested() {
+            for (_, feed, consumer, done) in &mut lanes {
+                if *done {
+                    continue;
+                }
+                let chunk = feed.next_chunk().expect("sim feeds cannot fail");
+                consumer.consume(feed.capture(), chunk.range.clone(), &compiled);
+                revealed += chunk.range.len() as u64;
+                watermark = watermark.max(chunk.watermark);
+                if chunk.end_of_feed {
+                    *done = true;
+                }
+            }
+            while next_snapshot.is_some_and(|at| revealed >= at) {
+                seq += 1;
+                let revealed_by: BTreeMap<TelescopeId, usize> = lanes
+                    .iter()
+                    .map(|(id, feed, _, _)| (*id, feed.revealed()))
+                    .collect();
+                let fed_now: BTreeMap<_, _> = lanes
+                    .iter()
+                    .map(|(id, _, consumer, _)| {
+                        let (s128, s64, shard) = consumer.snapshot();
+                        (*id, (s128, s64, shard, consumer.peak_open()))
+                    })
+                    .collect();
+                let report = render_sim_state(
+                    partial_result(&result, &revealed_by),
+                    fed_now,
+                    threads,
+                    opts.json,
+                );
+                write_snapshot(&opts.out_dir, seq, &report)?;
+                let (n128, n64, peak) = lanes.iter().fold((0, 0, 0), |(a, b, p), l| {
+                    let (x, y) = l.2.session_counts();
+                    (a + x, b + y, p.max(l.2.peak_open()))
+                });
+                status.emit(
+                    &Checkpoint {
+                        event: "snapshot",
+                        snapshot: seq,
+                        packets: revealed as usize,
+                        sessions128: n128,
+                        sessions64: n64,
+                        peak_open: peak,
+                        late: 0,
+                        stats: &sim_stats,
+                        watermark,
+                    }
+                    .json(),
+                );
+                next_snapshot = opts
+                    .snapshot_every
+                    .map(|every| revealed + every - revealed % every);
+            }
+        }
+        fed = lanes
+            .into_iter()
+            .map(|(id, _, consumer, _)| {
+                // Simulated captures are time-sorted, so the incremental
+                // state is final as-is.
+                let done = consumer.finish_in_order();
+                (
+                    id,
+                    (done.sessions128, done.sessions64, done.shard, done.peak),
+                )
+            })
+            .collect();
+    }
+
+    seq += 1;
+    let (n128, n64, peak) = fed.values().fold((0, 0, 0), |(a, b, p), (s1, s2, _, pk)| {
+        (a + s1.len(), b + s2.len(), p.max(*pk))
+    });
+    let packets: usize = result.captures.values().map(Capture::len).sum();
+    let report = render_sim_state(result, fed, threads, opts.json);
+    let latest = write_snapshot(&opts.out_dir, seq, &report)?;
+    status.emit(
+        &Checkpoint {
+            event: "final",
+            snapshot: seq,
+            packets,
+            sessions128: n128,
+            sessions64: n64,
+            peak_open: peak,
+            late: 0,
+            stats: &sim_stats,
+            watermark,
+        }
+        .json(),
+    );
+    Ok(ServeSummary {
+        snapshots: seq,
+        packets,
+        late_records: 0,
+        latest,
+    })
+}

@@ -29,7 +29,7 @@ pub use ipv6::{Ipv6Header, NextHeader, IPV6_HEADER_LEN};
 pub use parse::{parse_run, ParsedPacket, ParsedView, Transport};
 pub use pcap::{
     MappedPcap, PcapChunks, PcapReader, PcapRecord, PcapWriter, RecordOutcome, RecordView,
-    SliceReader, ViewOutcome, MAX_RECORD_LEN,
+    SliceReader, SliceReaderState, ViewOutcome, MAX_RECORD_LEN,
 };
 pub use tcp::{TcpFlags, TcpHeader, TCP_HEADER_LEN};
 pub use udp::{UdpHeader, UDP_HEADER_LEN};

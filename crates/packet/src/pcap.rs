@@ -418,6 +418,30 @@ pub struct SliceReader<'a> {
     exhausted: bool,
 }
 
+/// Resumable cursor state of a [`SliceReader`] — everything but the byte
+/// slice itself.
+///
+/// Tail-following readers save this across remaps of a growing capture
+/// file: a truncated tail never advances the cursor (the offset stays at
+/// the start of the incomplete record), so [`SliceReader::resume`] over a
+/// longer snapshot of the same file re-reads exactly the bytes the writer
+/// was still producing — including a record whose header or body was cut
+/// mid-write and completed later.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SliceReaderState {
+    pos: usize,
+    swapped: bool,
+    nanos: bool,
+    snaplen: u32,
+}
+
+impl SliceReaderState {
+    /// Byte offset of the next unread record header.
+    pub fn offset(&self) -> usize {
+        self.pos
+    }
+}
+
 impl<'a> SliceReader<'a> {
     /// Validates the 24-byte global header and positions the cursor on the
     /// first record.
@@ -461,6 +485,46 @@ impl<'a> SliceReader<'a> {
     /// The snapshot length declared by the file's global header.
     pub fn snaplen(&self) -> u32 {
         self.snaplen
+    }
+
+    /// The resumable cursor state — see [`SliceReaderState`]. The
+    /// `exhausted` latch is deliberately not part of the state: resuming
+    /// over a longer snapshot of the same file clears it, so a truncated
+    /// tail can complete once the writer catches up.
+    pub fn state(&self) -> SliceReaderState {
+        SliceReaderState {
+            pos: self.pos,
+            swapped: self.swapped,
+            nanos: self.nanos,
+            snaplen: self.snaplen,
+        }
+    }
+
+    /// Byte offset of the next unread record header.
+    pub fn offset(&self) -> usize {
+        self.pos
+    }
+
+    /// True once the reader has hit end of data (clean or truncated); only
+    /// [`SliceReader::resume`] over a longer slice can make progress again.
+    pub fn is_exhausted(&self) -> bool {
+        self.exhausted
+    }
+
+    /// Re-creates a reader over a (possibly longer) snapshot of the same
+    /// file from a saved [`SliceReaderState`], without re-validating or
+    /// re-reading the prefix. `data` must extend the bytes the state was
+    /// saved from; a slice shorter than the saved offset yields a reader
+    /// that reports a truncated tail at the boundary.
+    pub fn resume(data: &'a [u8], state: SliceReaderState) -> SliceReader<'a> {
+        SliceReader {
+            data,
+            pos: state.pos.min(data.len()),
+            swapped: state.swapped,
+            nanos: state.nanos,
+            snaplen: state.snaplen,
+            exhausted: false,
+        }
     }
 
     /// Reads the next record with skip-and-count recovery, or `None` at end
@@ -1061,6 +1125,73 @@ mod tests {
 
         let cut_body = &clean[..clean.len() - 2];
         assert_readers_agree(cut_body);
+    }
+
+    #[test]
+    fn slice_reader_resume_continues_where_it_stopped() {
+        let mut w = PcapWriter::new(Vec::new()).unwrap();
+        for r in sample_records() {
+            w.write_record(&r).unwrap();
+        }
+        let bytes = w.into_inner().unwrap();
+        // Read one record, capture the cursor, resume a fresh reader: the
+        // resumed outcome sequence equals the unread remainder.
+        let mut first = SliceReader::new(&bytes).unwrap();
+        let mut views = Vec::new();
+        assert!(first.next_chunk(1, &mut views));
+        assert_eq!(views.len(), 1);
+        let state = first.state();
+        assert!(state.offset() > 24, "cursor moved past the global header");
+        let rest: Vec<RecordOutcome> = SliceReader::resume(&bytes, state)
+            .map(|o| o.to_owned())
+            .collect();
+        let full: Vec<RecordOutcome> = SliceReader::new(&bytes)
+            .unwrap()
+            .map(|o| o.to_owned())
+            .collect();
+        assert_eq!(rest, full[1..]);
+    }
+
+    #[test]
+    fn slice_reader_resume_rereads_a_completed_tail() {
+        // A truncated tail leaves the cursor at the in-flight record's
+        // start; resuming over the completed file reads that record whole.
+        let mut w = PcapWriter::new(Vec::new()).unwrap();
+        let records = sample_records();
+        w.write_record(&records[0]).unwrap();
+        w.write_record(&records[1]).unwrap();
+        let full = w.into_inner().unwrap();
+        let cut = full.len() - 2;
+
+        let mut r = SliceReader::new(&full[..cut]).unwrap();
+        assert!(matches!(r.next(), Some(ViewOutcome::Record(_))));
+        let at_tail = r.state();
+        assert!(matches!(r.next(), Some(ViewOutcome::TruncatedTail(_))));
+        assert!(r.is_exhausted());
+        // The truncated outcome did not advance the cursor.
+        assert_eq!(r.state().offset(), at_tail.offset());
+
+        let mut resumed = SliceReader::resume(&full, r.state());
+        assert!(!resumed.is_exhausted(), "resume clears exhaustion");
+        match resumed.next() {
+            Some(ViewOutcome::Record(rec)) => assert_eq!(rec.data, &records[1].data[..]),
+            other => panic!("expected the completed record, got {other:?}"),
+        }
+        assert!(resumed.next().is_none());
+    }
+
+    #[test]
+    fn slice_reader_resume_clamps_past_eof() {
+        let mut w = PcapWriter::new(Vec::new()).unwrap();
+        w.write_record(&sample_records()[0]).unwrap();
+        let bytes = w.into_inner().unwrap();
+        let mut r = SliceReader::new(&bytes).unwrap();
+        while r.next().is_some() {}
+        let state = r.state();
+        // Resuming over a shorter snapshot than the cursor has seen (a
+        // writer that truncated its own file) yields nothing, not a panic.
+        let mut shorter = SliceReader::resume(&bytes[..24], state);
+        assert!(shorter.next().is_none());
     }
 
     #[test]

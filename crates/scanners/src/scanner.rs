@@ -144,17 +144,8 @@ pub struct Probe {
 }
 
 impl Probe {
-    /// Encodes the probe to raw IPv6 wire bytes.
-    #[deprecated(note = "allocates per probe; use `encode_into` with a reused buffer")]
-    pub fn to_bytes(&self) -> Vec<u8> {
-        let mut out = Vec::new();
-        self.encode_into(&mut out);
-        out
-    }
-
     /// Encodes the probe into `buf`, clearing it first. The delivery loop
-    /// reuses one scratch buffer per shard instead of allocating per probe;
-    /// the resulting bytes are identical to [`Probe::to_bytes`].
+    /// reuses one scratch buffer per shard instead of allocating per probe.
     pub fn encode_into(&self, buf: &mut Vec<u8>) {
         buf.clear();
         let builder = PacketBuilder::new(self.src, self.dst);

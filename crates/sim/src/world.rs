@@ -60,12 +60,6 @@ impl TumHitlist {
         TumHitlist { entries, addrs }
     }
 
-    /// Addresses listed at `t`.
-    #[deprecated(note = "allocates a clone; use `as_of` for a borrowed snapshot")]
-    pub fn at(&self, t: SimTime) -> Vec<Ipv6Addr> {
-        self.as_of(t).to_vec()
-    }
-
     /// Addresses listed at `t`, borrowed: the publication-ordered prefix of
     /// the full list, found by binary search. This is the hot-path variant
     /// behind `ScanContext::hitlist`.
@@ -176,16 +170,22 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn as_of_matches_at_for_every_boundary() {
+    fn as_of_respects_publication_boundaries() {
         let v = vis(&[
             (100, "2001:db8::/33", true),
             (5000, "2001:db8:8000::/33", true),
         ]);
         let list = TumHitlist::build(&["3fff::1".parse().unwrap()], &v);
+        let full = list.as_of(SimTime::from_secs(u64::MAX));
         for ts in [0, 99, 100, 100 + 5 * 86_400, 5000 + 5 * 86_400, 10_000_000] {
             let t = SimTime::from_secs(ts);
-            assert_eq!(list.as_of(t), list.at(t).as_slice(), "diverged at t={ts}");
+            let snapshot = list.as_of(t);
+            let expected = full
+                .iter()
+                .filter(|a| list.published_at(**a).expect("listed") <= t)
+                .count();
+            assert_eq!(snapshot.len(), expected, "wrong prefix at t={ts}");
+            assert_eq!(snapshot, &full[..expected], "order diverged at t={ts}");
         }
     }
 

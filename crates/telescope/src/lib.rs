@@ -11,6 +11,8 @@
 //! * [`source`] — scan-source aggregation at /128, /64 and /48,
 //! * [`session`] — scan-session construction with the paper's 1-hour
 //!   inter-arrival timeout,
+//! * [`feed`] — the unified chunked input surface ([`Feed`]) over finished
+//!   pcaps, growing capture files and simulated experiments,
 //! * [`reactive`] — T4's responder (echo replies, SYN/ACKs, port
 //!   unreachables),
 //! * [`schedule`] — the bi-weekly asymmetric prefix-split automation of
@@ -19,6 +21,7 @@
 
 pub mod capture;
 pub mod config;
+pub mod feed;
 pub mod reactive;
 pub mod schedule;
 pub mod session;
@@ -27,6 +30,7 @@ pub mod source;
 pub use bytes::Bytes;
 pub use capture::{Capture, CapturedPacket, IngestStats, Protocol};
 pub use config::{TelescopeConfig, TelescopeId, TelescopeKind};
+pub use feed::{Feed, FeedChunk, FeedError, LateFilter, PcapFeed, SimFeed, TailFeed};
 pub use reactive::respond;
 pub use schedule::{ScheduleAction, ScheduleActionKind, SplitSchedule};
 pub use session::{

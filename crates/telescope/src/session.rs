@@ -252,6 +252,13 @@ impl IncrementalSessionizer {
             .unwrap_or(self.sessions.len())
     }
 
+    /// Non-consuming view of all sessions so far (open and closed, in
+    /// creation order). A snapshotting consumer clones this mid-stream;
+    /// once the input ends it equals what [`finish`](Self::finish) returns.
+    pub fn sessions(&self) -> &[ScanSession] {
+        &self.sessions
+    }
+
     /// Closes the table and returns all sessions in creation (first-packet)
     /// order — byte-identical to [`Sessionizer::sessionize`] over the same
     /// packet sequence.
